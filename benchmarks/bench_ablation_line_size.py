@@ -1,0 +1,79 @@
+"""Ablation — the Section V line-size crossover, measured.
+
+The paper's first crossover condition says propagation blocking beats pull
+when ``b >= 3 / (1 - c/n)``: blocking pays for three streaming passes over
+the propagations, which only wins if the baseline wastes most of each
+transferred line.  Sweep the cache-line size (with everything else fixed)
+and watch the winner flip exactly where the model says: with tiny lines
+the baseline's gathers waste nothing and pull wins; with realistic 64 B
+lines blocking wins decisively.
+
+Traffic is compared in *bytes* (requests x line size), the fair unit
+across line sizes.
+"""
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.memsim import CacheConfig, FullyAssociativeLRU, simulate
+from repro.models import ModelParams, SIMULATED_MACHINE, pb_beats_pull_line_size
+from repro.models.machine import MachineSpec
+from repro.utils import format_series
+
+LINE_BYTES = [8, 16, 32, 64, 128, 256]
+NUM_VERTICES = 8192  # c/n = 1/2 against the 16 KiB LLC -> threshold b = 6 words
+DEGREE = 16.0
+
+
+def machine_with_line(line_bytes: int) -> MachineSpec:
+    return MachineSpec(
+        name=f"line-{line_bytes}",
+        llc=CacheConfig(capacity_bytes=16 * 1024, line_bytes=line_bytes),
+        l1=CacheConfig(capacity_bytes=2 * 1024, line_bytes=line_bytes),
+        mem_bandwidth_requests=SIMULATED_MACHINE.mem_bandwidth_requests,
+        instr_rate=SIMULATED_MACHINE.instr_rate,
+    )
+
+
+def test_line_size_crossover(benchmark, report):
+    graph = build_csr(uniform_random_graph(NUM_VERTICES, DEGREE, seed=19))
+
+    def sweep():
+        series = {"baseline": [], "dpb": []}
+        for line_bytes in LINE_BYTES:
+            machine = machine_with_line(line_bytes)
+            for method in ("baseline", "dpb"):
+                kernel = make_kernel(graph, method, machine)
+                counters = simulate(kernel.trace(1), FullyAssociativeLRU(machine.llc))
+                series[method].append(
+                    counters.total_requests * line_bytes / graph.num_edges
+                )
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ablation_line_size",
+        format_series(
+            "line bytes",
+            LINE_BYTES,
+            series,
+            title=f"Bytes moved per edge vs line size (urand n={NUM_VERTICES}, c/n=0.5)",
+        ),
+    )
+
+    base, dpb = series["baseline"], series["dpb"]
+    # With tiny lines, the baseline wastes nothing: pull wins.
+    assert base[0] < dpb[0]
+    # With real 64 B lines and beyond, blocking wins.
+    for i, line_bytes in enumerate(LINE_BYTES):
+        if line_bytes >= 64:
+            assert dpb[i] < base[i], line_bytes
+    # The measured flip sits near the model's threshold (b = 6 words
+    # = 24 bytes here), within one power-of-two step.
+    params = ModelParams(
+        n=NUM_VERTICES, k=DEGREE, b=16, c=16 * 1024 // 4
+    )
+    threshold_bytes = pb_beats_pull_line_size(params) * 4
+    measured_flip = next(
+        line for line, b_val, d_val in zip(LINE_BYTES, base, dpb) if d_val < b_val
+    )
+    assert threshold_bytes / 2 <= measured_flip <= threshold_bytes * 4

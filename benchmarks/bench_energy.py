@@ -1,0 +1,59 @@
+"""Energy experiment — the paper's Section I motivation, quantified.
+
+"Reducing communication can also save energy, as moving data consumes more
+energy than the arithmetic operations that manipulate it."  Apply the
+two-term energy model to every suite graph: propagation blocking's 4x
+instruction blow-up costs far less energy than its 3-4x traffic reduction
+saves — except on web, where the traffic was never there to save.
+"""
+
+from repro.graphs import LOW_LOCALITY_NAMES
+from repro.kernels import make_kernel
+from repro.models.energy import DEFAULT_ENERGY_MODEL
+from repro.utils import format_table
+
+
+def test_energy_accounting(benchmark, suite_graphs, suite_data, report):
+    model = DEFAULT_ENERGY_MODEL
+
+    def run():
+        rows = []
+        ratios = {}
+        for name in suite_graphs:
+            base = suite_data[name]["baseline"]
+            dpb = suite_data[name]["dpb"]
+            e_base = model.energy(base.counters, base.instructions)
+            e_dpb = model.energy(dpb.counters, dpb.instructions)
+            ratio = e_base["total"] / e_dpb["total"]
+            ratios[name] = ratio
+            rows.append(
+                [
+                    name,
+                    round(e_base["total"] * 1e3, 3),
+                    round(e_dpb["dram"] * 1e3, 3),
+                    round(e_dpb["core"] * 1e3, 3),
+                    round(e_dpb["total"] * 1e3, 3),
+                    round(ratio, 2),
+                ]
+            )
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "energy",
+        format_table(
+            [
+                "graph",
+                "baseline mJ",
+                "DPB dram mJ",
+                "DPB core mJ",
+                "DPB total mJ",
+                "saving",
+            ],
+            rows,
+            title="Modelled energy per PageRank iteration (scaled suite)",
+        ),
+    )
+    for name in LOW_LOCALITY_NAMES:
+        assert ratios[name] > 1.2, name  # energy win everywhere locality is poor
+    assert ratios["web"] < 1.0  # and a loss where it is not

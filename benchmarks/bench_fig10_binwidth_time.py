@@ -1,0 +1,38 @@
+"""Figure 10 — impact of bin width on PB's modelled execution time.
+
+Shapes to reproduce: time is minimized at an intermediate width — large
+bins pay LLC misses in the accumulate phase, very small bins pay L1 misses
+on the bin insertion points during binning (paper: 512 KB chosen; the
+scaled machine's equivalent is the ~1/2-LLC slice).
+"""
+
+from repro.harness import figure10_bin_width_time
+
+from benchmarks.conftest import BIN_WIDTHS
+
+
+def test_fig10_binwidth_time(benchmark, half_suite_graphs, binwidth_sweep_data, report):
+    fig = benchmark.pedantic(
+        lambda: figure10_bin_width_time(
+            half_suite_graphs, BIN_WIDTHS, _sweep_cache=binwidth_sweep_data
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig10_binwidth_time", fig.render())
+
+    mid_slots = range(2, 9)  # moderate widths
+    for name, series in fig.series.items():
+        if name == "web":
+            continue
+        best = min(series)
+        best_idx = series.index(best)
+        # The fastest width is neither extreme.
+        assert best_idx not in (0, len(series) - 1), name
+        # Both extremes are measurably slower than the sweet spot.
+        assert series[0] > 1.05 * best, name
+        assert series[-1] > 1.1 * best, name
+        # The default-rule width (1/2 LLC slice = 2048 vertices) is near-optimal.
+        default_idx = BIN_WIDTHS.index(2048)
+        assert series[default_idx] < 1.2 * best, name
+        assert best_idx in mid_slots, name

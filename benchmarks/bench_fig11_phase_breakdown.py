@@ -1,0 +1,32 @@
+"""Figure 11 — DPB execution-time breakdown by phase on urand.
+
+Shapes to reproduce: binning time rises as bins shrink (insertion points
+overflow the L1) and accumulate time rises as bins widen (sums slices
+overflow the LLC); the selected width balances time between the phases.
+"""
+
+from repro.harness import figure11_phase_breakdown
+from benchmarks.conftest import BIN_WIDTHS
+
+
+def test_fig11_phase_breakdown(benchmark, urand_graph, report):
+    fig = benchmark.pedantic(
+        lambda: figure11_phase_breakdown(urand_graph, BIN_WIDTHS),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig11_phase_breakdown", fig.render())
+
+    binning = fig.series["binning"]
+    accumulate = fig.series["accumulate"]
+    # Binning: worst at the smallest width, improving as bins grow.
+    assert binning[0] == max(binning)
+    assert binning[0] > 1.3 * min(binning)
+    # Accumulate: worst at the largest width.
+    assert accumulate[-1] == max(accumulate)
+    assert accumulate[-1] > 1.5 * min(accumulate)
+    # At the default width the two phases are within ~3x of each other
+    # (the "balances time between the two phases" claim).
+    idx = BIN_WIDTHS.index(2048)
+    ratio = binning[idx] / accumulate[idx]
+    assert 1 / 3 < ratio < 3

@@ -1,0 +1,31 @@
+"""Figure 5 — communication-volume reduction of CB/PB/DPB over baseline.
+
+Shapes to reproduce: 1.5-2.9x reductions (average 2.3x in the paper; the
+cleaner simulated counters land somewhat higher) on the seven low-locality
+graphs; no reduction on web; reductions exceed the Figure 4 speedups
+because the baseline uses more of the available bandwidth.
+"""
+
+from repro.graphs import LOW_LOCALITY_NAMES
+from repro.harness import figure4_speedup, figure5_communication_reduction
+
+
+def test_fig5_comm_reduction(benchmark, suite_graphs, suite_data, report):
+    fig = benchmark.pedantic(
+        lambda: figure5_communication_reduction(suite_graphs, _measurements=suite_data),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig5_comm_reduction", fig.render())
+
+    idx = {name: i for i, name in enumerate(fig.x_values)}
+    dpb = fig.series["DPB"]
+    low = [dpb[idx[name]] for name in LOW_LOCALITY_NAMES]
+    assert all(r > 1.5 for r in low)
+    assert sum(low) / len(low) > 2.0
+    assert fig.series["DPB"][idx["web"]] < 1.05  # no reduction on web
+
+    # Reductions in communication exceed reductions in execution time.
+    fig4 = figure4_speedup(suite_graphs, _measurements=suite_data)
+    for name in LOW_LOCALITY_NAMES:
+        assert dpb[idx[name]] > fig4.series["DPB"][idx[name]], name

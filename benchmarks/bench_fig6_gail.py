@@ -1,0 +1,34 @@
+"""Figure 6 — memory requests per edge (the GAIL communication metric).
+
+Shapes to reproduce: PB and DPB perform nearly constant communication per
+edge across wildly different graphs (the paper's headline observation),
+while the baseline's per-edge traffic tracks each graph's locality; on web
+the baseline's naturally low traffic already captures blocking's benefit.
+"""
+
+from repro.harness import figure6_requests_per_edge
+
+
+def test_fig6_gail(benchmark, suite_graphs, suite_data, report):
+    fig = benchmark.pedantic(
+        lambda: figure6_requests_per_edge(suite_graphs, _measurements=suite_data),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig6_gail", fig.render())
+
+    idx = {name: i for i, name in enumerate(fig.x_values)}
+    base = fig.series["Baseline"]
+    dpb = fig.series["DPB"]
+    pb = fig.series["PB"]
+    # Near-constant per-edge traffic for the propagation-blocked kernels.
+    assert max(dpb) / min(dpb) < 1.5
+    assert max(pb) / min(pb) < 1.5
+    # The baseline varies far more (web's locality vs urand's absence).
+    assert max(base) / min(base) > 2.5
+    # On web, the baseline itself is the most efficient strategy.
+    assert base[idx["web"]] < dpb[idx["web"]]
+    # Everywhere else DPB beats the baseline.
+    for name in idx:
+        if name != "web":
+            assert dpb[idx[name]] < base[idx[name]], name

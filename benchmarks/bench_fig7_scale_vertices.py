@@ -1,0 +1,35 @@
+"""Figure 7 — communication efficiency vs number of vertices (urand, k=16).
+
+Shapes to reproduce: three regimes as the graph grows past the cache —
+the baseline is most efficient while vertex values fit, cache blocking
+wins mid-range, and DPB's flat requests/edge curve wins for large graphs
+(the paper's 1 M - 512 M sweep, scaled to 4 K - 512 K against the scaled
+LLC; the vertex-to-cache ratios covered are the same).
+"""
+
+from repro.harness import figure7_scaling_vertices
+
+SIZES = [4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288]
+
+
+def test_fig7_scale_vertices(benchmark, report):
+    fig = benchmark.pedantic(
+        lambda: figure7_scaling_vertices(SIZES), rounds=1, iterations=1
+    )
+    report("fig7_scale_vertices", fig.render())
+
+    base = fig.series["Baseline"]
+    cb = fig.series["CB"]
+    dpb = fig.series["DPB"]
+    # Small graphs: baseline unbeatable (blocking unmerited).
+    assert base[0] < cb[0] and base[0] < dpb[0]
+    # The baseline overflows the cache and degrades steeply.
+    assert base[-1] > 4 * base[0]
+    # Mid-size: CB most efficient.
+    mid = SIZES.index(32768)
+    assert cb[mid] < base[mid] and cb[mid] < dpb[mid]
+    # CB degrades as blocks multiply with n; DPB stays flat.
+    assert cb[-1] > 1.5 * cb[mid]
+    assert max(dpb) / min(dpb) < 1.25
+    # Largest graphs: DPB provides the most scalable communication.
+    assert dpb[-1] < cb[-1] < base[-1]

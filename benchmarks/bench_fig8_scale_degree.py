@@ -1,0 +1,37 @@
+"""Figure 8 — communication efficiency vs directed degree (urand, fixed n).
+
+Shapes to reproduce: CB's requests/edge falls as density rises (more work
+amortizes each block's compulsory vertex reloads) while DPB's stays nearly
+flat, so DPB wins for sparse graphs and CB takes over past a degree
+crossover (paper: k ~ 36 at 128 M vertices; the crossover scales with the
+vertex-to-cache ratio).
+"""
+
+from repro.harness import figure8_scaling_degree
+
+DEGREES = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]
+NUM_VERTICES = 65536  # n/c = 16 against the scaled LLC
+
+
+def test_fig8_scale_degree(benchmark, report):
+    fig = benchmark.pedantic(
+        lambda: figure8_scaling_degree(DEGREES, num_vertices=NUM_VERTICES),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig8_scale_degree", fig.render())
+
+    cb = fig.series["CB"]
+    dpb = fig.series["DPB"]
+    base = fig.series["Baseline"]
+    # CB improves with density much faster than DPB moves at all.
+    assert cb[0] / cb[-1] > 2.0
+    assert dpb[0] / dpb[-1] < 1.7
+    # Sparse end: DPB clearly ahead of CB.
+    assert dpb[0] < 0.8 * cb[0]
+    # A crossover exists inside the sweep: CB ends up ahead.
+    assert cb[-1] < dpb[-1]
+    crossover = next(k for k, c, d in zip(DEGREES, cb, dpb) if c < d)
+    assert 8 <= crossover <= 48
+    # The unblocked baseline is never competitive at this size.
+    assert all(b > d for b, d in zip(base, dpb))

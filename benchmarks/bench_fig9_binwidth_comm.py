@@ -1,0 +1,33 @@
+"""Figure 9 — impact of bin width on PB's communication volume.
+
+Shapes to reproduce: once bins are small enough that a bin's sums slice
+fits in cache, communication stops improving (flat left plateau); widths
+beyond the cache blow up traffic (the sums scatters start missing); web is
+insensitive because its layout already provides the locality.
+"""
+
+from repro.harness import figure9_bin_width_communication
+
+from benchmarks.conftest import BIN_WIDTHS
+
+
+def test_fig9_binwidth_comm(benchmark, half_suite_graphs, binwidth_sweep_data, report):
+    fig = benchmark.pedantic(
+        lambda: figure9_bin_width_communication(
+            half_suite_graphs, BIN_WIDTHS, _sweep_cache=binwidth_sweep_data
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig9_binwidth_comm", fig.render())
+
+    for name, series in fig.series.items():
+        small = series[:6]  # slices comfortably inside the LLC
+        huge = series[-1]
+        if name == "web":
+            # Insensitive: high locality obviates blocking.
+            assert max(series) / min(series) < 1.6
+        else:
+            # Flat plateau once slices fit, then a clear blow-up.
+            assert max(small) / min(small) < 1.25, name
+            assert huge > 1.8 * min(small), name

@@ -1,0 +1,90 @@
+"""Section VII experiment — thread scaling and per-thread bin overheads.
+
+Two measurements:
+
+1. the modelled thread-scaling curves of baseline vs DPB (shared memory
+   bandwidth, scaling instruction throughput) — reproducing why the
+   paper's communication reductions exceed its time reductions;
+2. real wall-clock of the genuinely threaded DPB kernel (per-thread bins,
+   edge-balanced static binning, atomic-free accumulate), plus the
+   communication overhead its per-thread bin tails add.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import make_kernel, reference_pagerank
+from repro.models import SIMULATED_MACHINE
+from repro.parallel import ThreadedDPBPageRank, thread_scaling
+from repro.utils import format_series
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def test_modelled_thread_scaling(benchmark, urand_graph, report):
+    def run():
+        curves = {}
+        for method in ("baseline", "dpb"):
+            kernel = make_kernel(urand_graph, method)
+            counters = kernel.measure(1)
+            times = thread_scaling(
+                SIMULATED_MACHINE, counters, kernel.instruction_count(), THREADS
+            )
+            curves[method] = [times[t].total * 1e3 for t in THREADS]
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "parallel_scaling_model",
+        format_series(
+            "threads",
+            THREADS,
+            curves,
+            title="Modelled time (ms) vs thread count, urand",
+        ),
+    )
+    base, dpb = curves["baseline"], curves["dpb"]
+    # Baseline hits the bandwidth wall early: little gain past 4 threads.
+    assert base[0] / base[-1] < 4
+    assert base[2] / base[-1] < 1.4
+    # DPB scales much further before its (lower) wall.
+    assert dpb[0] / dpb[-1] > 2 * (base[0] / base[-1])
+    # At full machine width DPB is the faster kernel (the paper's result).
+    assert dpb[-1] < base[-1]
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_wallclock_threaded_dpb(benchmark, urand_graph, threads):
+    kernel = ThreadedDPBPageRank(urand_graph, num_threads=threads)
+    scores = benchmark(kernel.run, 1)
+    expected = reference_pagerank(urand_graph, 1)
+    np.testing.assert_allclose(scores, expected, rtol=2e-4, atol=1e-9)
+
+
+def test_per_thread_bin_overhead(benchmark, urand_graph, report):
+    def run():
+        single = make_kernel(urand_graph, "dpb")
+        rows = {1: single.measure(1).total_requests}
+        for threads in (2, 4, 8):
+            kernel = ThreadedDPBPageRank(
+                urand_graph,
+                num_threads=threads,
+                bin_width=single.layout.bin_width,
+            )
+            rows[threads] = kernel.measure(1).total_requests
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "parallel_bin_overhead",
+        format_series(
+            "threads",
+            list(rows),
+            {"total requests": list(rows.values())},
+            title="Communication cost of private per-thread bins (urand, fixed width)",
+        ),
+    )
+    # Monotone but small: the paper accepts this overhead to avoid atomics.
+    values = list(rows.values())
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[-1] < 1.2 * values[0]

@@ -1,0 +1,21 @@
+"""Table I — the evaluation graph suite.
+
+Regenerates the suite at scale and prints our (n, m, degree, symmetry)
+next to the paper's, asserting the degree targets hold after scaling.
+"""
+
+from repro.graphs import SUITE
+from repro.harness import table1
+
+
+def test_table1_suite(benchmark, suite_graphs, report):
+    result = benchmark.pedantic(lambda: table1(suite_graphs), rounds=1, iterations=1)
+    report("table1_suite", result.render())
+    # Degrees land near the paper's targets for every graph.
+    for row in result.rows:
+        name, degree, paper_degree = row[0], row[4], row[8]
+        assert 0.6 * paper_degree <= degree <= 1.5 * paper_degree, name
+    # web/webrnd share topology by construction.
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["web"][3] == by_name["webrnd"][3]
+    assert set(by_name) == set(SUITE)

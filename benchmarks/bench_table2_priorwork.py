@@ -1,0 +1,35 @@
+"""Table II — baseline vs prior-work strategies on urand.
+
+Shape to reproduce: the baseline executes the fewest instructions, reads
+the fewest lines, and is the fastest — so improvements over it are
+meaningful (paper Section VI-A: baseline > 1.5x faster than all four
+established codebases).
+"""
+
+from repro.harness import table2
+
+
+def test_table2_priorwork(benchmark, suite_graphs, report):
+    result = benchmark.pedantic(
+        lambda: table2(suite_graphs["urand"]), rounds=1, iterations=1
+    )
+    report("table2_priorwork", result.render())
+
+    base = result.measurements["baseline"]
+    for name in ("csb", "galois", "graphmat", "ligra"):
+        other = result.measurements[name]
+        assert other.reads > base.reads, name
+        assert other.instructions > 2 * base.instructions, name
+        # All prior strategies are slower; the margin under the simple
+        # bottleneck model is smaller than the paper's measured 1.5x+
+        # because the model does not couple instruction pressure to
+        # achievable memory-level parallelism.
+        assert other.seconds > 1.05 * base.seconds, name
+    assert result.measurements["ligra"].seconds > 1.5 * base.seconds
+    # Ligra is traffic-heavy but still bandwidth-bound; GraphMat is the
+    # most instruction-bound (paper's instruction-window discussion).
+    assert result.measurements["ligra"].reads > 1.5 * base.reads
+    assert (
+        result.measurements["graphmat"].instructions
+        == max(m.instructions for m in result.measurements.values())
+    )

@@ -1,0 +1,35 @@
+"""Table III — detailed baseline / PB / DPB results on all eight graphs.
+
+Shapes to reproduce (paper Table III):
+* PB and DPB cut baseline reads by ~3-5x on every low-locality graph;
+* PB's bin writes roughly equal its reads; DPB's destination reuse cuts
+  writes by ~25-30%;
+* PB/DPB execute ~4x the baseline's instructions;
+* on web (high locality) blocking does not reduce communication.
+"""
+
+from repro.graphs import LOW_LOCALITY_NAMES
+from repro.harness import table3
+
+
+def test_table3_detailed(benchmark, suite_graphs, report):
+    result = benchmark.pedantic(lambda: table3(suite_graphs), rounds=1, iterations=1)
+    report("table3_detailed", result.render())
+
+    for name in LOW_LOCALITY_NAMES:
+        base = result.measurements[f"{name}/baseline"]
+        pb = result.measurements[f"{name}/pb"]
+        dpb = result.measurements[f"{name}/dpb"]
+        # Reads collapse under blocking (paper: 2269 -> 467 M on urand).
+        assert pb.reads < 0.5 * base.reads, name
+        # DPB writes less than PB (destination index reuse).
+        assert dpb.writes < 0.85 * pb.writes, name
+        # The instruction-count price of binning (~4x).
+        assert 2.5 * base.instructions < pb.instructions < 7 * base.instructions, name
+        # Net result: both total communication and modelled time improve.
+        assert dpb.requests < base.requests, name
+        assert dpb.seconds < base.seconds, name
+
+    web_base = result.measurements["web/baseline"]
+    web_dpb = result.measurements["web/dpb"]
+    assert web_dpb.requests > 0.95 * web_base.requests  # no win on web

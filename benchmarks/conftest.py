@@ -1,0 +1,75 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures at full
+(scaled) suite size, prints the rendered result, and writes it to
+``results/<bench>.txt`` so ``pytest benchmarks/ --benchmark-only`` leaves a
+complete paper-artifact dump behind.
+
+Graphs are generated once per session and shared across bench modules; the
+suite seed is fixed so every run regenerates identical inputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graphs import load_graph, load_suite
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+SUITE_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def suite_graphs():
+    """The full scaled 8-graph suite (Table I)."""
+    return load_suite(seed=SUITE_SEED)
+
+
+@pytest.fixture(scope="session")
+def half_suite_graphs():
+    """Half-scale suite for the width sweeps (Figures 9-10)."""
+    return load_suite(seed=SUITE_SEED, scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def urand_graph():
+    return load_graph("urand", seed=SUITE_SEED)
+
+
+@pytest.fixture(scope="session")
+def suite_data(suite_graphs):
+    """All (graph x strategy) measurements, shared by Figures 4-6."""
+    from repro.harness import suite_measurements
+
+    return suite_measurements(suite_graphs)
+
+
+#: Slice widths in vertices for the Figure 9-11 sweeps: 128 B ... 1 MiB
+#: slices on the scaled machine (the paper sweeps 16 KB ... 64 MB against
+#: its 1024x larger LLC).
+BIN_WIDTHS = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
+
+
+@pytest.fixture(scope="session")
+def binwidth_sweep_data(half_suite_graphs):
+    """The shared Figure 9/10 bin-width sweep (run once per session)."""
+    from repro.harness import bin_width_sweep
+
+    return bin_width_sweep(half_suite_graphs, BIN_WIDTHS)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer that prints a rendered artifact and saves it under results/."""
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to results/{name}.txt]")
+
+    return _write

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Explore the Section V communication models and their crossovers.
+
+The paper's analytic models answer the planning question a practitioner
+actually has: *given my graph's size and degree and my machine's cache,
+which strategy will communicate least?*  This example tabulates the model
+over a grid of (vertices, degree) and marks the winner, then checks two
+grid points against the cache simulator.
+
+Run:  python examples/model_explorer.py
+"""
+
+from repro.graphs import build_csr, choose_block_width, num_blocks_for_width, uniform_random_graph
+from repro.harness import run_experiment
+from repro.models import (
+    ModelParams,
+    SIMULATED_MACHINE,
+    paper_cb_edgelist_reads,
+    paper_pb_reads,
+    paper_pb_writes,
+    paper_pull_reads,
+    pb_beats_cb_blocks,
+)
+from repro.utils import format_table
+
+
+def winner(n: int, k: float) -> tuple[str, dict[str, float]]:
+    machine = SIMULATED_MACHINE
+    p = ModelParams(n=n, k=k, b=machine.words_per_line, c=machine.cache_words)
+    width = choose_block_width(n, machine.cache_words)
+    r = num_blocks_for_width(n, width)
+    totals = {
+        "pull": paper_pull_reads(p) + p.n / p.b,
+        "cb": paper_cb_edgelist_reads(p, r) + p.n / p.b,
+        "dpb": paper_pb_reads(p) + paper_pb_writes(p),
+    }
+    return min(totals, key=totals.get), totals
+
+
+def main() -> None:
+    machine = SIMULATED_MACHINE
+    print(f"machine: {machine.name}  (c = {machine.cache_words} words, "
+          f"b = {machine.words_per_line})\n")
+
+    rows = []
+    for n in (2_048, 8_192, 32_768, 131_072, 524_288):
+        for k in (4, 16, 40):
+            best, totals = winner(n, k)
+            rows.append(
+                [n, k, round(totals["pull"] / (k * n), 3),
+                 round(totals["cb"] / (k * n), 3),
+                 round(totals["dpb"] / (k * n), 3), best.upper()]
+            )
+    print(
+        format_table(
+            ["vertices", "degree", "pull req/edge", "cb", "dpb", "winner"],
+            rows,
+            title="Section V models: predicted communication per edge",
+        )
+    )
+
+    p = ModelParams(n=131_072, k=16, b=machine.words_per_line, c=machine.cache_words)
+    print(f"\ncrossover rule: DPB beats CB once r >= 2k+2 = {pb_beats_cb_blocks(p):.0f} "
+          "blocks — i.e. for graphs sparse and large relative to the cache.\n")
+
+    # Validate two grid points against the simulator.
+    print("validating against the cache simulator:")
+    for n, k in ((8_192, 16), (131_072, 16)):
+        graph = build_csr(uniform_random_graph(n, k, seed=1))
+        measured = {
+            m: run_experiment(graph, m).gail().requests_per_edge
+            for m in ("baseline", "cb", "dpb")
+        }
+        best_measured = min(measured, key=measured.get)
+        best_model, _ = winner(n, k)
+        agree = "agrees" if best_measured.replace("baseline", "pull") == best_model else "DIFFERS"
+        print(f"  n={n:>7} k={k}: model says {best_model.upper():4s}, "
+              f"simulator says {best_measured:8s} -> {agree}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: compute PageRank and see why the method choice matters.
+
+Loads a scaled version of the paper's uniform random graph, runs PageRank
+with the automatically selected strategy, and then measures the simulated
+DRAM traffic of every strategy on the same graph — the experiment at the
+heart of the paper, in five lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import load_graph, make_kernel, pagerank, select_method
+from repro.utils import format_table
+
+
+def main() -> None:
+    # A scaled stand-in for the paper's 134 M-vertex uniform random graph
+    # (scale=0.25 keeps this example under a minute on a laptop).
+    graph = load_graph("urand", scale=0.25)
+    print(f"graph: {graph}")
+
+    # 1. Just compute PageRank.  "auto" applies the paper's runtime
+    #    heuristic: pull if the vertex values fit in cache, otherwise
+    #    DPB or CB depending on degree (Section VI-C).
+    result = pagerank(graph, tolerance=1e-6)
+    print(f"auto-selected method: {result.method} "
+          f"(heuristic said {select_method(graph)!r})")
+    print(f"converged in {result.iterations} iterations; "
+          f"top score {result.scores.max():.3e}\n")
+
+    # 2. Why that method: simulate one iteration's memory traffic under
+    #    each strategy, exactly what the paper measures with hardware
+    #    counters.
+    rows = []
+    for method in ("baseline", "cb", "pb", "dpb"):
+        kernel = make_kernel(graph, method)
+        counters = kernel.measure()
+        rows.append(
+            [
+                method,
+                counters.total_reads,
+                counters.total_writes,
+                round(counters.requests_per_edge(graph.num_edges), 3),
+            ]
+        )
+    print(
+        format_table(
+            ["method", "DRAM reads", "DRAM writes", "requests/edge"],
+            rows,
+            title="Simulated memory traffic, one PageRank iteration",
+        )
+    )
+    base, dpb = rows[0], rows[3]
+    reduction = (base[1] + base[2]) / (dpb[1] + dpb[2])
+    print(f"\npropagation blocking (DPB) moves {reduction:.1f}x fewer cache lines "
+          "than the pull baseline on this low-locality graph.")
+
+
+if __name__ == "__main__":
+    main()

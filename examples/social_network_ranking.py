@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Ranking influencers in a social network — the paper's motivating workload.
+
+Social graphs are the "stubborn" inputs the paper opens with: low diameter,
+heavy-tailed degrees, and no labelling that gives PageRank spatial
+locality.  This example builds a Twitter-like follow graph, ranks accounts,
+and shows (a) that every strategy agrees on the ranking and (b) how the
+strategies differ in communication and modelled time — including what
+happens if you try to fix the problem by relabelling instead of blocking.
+
+Run:  python examples/social_network_ranking.py
+"""
+
+import numpy as np
+
+from repro import make_kernel, pagerank
+from repro.graphs import build_csr, degree_sort_permutation, social_network_graph
+from repro.harness import run_experiment
+from repro.utils import format_table
+
+
+def main() -> None:
+    # ~60 k accounts, 24 follows each on average, celebrity-skewed.
+    graph = build_csr(social_network_graph(60_000, 24.0, seed=7))
+    print(f"follow graph: {graph}")
+
+    # Rank with the baseline and with DPB: identical output.
+    ranks_pull = pagerank(graph, method="pull", tolerance=1e-8)
+    ranks_dpb = pagerank(graph, method="dpb", tolerance=1e-8)
+    top_pull = np.argsort(ranks_pull.scores)[-5:][::-1]
+    top_dpb = np.argsort(ranks_dpb.scores)[-5:][::-1]
+    assert list(top_pull) == list(top_dpb), "strategies must agree"
+    print("\ntop influencers (vertex id, score):")
+    for v in top_pull:
+        in_deg = int(np.sum(graph.targets == v))
+        print(f"  {v:>7d}  score={ranks_pull.scores[v]:.3e}  followers={in_deg}")
+
+    # Compare strategies, plus the relabelling alternative.
+    rows = []
+    for label, g, method in [
+        ("pull baseline", graph, "baseline"),
+        ("pull + degree relabel", graph.permuted(degree_sort_permutation(graph)), "baseline"),
+        ("cache blocking", graph, "cb"),
+        ("propagation blocking (DPB)", graph, "dpb"),
+    ]:
+        m = run_experiment(g, method)
+        rows.append(
+            [label, m.reads, m.writes, round(m.gail().requests_per_edge, 3),
+             round(m.seconds * 1e3, 3)]
+        )
+    print()
+    print(
+        format_table(
+            ["strategy", "reads", "writes", "req/edge", "model time (ms)"],
+            rows,
+            title="One iteration on the follow graph",
+        )
+    )
+    print(
+        "\nDegree relabelling helps a skewed graph a little (hubs pack into\n"
+        "a few hot lines), but only blocking changes the asymptotics: DPB's\n"
+        "traffic is proportional to edges, not to vertex-array cache misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Propagation blocking beyond PageRank: generalized SpMV (paper Section IX).
+
+The paper closes by noting the technique is really about "a sparse
+all-to-all transfer": any SpMV whose output vector misses cache can bin
+its products by destination range.  This example builds a weighted,
+non-square sparse matrix (think: a document-term matrix scoring query
+relevance), verifies both strategies produce the same product, and
+measures the communication difference.
+
+Run:  python examples/spmv_blocking.py
+"""
+
+import numpy as np
+
+from repro.kernels import SparseMatrix, spmv, spmv_trace
+from repro.memsim import FullyAssociativeLRU, simulate
+from repro.models import SIMULATED_MACHINE
+from repro.utils import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    num_docs, num_terms, nnz = 100_000, 40_000, 1_500_000
+    matrix = SparseMatrix.from_coo(
+        num_docs,
+        num_terms,
+        rng.integers(0, num_docs, size=nnz),
+        rng.integers(0, num_terms, size=nnz),
+        rng.exponential(size=nnz).astype(np.float32),  # tf-idf-ish weights
+    )
+    query = rng.random(num_terms).astype(np.float32)
+    print(f"matrix: {matrix} (weighted, non-square)")
+
+    # Same product either way.
+    scores_row = spmv(matrix, query, method="row")
+    scores_pb = spmv(matrix, query, method="pb", bin_width=2048)
+    np.testing.assert_allclose(scores_pb, scores_row, rtol=2e-3, atol=1e-4)
+    top = np.argsort(scores_row)[-3:][::-1]
+    print(f"top documents: {list(top)}  (identical under both methods)\n")
+
+    # Communication: the row-major gather of x misses constantly once the
+    # vectors outgrow the cache; PB streams everything.
+    rows = []
+    for method in ("row", "pb"):
+        counters = simulate(
+            spmv_trace(matrix, method=method, bin_width=2048),
+            FullyAssociativeLRU(SIMULATED_MACHINE.llc),
+        )
+        rows.append([method, counters.total_reads, counters.total_writes,
+                     counters.total_requests])
+    print(
+        format_table(
+            ["method", "reads", "writes", "requests"],
+            rows,
+            title="Simulated cache-line traffic for one y = A @ x",
+        )
+    )
+    print(
+        f"\npropagation blocking moves {rows[0][3] / rows[1][3]:.1f}x fewer lines.\n"
+        "The weights ride along with the adjacencies during binning — the\n"
+        "exact extension Section IX describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

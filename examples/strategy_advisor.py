@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The runtime strategy decision, end to end (paper Section VI-C).
+
+"Fortunately, those topological parameters are easy to access and the
+decision to use DPB or CB could be made dynamically at runtime."  This
+example plays the role of that runtime: profile several very different
+graphs with `describe` (cheap parameters + a sampled locality estimate),
+take its recommendation, and then check it against the ground truth by
+measuring *every* strategy.  Finally it shows the delta-PageRank frontier
+telemetry that motivates the partial-activity machinery.
+
+Run:  python examples/strategy_advisor.py
+"""
+
+from repro.graphs import build_csr, load_graph, uniform_random_graph
+from repro.graphs.analysis import describe
+from repro.harness import run_experiment
+from repro.kernels.delta import pagerank_delta
+from repro.utils import format_table
+
+
+def main() -> None:
+    candidates = {
+        "urand (large, sparse)": load_graph("urand", scale=0.5),
+        "web (crawl-ordered)": load_graph("web", scale=0.5),
+        "small (cache-resident)": build_csr(uniform_random_graph(2048, 16, seed=3)),
+        "dense random": build_csr(uniform_random_graph(16384, 44, seed=4)),
+    }
+
+    rows = []
+    correct = 0
+    for name, graph in candidates.items():
+        profile = describe(graph)
+        measured = {
+            method: run_experiment(graph, method).requests
+            for method in ("baseline", "cb", "dpb")
+        }
+        best = min(measured, key=measured.get)
+        recommendation = profile.recommended_method
+        hit = measured[recommendation] <= 1.10 * measured[best]
+        correct += hit
+        rows.append(
+            [
+                name,
+                round(profile.vertex_to_cache_ratio, 1),
+                round(profile.average_degree, 1),
+                round(profile.estimated_gather_hit_rate, 2),
+                recommendation,
+                best,
+                "yes" if hit else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "n/c", "degree", "est. hit rate", "advised", "best", "within 10%"],
+            rows,
+            title="Runtime strategy advice vs measured ground truth",
+        )
+    )
+    print(f"\nadvice within 10% of optimal on {correct}/{len(candidates)} graphs\n")
+
+    # Frontier telemetry: why partial activity matters late in convergence.
+    urand = candidates["urand (large, sparse)"]
+    result = pagerank_delta(urand, tolerance=1e-8)
+    print("PageRank-Delta on urand: frontier size by round")
+    marks = [0, len(result.rounds) // 2, len(result.rounds) - 1]
+    for i in marks:
+        r = result.rounds[i]
+        share = 100 * r.frontier_size / urand.num_vertices
+        print(f"  round {r.round_index:>3}: {r.frontier_size:>7} vertices "
+              f"({share:5.1f}%), {r.active_edges:>8} propagations")
+    print(
+        f"\ntotal propagations {result.total_active_edges:,} vs "
+        f"{result.num_rounds * urand.num_edges:,} for full rounds — the saved\n"
+        "work is exactly what propagation blocking keeps cheap when frontiers\n"
+        "shrink (Section IX)."
+    )
+
+
+if __name__ == "__main__":
+    main()

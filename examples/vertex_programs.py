@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Vertex-centric algorithms on the GBSP model (paper Section IX).
+
+Propagation blocking was conceived inside a BSP graph DSL, and the paper
+claims it applies to "many vertex-centric programming models that operate
+in the push direction".  This example runs three algorithms — PageRank,
+connected components, and BFS — through the GBSP engine, and measures how
+the propagation-blocked message-delivery backend compares to naive push
+as the BFS frontier grows and shrinks.
+
+Run:  python examples/vertex_programs.py
+"""
+
+import numpy as np
+
+from repro.gbsp import (
+    bfs_levels,
+    connected_components,
+    pagerank_program,
+    run_superstep,
+    superstep_traffic,
+)
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.utils import format_table
+
+
+def main() -> None:
+    graph = build_csr(uniform_random_graph(65_536, 8, seed=13))
+    print(f"graph: {graph}\n")
+
+    # --- PageRank as a vertex program: identical to the kernels ---
+    program = pagerank_program(graph)
+    values = program.initial(graph.num_vertices)
+    everyone = np.ones(graph.num_vertices, dtype=bool)
+    for _ in range(3):
+        values, _ = run_superstep(graph, program, values, everyone, backend="pb")
+    kernel_scores = make_kernel(graph, "dpb").run(3)
+    drift = np.abs(values - kernel_scores).max()
+    print(f"PageRank via GBSP vs DPB kernel: max |delta| = {drift:.2e}")
+
+    # --- Connected components and BFS, both backends agree ---
+    labels = connected_components(graph, backend="pb")
+    print(f"connected components: {len(set(labels.tolist()))}")
+    levels = bfs_levels(graph, 0, backend="pb")
+    reachable = int(np.isfinite(levels).sum())
+    print(f"BFS from 0: reached {reachable} vertices, "
+          f"eccentricity {int(levels[np.isfinite(levels)].max())}\n")
+
+    # --- Message-delivery traffic per BFS superstep ---
+    # Reconstruct each superstep's frontier from the levels and measure
+    # what each backend would move.
+    rows = []
+    max_level = int(levels[np.isfinite(levels)].max())
+    for level in range(min(max_level, 6) + 1):
+        frontier = np.isfinite(levels) & (levels == level)
+        push = superstep_traffic(graph, frontier, backend="push")
+        pb = superstep_traffic(graph, frontier, backend="pb")
+        rows.append(
+            [
+                level,
+                int(frontier.sum()),
+                push.total_requests,
+                pb.total_requests,
+                round(push.total_requests / max(pb.total_requests, 1), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["superstep", "frontier size", "push requests", "pb requests", "push/pb"],
+            rows,
+            title="BFS message-delivery traffic per superstep",
+        )
+    )
+    print(
+        "\nOn the big mid-expansion frontiers the binned backend moves several\n"
+        "times fewer lines; on tiny frontiers both are cheap (and PB's fixed\n"
+        "bin bookkeeping shows) — the trade-off Section IX describes for\n"
+        "frontier-based algorithms."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Web-crawl ranking and the web/webrnd experiment (locality's whole story).
+
+The paper's most instructive pair of inputs is webbase-2001 under two
+labellings: crawl order (high locality) and a random shuffle (none).  The
+topology — and therefore PageRank itself — is identical; only the memory
+behaviour changes.  This example reproduces that contrast and shows when
+blocking is the wrong tool: on the well-labelled graph the pull baseline
+is already communication-optimal, and the paper's runtime heuristic
+(`select_method`) must be read together with the layout.
+
+Run:  python examples/web_ranking_locality.py
+"""
+
+from repro import load_graph, make_kernel
+from repro.graphs import average_neighbor_distance, bandwidth_profile
+from repro.harness import run_experiment
+from repro.utils import format_table
+
+
+def main() -> None:
+    web = load_graph("web", scale=0.5)
+    webrnd = load_graph("webrnd", scale=0.5)
+    print(f"web:    {web}")
+    print(f"webrnd: {webrnd}  (same topology, labels shuffled)\n")
+
+    # Quantify what the labelling did.
+    rows = []
+    for name, g in (("web", web), ("webrnd", webrnd)):
+        profile = bandwidth_profile(g)
+        rows.append(
+            [
+                name,
+                round(profile["mean_distance"], 1),
+                round(100 * profile["within_line_fraction"], 1),
+                round(average_neighbor_distance(g), 1),
+            ]
+        )
+    print(
+        format_table(
+            ["layout", "mean |u-v|", "% edges within a line", "neighbor gap"],
+            rows,
+            title="Layout locality metrics",
+        )
+    )
+
+    # Now the memory consequences, per strategy.
+    rows = []
+    for name, g in (("web", web), ("webrnd", webrnd)):
+        for method in ("baseline", "dpb"):
+            m = run_experiment(g, method, graph_name=name)
+            rows.append(
+                [name, method, m.reads, m.writes,
+                 round(m.counters.vertex_read_fraction() * 100, 1),
+                 round(m.gail().requests_per_edge, 3)]
+            )
+    print()
+    print(
+        format_table(
+            ["layout", "method", "reads", "writes", "vertex traffic %", "req/edge"],
+            rows,
+            title="One PageRank iteration",
+        )
+    )
+
+    base_web = make_kernel(web, "baseline").measure()
+    base_rnd = make_kernel(webrnd, "baseline").measure()
+    dpb_rnd = make_kernel(webrnd, "dpb").measure()
+    print(
+        f"\nthe random relabelling multiplies baseline traffic by "
+        f"{base_rnd.total_requests / base_web.total_requests:.1f}x; "
+        f"DPB claws back {base_rnd.total_requests / dpb_rnd.total_requests:.1f}x of it.\n"
+        "On the crawl-ordered layout, blocking only adds bin traffic: use the\n"
+        "baseline when (and only when) your labelling is this good."
+    )
+
+
+if __name__ == "__main__":
+    main()

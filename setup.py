@@ -1,0 +1,9 @@
+"""Shim for editable installs on environments without the wheel package.
+
+All metadata lives in pyproject.toml; the explicit entry_points below
+mirror [project.scripts] for older setuptools whose pyproject support is
+incomplete.
+"""
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["repro-pb = repro.cli:main"]})

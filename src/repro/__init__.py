@@ -1,0 +1,53 @@
+"""repro — reproduction of *Reducing PageRank Communication via Propagation
+Blocking* (Beamer, Asanović, Patterson; IPDPS 2017).
+
+Quick start::
+
+    from repro import load_graph, pagerank
+    graph = load_graph("urand", scale=0.25)
+    result = pagerank(graph)          # auto-selects pull / CB / DPB
+    print(result.method, result.iterations)
+
+Measuring communication the way the paper does::
+
+    from repro import make_kernel
+    kernel = make_kernel(graph, "dpb")
+    counters = kernel.measure()       # simulated DRAM line transfers
+    print(counters.total_reads, counters.total_writes)
+
+Subpackages: :mod:`repro.graphs` (graph substrate), :mod:`repro.memsim`
+(cache simulator), :mod:`repro.kernels` (all PageRank strategies + SpMV),
+:mod:`repro.models` (Section V analytics, time model), :mod:`repro.harness`
+(table/figure regeneration).
+"""
+
+from repro.graphs import CSRGraph, EdgeList, build_csr, load_graph, load_suite
+from repro.kernels import (
+    PageRankResult,
+    SparseMatrix,
+    make_kernel,
+    pagerank,
+    select_method,
+    spmv,
+)
+from repro.models import IVY_BRIDGE_SERVER, SIMULATED_MACHINE, MachineSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "build_csr",
+    "load_graph",
+    "load_suite",
+    "PageRankResult",
+    "SparseMatrix",
+    "make_kernel",
+    "pagerank",
+    "select_method",
+    "spmv",
+    "IVY_BRIDGE_SERVER",
+    "SIMULATED_MACHINE",
+    "MachineSpec",
+    "__version__",
+]

@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-pb``.
+
+A thin front end over the library for the common workflows:
+
+* ``repro-pb suite`` — regenerate Table I (the scaled graph suite);
+* ``repro-pb pagerank --graph urand --method auto`` — compute PageRank;
+* ``repro-pb measure --graph urand --method dpb`` — simulate one
+  iteration's DRAM traffic and modelled time;
+* ``repro-pb compare --graph urand`` — all four strategies side by side;
+* ``repro-pb model --vertices 131072 --degree 16`` — query the Section V
+  analytic models for a planned workload.
+
+Every subcommand prints an aligned text table to stdout.  The CLI only
+*reads* graphs it generates itself (deterministic under ``--seed``), so
+it is safe to run anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.graphs import SUITE_NAMES, load_graph, load_suite
+from repro.graphs.partition import choose_block_width, num_blocks_for_width
+from repro.harness import run_experiment, table1
+from repro.kernels import KERNELS, pagerank
+from repro.models import (
+    ModelParams,
+    SIMULATED_MACHINE,
+    paper_cb_edgelist_reads,
+    paper_pb_reads,
+    paper_pb_writes,
+    paper_pull_reads,
+)
+from repro.utils import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pb",
+        description=(
+            "Propagation-blocking PageRank reproduction "
+            "(Beamer, Asanović, Patterson — IPDPS 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suite = sub.add_parser("suite", help="regenerate the Table I graph suite")
+    p_suite.add_argument("--scale", type=float, default=1.0)
+    p_suite.add_argument("--seed", type=int, default=42)
+
+    def add_graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--graph", choices=SUITE_NAMES, default="urand")
+        p.add_argument("--scale", type=float, default=0.25)
+        p.add_argument("--seed", type=int, default=42)
+
+    p_pr = sub.add_parser("pagerank", help="compute PageRank on a suite graph")
+    add_graph_args(p_pr)
+    p_pr.add_argument("--method", choices=[*sorted(KERNELS), "auto"], default="auto")
+    p_pr.add_argument("--tolerance", type=float, default=1e-6)
+    p_pr.add_argument("--max-iterations", type=int, default=100)
+    p_pr.add_argument("--top", type=int, default=5, help="print the top-N vertices")
+
+    p_measure = sub.add_parser(
+        "measure", help="simulate one iteration's memory traffic"
+    )
+    add_graph_args(p_measure)
+    p_measure.add_argument(
+        "--method", choices=sorted(KERNELS), default="dpb"
+    )
+
+    p_compare = sub.add_parser("compare", help="all strategies on one graph")
+    add_graph_args(p_compare)
+
+    p_model = sub.add_parser("model", help="query the Section V analytic models")
+    p_model.add_argument("--vertices", type=int, required=True)
+    p_model.add_argument("--degree", type=float, required=True)
+
+    p_describe = sub.add_parser(
+        "describe", help="characterize a graph and recommend a strategy"
+    )
+    add_graph_args(p_describe)
+
+    return parser
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    graphs = load_suite(scale=args.scale, seed=args.seed)
+    print(table1(graphs).render())
+    return 0
+
+
+def _cmd_pagerank(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    result = pagerank(
+        graph,
+        method=args.method,
+        tolerance=args.tolerance,
+        max_iterations=args.max_iterations,
+    )
+    status = "converged" if result.converged else "iteration cap reached"
+    print(
+        f"{args.graph}: n={graph.num_vertices} m={graph.num_edges} "
+        f"method={result.method} iterations={result.iterations} ({status})"
+    )
+    top = np.argsort(result.scores)[::-1][: max(args.top, 0)]
+    rows = [[int(v), float(result.scores[v])] for v in top]
+    print(format_table(["vertex", "score"], rows, title=f"top {len(rows)} vertices"))
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    m = run_experiment(graph, args.method, graph_name=args.graph)
+    rows = [
+        ["DRAM reads (lines)", m.reads],
+        ["DRAM writes (lines)", m.writes],
+        ["requests / edge", round(m.gail().requests_per_edge, 4)],
+        ["instructions (M)", round(m.instructions / 1e6, 2)],
+        ["modelled time (ms)", round(m.seconds * 1e3, 4)],
+        ["bottleneck", m.time.bottleneck],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.method} on {args.graph} (one iteration, simulated)",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    rows = []
+    baseline = None
+    for method in ("baseline", "cb", "pb", "dpb"):
+        m = run_experiment(graph, method, graph_name=args.graph)
+        if baseline is None:
+            baseline = m
+        rows.append(
+            [
+                method,
+                m.reads,
+                m.writes,
+                round(m.gail().requests_per_edge, 3),
+                round(m.communication_reduction_over(baseline), 2),
+                round(m.speedup_over(baseline), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["method", "reads", "writes", "req/edge", "comm reduction", "speedup"],
+            rows,
+            title=f"strategy comparison on {args.graph} "
+            f"(n={graph.num_vertices}, m={graph.num_edges})",
+        )
+    )
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    machine = SIMULATED_MACHINE
+    p = ModelParams(
+        n=args.vertices,
+        k=args.degree,
+        b=machine.words_per_line,
+        c=machine.cache_words,
+    )
+    width = choose_block_width(args.vertices, machine.cache_words)
+    r = num_blocks_for_width(args.vertices, width)
+    m = p.m
+    rows = [
+        ["pull", round((paper_pull_reads(p) + p.n / p.b) / m, 4)],
+        ["cb (edge list)", round((paper_cb_edgelist_reads(p, r) + p.n / p.b) / m, 4)],
+        ["dpb", round((paper_pb_reads(p) + paper_pb_writes(p)) / m, 4)],
+    ]
+    print(
+        format_table(
+            ["strategy", "modelled requests/edge"],
+            rows,
+            title=(
+                f"Section V models: n={args.vertices}, k={args.degree}, "
+                f"b={p.b}, c={p.c}, r={r}"
+            ),
+        )
+    )
+    best = min(rows, key=lambda row: row[1])
+    print(f"\npredicted winner: {best[0]}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.graphs.analysis import describe
+
+    graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    profile = describe(graph)
+    rows = [
+        ["vertices", profile.num_vertices],
+        ["edges", profile.num_edges],
+        ["avg directed degree", round(profile.average_degree, 2)],
+        ["max out-degree", profile.max_out_degree],
+        ["degree skew (max/mean)", round(profile.degree_skew, 1)],
+        ["vertices / cache words (n/c)", round(profile.vertex_to_cache_ratio, 2)],
+        ["mean label distance", round(profile.mean_label_distance, 1)],
+        ["estimated gather hit rate", round(profile.estimated_gather_hit_rate, 3)],
+        ["low locality?", "yes" if profile.is_low_locality() else "no"],
+        ["recommended method", profile.recommended_method],
+    ]
+    print(format_table(["property", "value"], rows, title=f"profile of {args.graph}"))
+    return 0
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "pagerank": _cmd_pagerank,
+    "measure": _cmd_measure,
+    "compare": _cmd_compare,
+    "model": _cmd_model,
+    "describe": _cmd_describe,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

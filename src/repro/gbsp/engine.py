@@ -1,0 +1,210 @@
+"""The GBSP superstep engine: push vs propagation-blocked message delivery.
+
+One superstep:
+
+1. every *active* vertex produces one message (``program.scatter``);
+2. the message is delivered along each of its out-edges and combined into
+   a per-destination accumulator (``program.combine``);
+3. every vertex folds its accumulator into its state (``program.apply``);
+4. vertices whose state changed form the next frontier.
+
+Delivery backends:
+
+* ``"push"`` — ``ufunc.at`` scatter into the accumulator: one low-locality
+  read-modify-write per message;
+* ``"pb"`` — propagation blocking: messages are routed through the graph's
+  deterministic bin layout, then each destination-range slice is combined
+  with a segmented ``ufunc.reduceat`` — sequential passes over sorted
+  message arrays, the executable mirror of Algorithm 3.
+
+Both deliver the same multiset of messages per destination, so for any
+commutative, associative combiner the results are identical.
+:func:`superstep_traffic` exposes the memory-traffic difference, reusing
+the Section IX partial-propagation traces (a superstep *is* a partial
+propagation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.gbsp.program import VertexProgram
+from repro.kernels.bins import BinLayout, default_bin_width
+from repro.kernels.partial import partial_trace
+from repro.memsim.cache import FullyAssociativeLRU, simulate
+from repro.memsim.counters import MemCounters
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+
+__all__ = ["run_superstep", "run_until_quiescent", "superstep_traffic"]
+
+
+class _PBDelivery:
+    """Cached propagation-blocked delivery state for one graph.
+
+    The deterministic layout orders edges by destination bin (stable, so
+    source order within a bin); within each bin the accumulate pass sorts
+    by destination once (cached) so ``reduceat`` can combine each
+    destination's messages segment by segment.
+    """
+
+    def __init__(self, graph: CSRGraph, bin_width: int) -> None:
+        self.layout = BinLayout(graph, bin_width)
+        order = self.layout.order
+        # Secondary sort: within the bin-major order, sort by destination.
+        dst = self.layout.sorted_dst
+        by_dst = np.argsort(dst, kind="stable")
+        self.delivery_order = order[by_dst]  # edge slot -> delivery position
+        self.sorted_dst = dst[by_dst]
+        # Segment starts: first position of each distinct destination.
+        if self.sorted_dst.size:
+            boundary = np.empty(self.sorted_dst.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(self.sorted_dst[1:], self.sorted_dst[:-1], out=boundary[1:])
+            self.segment_starts = np.flatnonzero(boundary)
+            self.segment_dst = self.sorted_dst[self.segment_starts]
+        else:
+            self.segment_starts = np.empty(0, dtype=np.int64)
+            self.segment_dst = np.empty(0, dtype=np.int32)
+
+
+_DELIVERY_CACHE: dict[int, _PBDelivery] = {}
+
+
+def _pb_delivery(graph: CSRGraph, machine: MachineSpec) -> _PBDelivery:
+    key = id(graph)
+    delivery = _DELIVERY_CACHE.get(key)
+    if delivery is None or delivery.layout.graph is not graph:
+        width = min(default_bin_width(machine), _pow2_at_least(graph.num_vertices))
+        delivery = _PBDelivery(graph, width)
+        _DELIVERY_CACHE[key] = delivery
+    return delivery
+
+
+def run_superstep(
+    graph: CSRGraph,
+    program: VertexProgram,
+    values: np.ndarray,
+    active: np.ndarray,
+    *,
+    backend: str = "pb",
+    machine: MachineSpec = SIMULATED_MACHINE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Execute one superstep; returns ``(new_values, new_frontier)``."""
+    if backend not in ("push", "pb"):
+        raise ValueError(f"backend must be 'push' or 'pb', got {backend!r}")
+    n = graph.num_vertices
+    active = np.asarray(active, dtype=bool)
+    if active.shape != (n,):
+        raise ValueError(f"active mask must have shape ({n},)")
+    values = np.asarray(values, dtype=np.float64)
+
+    messages = np.asarray(program.scatter(values), dtype=np.float64)
+    if messages.shape != (n,):
+        raise ValueError("scatter must return one message per vertex")
+
+    sources = graph.edge_sources()
+    edge_live = active[sources]
+    combiner = program.combiner
+    identity = program.identity
+    accumulator = np.full(n, identity, dtype=np.float64)
+    received = np.zeros(n, dtype=bool)
+
+    if program.edge_op is not None and graph.weights is None:
+        raise ValueError(f"edge_op {program.edge_op!r} requires edge weights")
+
+    def apply_edge_op(msg: np.ndarray, edge_slots: np.ndarray) -> np.ndarray:
+        """Transform messages with the weights of the edges they cross."""
+        if program.edge_op is None:
+            return msg
+        weights = graph.weights[edge_slots].astype(np.float64)
+        return msg + weights if program.edge_op == "add" else msg * weights
+
+    if backend == "push":
+        live_slots = np.flatnonzero(edge_live)
+        live_dst = graph.targets[edge_live]
+        live_msg = apply_edge_op(messages[sources[edge_live]], live_slots)
+        combiner.at(accumulator, live_dst, live_msg)
+        received[live_dst] = True
+    else:
+        delivery = _pb_delivery(graph, machine)
+        order = delivery.delivery_order
+        ordered_live = edge_live[order]
+        if ordered_live.any():
+            live_slots = order[ordered_live]
+            ordered_msg = apply_edge_op(messages[sources[live_slots]], live_slots)
+            ordered_dst = delivery.sorted_dst[ordered_live]
+            # Per-destination segments within the live subsequence.
+            boundary = np.empty(ordered_dst.size, dtype=bool)
+            boundary[0] = True
+            np.not_equal(ordered_dst[1:], ordered_dst[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
+            segment_dst = ordered_dst[starts]
+            combined = combiner.reduceat(ordered_msg, starts)
+            accumulator[segment_dst] = combiner(accumulator[segment_dst], combined)
+            received[segment_dst] = True
+
+    new_values = np.asarray(
+        program.apply(values, accumulator, received), dtype=np.float64
+    )
+    if new_values.shape != (n,):
+        raise ValueError("apply must return one value per vertex")
+    new_frontier = new_values != values
+    return new_values, new_frontier
+
+
+def run_until_quiescent(
+    graph: CSRGraph,
+    program: VertexProgram,
+    *,
+    backend: str = "pb",
+    initial_frontier: np.ndarray | None = None,
+    max_supersteps: int = 10_000,
+    machine: MachineSpec = SIMULATED_MACHINE,
+) -> tuple[np.ndarray, int]:
+    """Run supersteps until the frontier empties (or the cap is hit).
+
+    Returns ``(values, supersteps_executed)``.
+    """
+    n = graph.num_vertices
+    values = np.asarray(program.initial(n), dtype=np.float64)
+    frontier = (
+        np.ones(n, dtype=bool)
+        if initial_frontier is None
+        else np.asarray(initial_frontier, dtype=bool)
+    )
+    steps = 0
+    while frontier.any() and steps < max_supersteps:
+        values, frontier = run_superstep(
+            graph, program, values, frontier, backend=backend, machine=machine
+        )
+        steps += 1
+    return values, steps
+
+
+def superstep_traffic(
+    graph: CSRGraph,
+    active: np.ndarray,
+    *,
+    backend: str = "pb",
+    machine: MachineSpec = SIMULATED_MACHINE,
+) -> MemCounters:
+    """Simulated DRAM traffic of one superstep's message delivery.
+
+    A superstep with frontier ``active`` moves exactly the data of a
+    partial propagation, so the Section IX traces apply: the ``push``
+    backend is an unblocked scatter, ``pb`` is binned delivery.
+    """
+    if backend not in ("push", "pb"):
+        raise ValueError(f"backend must be 'push' or 'pb', got {backend!r}")
+    return simulate(
+        partial_trace(graph, active, backend, machine),
+        FullyAssociativeLRU(machine.llc),
+    )
+
+
+def _pow2_at_least(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power

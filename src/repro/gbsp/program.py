@@ -1,0 +1,79 @@
+"""Vertex-program definition for the GBSP model.
+
+A :class:`VertexProgram` is the user-visible contract: three vectorized
+callbacks plus a combiner.  All callbacks receive and return whole NumPy
+arrays (one slot per vertex), keeping the model efficient in pure Python —
+the BSP superstep structure, not per-vertex callbacks, is the abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["VertexProgram", "COMBINERS"]
+
+#: Supported commutative/associative combiners and their identities.
+COMBINERS: dict[str, tuple[np.ufunc, float]] = {
+    "add": (np.add, 0.0),
+    "min": (np.minimum, np.inf),
+    "max": (np.maximum, -np.inf),
+}
+
+
+@dataclass(frozen=True)
+class VertexProgram:
+    """One vertex-centric algorithm.
+
+    Parameters
+    ----------
+    scatter:
+        ``scatter(values) -> messages``: the message each vertex sends
+        along all of its out-edges this superstep (vectorized over the
+        full value array; only active vertices' messages are delivered).
+    combine:
+        Name of the message combiner: ``"add"``, ``"min"`` or ``"max"``.
+    apply:
+        ``apply(values, accumulated, received_mask) -> new_values``:
+        folds the combined messages into the vertex state.  Entries of
+        ``accumulated`` where ``received_mask`` is False hold the
+        combiner's identity.
+    initial:
+        ``initial(num_vertices) -> values``: the superstep-0 state.
+    edge_op:
+        Optional per-edge transform applied to the message as it crosses
+        an edge: ``"add"`` delivers ``message + weight`` (shortest paths),
+        ``"mul"`` delivers ``message * weight`` (weighted propagation).
+        Requires the graph to carry edge weights.  ``None`` delivers the
+        vertex message unchanged (the paper's unweighted case; Section IX
+        notes weights "can be read in lockstep with the adjacencies").
+    name:
+        Label for reports.
+    """
+
+    scatter: Callable[[np.ndarray], np.ndarray]
+    combine: str
+    apply: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+    initial: Callable[[int], np.ndarray]
+    edge_op: str | None = None
+    name: str = "vertex-program"
+
+    def __post_init__(self) -> None:
+        if self.combine not in COMBINERS:
+            raise ValueError(
+                f"combine must be one of {sorted(COMBINERS)}, got {self.combine!r}"
+            )
+        if self.edge_op not in (None, "add", "mul"):
+            raise ValueError(
+                f"edge_op must be None, 'add' or 'mul', got {self.edge_op!r}"
+            )
+
+    @property
+    def combiner(self) -> np.ufunc:
+        return COMBINERS[self.combine][0]
+
+    @property
+    def identity(self) -> float:
+        return COMBINERS[self.combine][1]

@@ -1,0 +1,174 @@
+"""Compressed-sparse-row (CSR) graph representation.
+
+This is the in-memory format every kernel consumes, matching the GAP
+Benchmark Suite layout the paper builds on: an *offsets* array of
+``num_vertices + 1`` edge positions and a *targets* array of neighbor ids
+stored consecutively per vertex.  Offsets are 64-bit (the paper counts each
+CSR index pointer as two 32-bit words for exactly this reason, Section V)
+and targets are 32-bit.
+
+A :class:`CSRGraph` stores the *outgoing* adjacency.  Pull-direction kernels
+need incoming adjacency, obtained via :meth:`CSRGraph.transposed` (cached,
+since the paper notes pull "requires the transpose graph if the graph is
+directed", Section II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.edgelist import VERTEX_DTYPE, EdgeList
+
+__all__ = ["CSRGraph"]
+
+OFFSET_DTYPE = np.int64
+
+
+class CSRGraph:
+    """Directed graph in CSR form (out-adjacency).
+
+    Parameters
+    ----------
+    offsets:
+        ``int64`` array of length ``n + 1``; neighbors of vertex ``u`` are
+        ``targets[offsets[u]:offsets[u+1]]``.
+    targets:
+        ``int32`` array of neighbor ids, length ``m``.
+    weights:
+        Optional ``float32`` array parallel to ``targets`` (generalized
+        SpMV only).
+    symmetric:
+        Declares the graph symmetric (every edge present in both
+        directions); enables the transpose to alias the graph itself.
+    """
+
+    __slots__ = ("offsets", "targets", "weights", "symmetric", "_transpose")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+        symmetric: bool = False,
+    ) -> None:
+        offsets = np.ascontiguousarray(offsets, dtype=OFFSET_DTYPE)
+        targets = np.ascontiguousarray(targets, dtype=VERTEX_DTYPE)
+        if offsets.ndim != 1 or offsets.size < 1:
+            raise ValueError("offsets must be a 1-D array of length >= 1")
+        if offsets[0] != 0:
+            raise ValueError(f"offsets[0] must be 0, got {offsets[0]}")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offsets[-1] != targets.size:
+            raise ValueError(
+                f"offsets[-1] ({offsets[-1]}) must equal len(targets) ({targets.size})"
+            )
+        n = offsets.size - 1
+        if targets.size and (targets.min() < 0 or targets.max() >= n):
+            raise ValueError(f"target ids must be in [0, {n})")
+        self.offsets = offsets
+        self.targets = targets
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=np.float32)
+            if weights.shape != targets.shape:
+                raise ValueError("weights must parallel targets")
+        self.weights = weights
+        self.symmetric = bool(symmetric)
+        self._transpose: "CSRGraph | None" = self if symmetric else None
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *directed* edges ``m`` (each symmetric edge counts twice)."""
+        return int(self.targets.size)
+
+    @property
+    def average_degree(self) -> float:
+        """Average directed degree ``k = m / n`` — the paper's sparsity metric."""
+        return self.num_edges / max(self.num_vertices, 1)
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether an edge-weight array is attached."""
+        return self.weights is not None
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an ``int64`` array of length ``n``."""
+        return np.diff(self.offsets)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """View of the out-neighbors of vertex ``u``."""
+        return self.targets[self.offsets[u] : self.offsets[u + 1]]
+
+    def edge_weights(self, u: int) -> np.ndarray:
+        """View of the weights of ``u``'s out-edges (weighted graphs only)."""
+        if self.weights is None:
+            raise ValueError("graph is unweighted")
+        return self.weights[self.offsets[u] : self.offsets[u + 1]]
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def edge_sources(self) -> np.ndarray:
+        """Source id of every edge, expanded from offsets (``int32``, length m)."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.out_degrees()
+        )
+
+    def to_edge_list(self) -> EdgeList:
+        """Expand back to an :class:`EdgeList` (CSR traversal order)."""
+        return EdgeList(self.num_vertices, self.edge_sources(), self.targets, self.weights)
+
+    def transposed(self) -> "CSRGraph":
+        """The transpose graph (in-adjacency), computed once and cached.
+
+        For a graph declared ``symmetric`` this is the graph itself — the
+        same aliasing the GAP benchmark uses, which is why the paper's
+        symmetric inputs need no separate transpose storage.
+        """
+        if self._transpose is None:
+            self._transpose = _transpose_csr(self)
+            self._transpose._transpose = self
+        return self._transpose
+
+    def permuted(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel vertices by ``perm`` and rebuild CSR in the new id order."""
+        from repro.graphs.builder import build_csr  # local import: avoid cycle
+
+        return build_csr(
+            self.to_edge_list().permuted(perm),
+            symmetric=self.symmetric,
+            dedup=False,
+            sort_neighbors=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if self.symmetric:
+            flags.append("symmetric")
+        if self.is_weighted:
+            flags.append("weighted")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"k={self.average_degree:.1f}){suffix}"
+        )
+
+
+def _transpose_csr(graph: CSRGraph) -> CSRGraph:
+    """Build the transpose with a counting sort over destinations (O(n + m))."""
+    n = graph.num_vertices
+    counts = np.bincount(graph.targets, minlength=n)
+    offsets = np.zeros(n + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(counts, out=offsets[1:])
+    order = np.argsort(graph.targets, kind="stable")
+    targets = graph.edge_sources()[order]
+    weights = None if graph.weights is None else graph.weights[order]
+    return CSRGraph(offsets, targets, weights=weights, symmetric=False)

@@ -1,0 +1,125 @@
+"""Edge-list graph representation.
+
+An :class:`EdgeList` is the raw, order-preserving form of a graph: two
+parallel arrays of source and destination vertex ids (``int32``, matching
+the paper's 32-bit vertex identifiers) plus an optional parallel weight
+array for the generalized-SpMV extension (paper Section IX).
+
+Edge lists appear in three roles in this library:
+
+1. as the input format to the CSR builder (:mod:`repro.graphs.builder`);
+2. as the *block* storage format for 1-D cache blocking — the paper's CB
+   implementation stores each destination-range block as an edge list
+   rather than CSR when the graph is sparse (Section III / V-A);
+3. as the unit of exchange for generators and relabelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["EdgeList"]
+
+VERTEX_DTYPE = np.int32
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """Immutable list of directed edges ``src[i] -> dst[i]``.
+
+    Attributes
+    ----------
+    num_vertices:
+        Number of vertices ``n``; all ids must lie in ``[0, n)``.
+    src, dst:
+        Parallel ``int32`` arrays of endpoints.
+    weights:
+        Optional parallel ``float32`` array (generalized SpMV only);
+        ``None`` for the unweighted graphs used by PageRank.
+    """
+
+    num_vertices: int
+    src: np.ndarray
+    dst: np.ndarray
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative("num_vertices", self.num_vertices)
+        src = np.ascontiguousarray(self.src, dtype=VERTEX_DTYPE)
+        dst = np.ascontiguousarray(self.dst, dtype=VERTEX_DTYPE)
+        if src.ndim != 1 or dst.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays")
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"src and dst must have the same length, got {src.shape} vs {dst.shape}"
+            )
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if self.weights is not None:
+            weights = np.ascontiguousarray(self.weights, dtype=np.float32)
+            if weights.shape != src.shape:
+                raise ValueError("weights must parallel src/dst")
+            object.__setattr__(self, "weights", weights)
+        if src.size:
+            lo = min(int(src.min()), int(dst.min()))
+            hi = max(int(src.max()), int(dst.max()))
+            if lo < 0 or hi >= self.num_vertices:
+                raise ValueError(
+                    f"vertex ids must be in [0, {self.num_vertices}), "
+                    f"found range [{lo}, {hi}]"
+                )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.src.size)
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether a weight array is attached."""
+        return self.weights is not None
+
+    def reversed(self) -> "EdgeList":
+        """Edge list with every edge direction flipped (``dst -> src``)."""
+        return EdgeList(self.num_vertices, self.dst, self.src, self.weights)
+
+    def symmetrized(self) -> "EdgeList":
+        """Edge list containing both directions of every edge.
+
+        Mirrors how the paper loads undirected inputs: a symmetric graph's
+        *directed* degree is twice its undirected degree (Section VI).
+        Weights are duplicated onto the reverse edges.
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        weights = (
+            None if self.weights is None else np.concatenate([self.weights, self.weights])
+        )
+        return EdgeList(self.num_vertices, src, dst, weights)
+
+    def permuted(self, perm: np.ndarray) -> "EdgeList":
+        """Apply a vertex relabelling: vertex ``v`` becomes ``perm[v]``.
+
+        The edge *order* is preserved — only endpoint labels change — so
+        layout experiments isolate the effect of labelling from traversal
+        order.
+        """
+        perm = np.asarray(perm)
+        if perm.shape != (self.num_vertices,):
+            raise ValueError(
+                f"perm must have shape ({self.num_vertices},), got {perm.shape}"
+            )
+        return EdgeList(
+            self.num_vertices,
+            perm[self.src].astype(VERTEX_DTYPE),
+            perm[self.dst].astype(VERTEX_DTYPE),
+            self.weights,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = ", weighted" if self.is_weighted else ""
+        return f"EdgeList(n={self.num_vertices}, m={self.num_edges}{w})"

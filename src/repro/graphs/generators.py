@@ -1,0 +1,353 @@
+"""Synthetic graph generators.
+
+The paper evaluates on eight graphs (Table I): two synthetic (``urand``,
+``kron``) and six from real-world data (Twitter, Friendster, MAG citations,
+MAG coauthorships, webbase-2001 and its randomized relabelling).  Without
+the proprietary datasets we generate *stand-ins that match the topological
+properties the paper's analysis depends on*:
+
+========== ===================================================================
+graph      property that drives its communication behaviour
+========== ===================================================================
+urand      no locality at all — the worst case (Erdős–Rényi, Section VI)
+kron       power-law degrees -> hot hub vertices cache well (Graph500 RMAT)
+twitter    directed, strongly skewed in-degrees (social follow graph)
+friend     symmetric, community-clustered, high degree (Friendster)
+cite       directed acyclic-ish, recency + popularity biased (citations)
+coauth     symmetric, built from paper-author cliques (coauthorships)
+web        *high-locality labelling*: most edges short-range (crawl order)
+webrnd     identical topology to web, labels randomly permuted
+========== ===================================================================
+
+Every generator is fully vectorized, deterministic under a seed, and returns
+an :class:`~repro.graphs.edgelist.EdgeList` ready for
+:func:`~repro.graphs.builder.build_csr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.edgelist import VERTEX_DTYPE, EdgeList
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "uniform_random_graph",
+    "kronecker_graph",
+    "social_network_graph",
+    "community_graph",
+    "citation_graph",
+    "coauthorship_graph",
+    "web_crawl_graph",
+    "grid_graph",
+]
+
+
+def uniform_random_graph(
+    num_vertices: int,
+    degree: float,
+    seed: int | None | np.random.Generator = None,
+    *,
+    symmetric: bool = True,
+) -> EdgeList:
+    """Erdős–Rényi-style uniform random graph (the paper's ``urand``).
+
+    Samples ``degree * num_vertices`` directed edges with independently
+    uniform endpoints.  When ``symmetric``, half as many undirected edges
+    are sampled and mirrored, so the *directed* degree still equals
+    ``degree`` (the metric the paper standardizes on, Section VI).
+
+    This is the locality worst case: every vertex-value access is a uniform
+    random index, so for ``n`` much larger than the cache nearly every
+    access misses.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("degree", degree)
+    rng = as_generator(seed)
+    num_directed = int(round(degree * num_vertices))
+    m = num_directed // 2 if symmetric else num_directed
+    src = rng.integers(0, num_vertices, size=m, dtype=VERTEX_DTYPE)
+    dst = rng.integers(0, num_vertices, size=m, dtype=VERTEX_DTYPE)
+    edges = EdgeList(num_vertices, src, dst)
+    return edges.symmetrized() if symmetric else edges
+
+
+def kronecker_graph(
+    scale: int,
+    edge_factor: float = 16.0,
+    seed: int | None | np.random.Generator = None,
+    *,
+    initiator: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    symmetric: bool = True,
+) -> EdgeList:
+    """Kronecker/RMAT graph "generated akin to Graph500's input graphs".
+
+    ``2**scale`` vertices; the default initiator matrix (A, B, C, D) =
+    (0.57, 0.19, 0.19, 0.05) is the Graph500 specification the paper cites.
+    The recursive quadrant choice is vectorized: per bit level, one uniform
+    draw selects the source-half and a second selects the destination-half
+    conditioned on the first.
+
+    The resulting strong power-law degree distribution is what gives
+    ``kron`` better vertex-value temporal locality than ``urand`` of the
+    same size (hub contributions stay cached — Figure 3's discussion).
+    """
+    check_positive("scale", scale)
+    check_positive("edge_factor", edge_factor)
+    a, b, c, d = initiator
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"initiator probabilities must sum to 1, got {total}")
+    rng = as_generator(seed)
+    n = 1 << scale
+    num_directed = int(round(edge_factor * n))
+    m = num_directed // 2 if symmetric else num_directed
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Conditional probabilities for the destination bit given the source bit.
+    p_src_one = c + d  # probability the edge falls in the lower half (src bit 1)
+    p_dst_one_given_src0 = b / (a + b)
+    p_dst_one_given_src1 = d / (c + d)
+    for _ in range(scale):
+        u1 = rng.random(m)
+        u2 = rng.random(m)
+        src_bit = u1 < p_src_one
+        threshold = np.where(src_bit, p_dst_one_given_src1, p_dst_one_given_src0)
+        dst_bit = u2 < threshold
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    edges = EdgeList(n, src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE))
+    return edges.symmetrized() if symmetric else edges
+
+
+def grid_graph(rows: int, cols: int) -> EdgeList:
+    """2-D mesh with row-major labels — the paper's ideal-layout reference.
+
+    Section III: "An ideal high-locality graph layout when viewed by its
+    adjacency matrix has all of its non-zeros in a narrow diagonal."  A
+    row-major mesh is exactly that: every neighbor is at label distance 1
+    or ``cols``, so the matrix bandwidth equals ``cols``.  Meshes are the
+    inputs where relabelling (RCM) shines and blocking is unnecessary —
+    the opposite pole from ``urand``.  Deterministic (no seed).
+    """
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_src = ids[:, :-1].ravel()
+    right_dst = ids[:, 1:].ravel()
+    down_src = ids[:-1, :].ravel()
+    down_dst = ids[1:, :].ravel()
+    src = np.concatenate([right_src, down_src]).astype(VERTEX_DTYPE)
+    dst = np.concatenate([right_dst, down_dst]).astype(VERTEX_DTYPE)
+    return EdgeList(rows * cols, src, dst).symmetrized()
+
+
+def _skewed_ids(
+    rng: np.random.Generator, size: int, num_vertices: int, skew: float
+) -> np.ndarray:
+    """Sample vertex ids with a power-law bias toward low ids.
+
+    ``skew == 1`` is uniform; larger values concentrate probability on a
+    shrinking head of "popular" vertices (id 0 most popular).  Sampling is
+    by inverse transform on ``u**skew``.
+    """
+    u = rng.random(size)
+    ids = np.floor((u**skew) * num_vertices).astype(VERTEX_DTYPE)
+    return np.minimum(ids, num_vertices - 1)
+
+
+def social_network_graph(
+    num_vertices: int,
+    degree: float = 24.0,
+    seed: int | None | np.random.Generator = None,
+    *,
+    follower_skew: float = 3.0,
+    followee_skew: float = 1.5,
+) -> EdgeList:
+    """Directed follow graph (the ``twitter`` stand-in).
+
+    Edge ``u -> v`` means "u follows v".  Followees are sampled with a
+    strong popularity skew (celebrities amass millions of followers) and
+    followers with a milder activity skew.  Labels are then shuffled so the
+    hubs are scattered through the id space, as in the Kwak et al. crawl
+    the paper uses.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("degree", degree)
+    rng = as_generator(seed)
+    m = int(round(degree * num_vertices))
+    src = _skewed_ids(rng, m, num_vertices, followee_skew)
+    dst = _skewed_ids(rng, m, num_vertices, follower_skew)
+    perm = rng.permutation(num_vertices).astype(VERTEX_DTYPE)
+    return EdgeList(num_vertices, perm[src], perm[dst])
+
+
+def community_graph(
+    num_vertices: int,
+    degree: float = 28.0,
+    seed: int | None | np.random.Generator = None,
+    *,
+    community_size: int = 4096,
+    intra_fraction: float = 0.6,
+) -> EdgeList:
+    """Symmetric community-clustered graph (the ``friend`` stand-in).
+
+    Vertices are grouped into communities of ``community_size``; a fraction
+    ``intra_fraction`` of undirected edges stay inside the endpoint's
+    community and the rest connect uniformly at random.  Community members
+    get *scattered* ids (random assignment), so the clustering improves
+    temporal reuse of hot neighborhoods without giving the labelling any
+    banded spatial locality — matching how Friendster behaves in Figure 3
+    (~85 % vertex traffic, i.e. low but not worst-case locality).
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("degree", degree)
+    check_positive("community_size", community_size)
+    check_probability("intra_fraction", intra_fraction)
+    rng = as_generator(seed)
+    m = int(round(degree * num_vertices)) // 2
+    membership = rng.permutation(num_vertices).astype(np.int64)  # vertex -> slot
+    slot_to_vertex = np.empty(num_vertices, dtype=VERTEX_DTYPE)
+    slot_to_vertex[membership] = np.arange(num_vertices, dtype=VERTEX_DTYPE)
+
+    src_slot = rng.integers(0, num_vertices, size=m, dtype=np.int64)
+    intra = rng.random(m) < intra_fraction
+    community_base = (src_slot // community_size) * community_size
+    intra_offset = rng.integers(0, community_size, size=m, dtype=np.int64)
+    dst_slot = np.where(
+        intra,
+        np.minimum(community_base + intra_offset, num_vertices - 1),
+        rng.integers(0, num_vertices, size=m, dtype=np.int64),
+    )
+    edges = EdgeList(num_vertices, slot_to_vertex[src_slot], slot_to_vertex[dst_slot])
+    return edges.symmetrized()
+
+
+def citation_graph(
+    num_vertices: int,
+    degree: float = 19.0,
+    seed: int | None | np.random.Generator = None,
+    *,
+    recency_weight: float = 0.5,
+    recency_skew: float = 4.0,
+    popularity_skew: float = 3.0,
+) -> EdgeList:
+    """Directed citation graph (the ``cite`` stand-in).
+
+    Vertex ids model publication order; paper ``u`` cites only earlier
+    papers ``v < u``.  Each citation is either *recent* (close to ``u``,
+    weight ``recency_weight``) or *popular* (power-law over all earlier
+    papers — seminal work keeps accumulating citations).
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("degree", degree)
+    check_probability("recency_weight", recency_weight)
+    rng = as_generator(seed)
+    m = int(round(degree * num_vertices))
+    src = rng.integers(1, num_vertices, size=m, dtype=np.int64)
+    recent = rng.random(m) < recency_weight
+    u = rng.random(m)
+    # Recent: dst just below src.  Popular: power-law toward old papers.
+    recent_dst = src - 1 - np.floor((u**recency_skew) * src).astype(np.int64)
+    popular_dst = np.floor((u**popularity_skew) * src).astype(np.int64)
+    dst = np.where(recent, recent_dst, popular_dst)
+    dst = np.clip(dst, 0, src - 1)
+    return EdgeList(num_vertices, src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE))
+
+
+def coauthorship_graph(
+    num_vertices: int,
+    degree: float = 10.8,
+    seed: int | None | np.random.Generator = None,
+    *,
+    mean_authors: float = 3.0,
+    max_authors: int = 8,
+    author_skew: float = 2.0,
+) -> EdgeList:
+    """Symmetric coauthorship graph (the ``coauth`` stand-in).
+
+    Generated the way the paper built its MAG input: enumerate papers, give
+    each a small author list (prolific authors sampled more often), and add
+    a clique among each paper's authors; duplicate edges are removed later
+    by the CSR builder.  Cliques give high clustering and a heavy-ish
+    degree tail at low average degree.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("degree", degree)
+    check_positive("mean_authors", mean_authors)
+    rng = as_generator(seed)
+    # A paper with a authors contributes a*(a-1) directed edges; solve for
+    # the number of papers from the expected authors-per-paper moments.
+    sizes_pmf = _truncated_geometric_pmf(mean_authors, max_authors)
+    sizes_support = np.arange(2, max_authors + 1)
+    expected_edges = float(np.sum(sizes_pmf * sizes_support * (sizes_support - 1)))
+    num_papers = max(1, int(round(degree * num_vertices / expected_edges)))
+    sizes = rng.choice(sizes_support, size=num_papers, p=sizes_pmf)
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for size in np.unique(sizes):
+        count = int(np.sum(sizes == size))
+        authors = _skewed_ids(rng, count * int(size), num_vertices, author_skew)
+        authors = authors.reshape(count, int(size))
+        # All ordered pairs (i, j), i != j, within each paper's author row.
+        idx_i, idx_j = np.nonzero(~np.eye(int(size), dtype=bool))
+        src_parts.append(authors[:, idx_i].ravel())
+        dst_parts.append(authors[:, idx_j].ravel())
+    return EdgeList(num_vertices, np.concatenate(src_parts), np.concatenate(dst_parts))
+
+
+def _truncated_geometric_pmf(mean: float, max_value: int) -> np.ndarray:
+    """PMF over {2..max_value} of a geometric tuned to the requested mean."""
+    support = np.arange(2, max_value + 1, dtype=np.float64)
+    # Geometric decay rate solved coarsely so the truncated mean ~= mean.
+    best, best_err = 0.5, np.inf
+    for q in np.linspace(0.05, 0.95, 91):
+        pmf = q ** (support - 2)
+        pmf /= pmf.sum()
+        err = abs(float(pmf @ support) - mean)
+        if err < best_err:
+            best, best_err = q, err
+    pmf = best ** (support - 2)
+    return pmf / pmf.sum()
+
+
+def web_crawl_graph(
+    num_vertices: int,
+    degree: float = 5.4,
+    seed: int | None | np.random.Generator = None,
+    *,
+    window: int = 1024,
+    long_range_fraction: float = 0.1,
+    offset_skew: float = 3.0,
+) -> EdgeList:
+    """Directed web-crawl graph with a *high-locality labelling* (``web``).
+
+    webbase-2001 ids follow crawl order, so most hyperlinks connect pages
+    discovered close together: the adjacency matrix is nearly banded.  We
+    reproduce that by drawing each destination as a short signed offset
+    from the source (power-law concentrated inside ``window``) with a small
+    ``long_range_fraction`` of uniform edges.
+
+    Randomly permuting this graph's labels (see
+    :func:`repro.graphs.suite.load_graph` with ``webrnd``) destroys the
+    banding while preserving topology — the paper's web/webrnd contrast.
+    """
+    check_positive("num_vertices", num_vertices)
+    check_positive("degree", degree)
+    check_positive("window", window)
+    check_probability("long_range_fraction", long_range_fraction)
+    rng = as_generator(seed)
+    m = int(round(degree * num_vertices))
+    src = rng.integers(0, num_vertices, size=m, dtype=np.int64)
+    u = rng.random(m)
+    magnitude = 1 + np.floor((u**offset_skew) * window).astype(np.int64)
+    sign = np.where(rng.random(m) < 0.5, -1, 1)
+    local_dst = np.clip(src + sign * magnitude, 0, num_vertices - 1)
+    long_range = rng.random(m) < long_range_fraction
+    dst = np.where(
+        long_range, rng.integers(0, num_vertices, size=m, dtype=np.int64), local_dst
+    )
+    return EdgeList(num_vertices, src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE))

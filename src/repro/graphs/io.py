@@ -1,0 +1,98 @@
+"""Graph serialization.
+
+Two formats:
+
+* ``.npz`` — compact binary round-trip of a :class:`CSRGraph` (offsets,
+  targets, optional weights, symmetry flag).  This is how the benchmark
+  harness caches generated suite graphs between runs.
+* ``.el`` / ``.wel`` — whitespace-separated edge-list text, the GAP
+  benchmark's interchange format, for moving graphs in and out of other
+  tools.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graphs.builder import build_csr
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import VERTEX_DTYPE, EdgeList
+
+__all__ = ["save_npz", "load_npz", "save_edge_list", "load_edge_list"]
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(path: str | os.PathLike, graph: CSRGraph) -> None:
+    """Serialize ``graph`` to ``path`` (NumPy ``.npz``)."""
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "offsets": graph.offsets,
+        "targets": graph.targets,
+        "symmetric": np.bool_(graph.symmetric),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph file version {version} (expected {_FORMAT_VERSION})"
+            )
+        weights = data["weights"] if "weights" in data.files else None
+        return CSRGraph(
+            data["offsets"],
+            data["targets"],
+            weights=weights,
+            symmetric=bool(data["symmetric"]),
+        )
+
+
+def save_edge_list(path: str | os.PathLike, edges: EdgeList) -> None:
+    """Write ``edges`` as text: one ``src dst [weight]`` line per edge."""
+    if edges.weights is None:
+        columns = np.column_stack([edges.src, edges.dst])
+        np.savetxt(path, columns, fmt="%d")
+    else:
+        columns = np.column_stack(
+            [edges.src.astype(np.float64), edges.dst.astype(np.float64), edges.weights]
+        )
+        np.savetxt(path, columns, fmt=["%d", "%d", "%.9g"])
+
+
+def load_edge_list(
+    path: str | os.PathLike, *, num_vertices: int | None = None
+) -> EdgeList:
+    """Read a text edge list; vertex count defaults to ``max id + 1``."""
+    raw = np.loadtxt(path, ndmin=2)
+    if raw.size == 0:
+        return EdgeList(num_vertices or 0, np.empty(0, VERTEX_DTYPE), np.empty(0, VERTEX_DTYPE))
+    if raw.shape[1] not in (2, 3):
+        raise ValueError(f"expected 2 or 3 columns, got {raw.shape[1]}")
+    src = raw[:, 0].astype(VERTEX_DTYPE)
+    dst = raw[:, 1].astype(VERTEX_DTYPE)
+    weights = raw[:, 2].astype(np.float32) if raw.shape[1] == 3 else None
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+    return EdgeList(num_vertices, src, dst, weights)
+
+
+def load_or_build(
+    cache_path: str | os.PathLike,
+    edges_factory,
+    **build_kwargs,
+) -> CSRGraph:
+    """Load a cached ``.npz`` graph, or build from ``edges_factory()`` and cache it."""
+    if os.path.exists(cache_path):
+        return load_npz(cache_path)
+    graph = build_csr(edges_factory(), **build_kwargs)
+    os.makedirs(os.path.dirname(os.fspath(cache_path)) or ".", exist_ok=True)
+    save_npz(cache_path, graph)
+    return graph

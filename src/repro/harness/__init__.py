@@ -1,0 +1,49 @@
+"""Experiment harness: per-experiment runners for every table and figure."""
+
+from repro.harness.experiment import Measurement, measure_kernel, run_experiment
+from repro.harness.tables import (
+    TableResult,
+    table1,
+    table2,
+    table3,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.harness.figures import (
+    FigureResult,
+    suite_measurements,
+    figure3_vertex_traffic,
+    figure4_speedup,
+    figure5_communication_reduction,
+    figure6_requests_per_edge,
+    figure7_scaling_vertices,
+    figure8_scaling_degree,
+    figure9_bin_width_communication,
+    figure10_bin_width_time,
+    figure11_phase_breakdown,
+    bin_width_sweep,
+)
+
+__all__ = [
+    "Measurement",
+    "measure_kernel",
+    "run_experiment",
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "FigureResult",
+    "suite_measurements",
+    "figure3_vertex_traffic",
+    "figure4_speedup",
+    "figure5_communication_reduction",
+    "figure6_requests_per_edge",
+    "figure7_scaling_vertices",
+    "figure8_scaling_degree",
+    "figure9_bin_width_communication",
+    "figure10_bin_width_time",
+    "figure11_phase_breakdown",
+    "bin_width_sweep",
+]

@@ -1,0 +1,110 @@
+"""Experiment runner: one (graph, strategy) measurement.
+
+A :class:`Measurement` bundles everything a paper table/figure row needs:
+simulated DRAM traffic, the modelled execution time with its bottleneck,
+instruction counts, and the GAIL per-edge ratios.  This is the unit the
+table and figure generators compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.csr import CSRGraph
+from repro.kernels.base import PageRankKernel
+from repro.kernels.pagerank import make_kernel
+from repro.memsim.counters import MemCounters
+from repro.models.gail import GailMetrics, gail_metrics
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.models.performance import TimeBreakdown, kernel_time
+
+__all__ = ["Measurement", "run_experiment", "measure_kernel"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of measuring one strategy on one graph for one iteration set."""
+
+    graph_name: str
+    method: str
+    num_vertices: int
+    num_edges: int
+    num_iterations: int
+    counters: MemCounters
+    time: TimeBreakdown
+    instructions: float
+
+    @property
+    def reads(self) -> int:
+        return self.counters.total_reads
+
+    @property
+    def writes(self) -> int:
+        return self.counters.total_writes
+
+    @property
+    def requests(self) -> int:
+        return self.counters.total_requests
+
+    @property
+    def seconds(self) -> float:
+        return self.time.total
+
+    @property
+    def reads_per_second(self) -> float:
+        """The paper's Table II "Reads / second" column."""
+        return self.reads / self.seconds if self.seconds else 0.0
+
+    def gail(self) -> GailMetrics:
+        """Per-edge efficiency ratios (Figures 6-8)."""
+        return gail_metrics(self.num_edges, self.counters, self.instructions, self.seconds)
+
+    def speedup_over(self, baseline: "Measurement") -> float:
+        """Execution-time speedup relative to ``baseline`` (Figure 4)."""
+        return baseline.seconds / self.seconds if self.seconds else float("inf")
+
+    def communication_reduction_over(self, baseline: "Measurement") -> float:
+        """Total-traffic reduction relative to ``baseline`` (Figure 5)."""
+        return baseline.requests / self.requests if self.requests else float("inf")
+
+
+def measure_kernel(
+    kernel: PageRankKernel,
+    *,
+    graph_name: str = "",
+    num_iterations: int = 1,
+    engine: str = "flru",
+) -> Measurement:
+    """Measure an already-constructed kernel."""
+    counters = kernel.measure(num_iterations, engine=engine)
+    time = kernel_time(kernel, counters, num_iterations)
+    return Measurement(
+        graph_name=graph_name,
+        method=kernel.name,
+        num_vertices=kernel.graph.num_vertices,
+        num_edges=kernel.graph.num_edges,
+        num_iterations=num_iterations,
+        counters=counters,
+        time=time,
+        instructions=kernel.instruction_count(num_iterations),
+    )
+
+
+def run_experiment(
+    graph: CSRGraph,
+    method: str,
+    *,
+    machine: MachineSpec = SIMULATED_MACHINE,
+    graph_name: str = "",
+    num_iterations: int = 1,
+    engine: str = "flru",
+    **kernel_kwargs,
+) -> Measurement:
+    """Construct the kernel for ``method`` and measure it."""
+    kernel = make_kernel(graph, method, machine, **kernel_kwargs)
+    return measure_kernel(
+        kernel,
+        graph_name=graph_name,
+        num_iterations=num_iterations,
+        engine=engine,
+    )

@@ -1,0 +1,154 @@
+"""One-command reproduction driver: ``python -m repro.harness.reproduce``.
+
+Regenerates every table and figure of the paper — the same artifacts the
+benchmark suite produces — without pytest, writing each rendered result to
+an output directory and printing progress.  Useful for CI artifact jobs
+and for quickly rebuilding ``results/`` after a change.
+
+Options::
+
+    --scale 0.25        shrink the suite (default 1.0, the full scaled suite)
+    --output results    output directory
+    --only fig3 table2  regenerate a subset
+    --quick             alias for --scale 0.25 with coarser sweeps
+
+Artifact ids: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+fig10 fig11.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.graphs import load_graph, load_suite
+from repro.harness.figures import (
+    bin_width_sweep,
+    figure3_vertex_traffic,
+    figure4_speedup,
+    figure5_communication_reduction,
+    figure6_requests_per_edge,
+    figure7_scaling_vertices,
+    figure8_scaling_degree,
+    figure9_bin_width_communication,
+    figure10_bin_width_time,
+    figure11_phase_breakdown,
+    suite_measurements,
+)
+from repro.harness.tables import table1, table2, table3
+
+ARTIFACTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.reproduce",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", default="results")
+    parser.add_argument("--only", nargs="*", choices=ARTIFACTS, default=None)
+    parser.add_argument(
+        "--quick", action="store_true", help="quarter-scale suite, coarser sweeps"
+    )
+    return parser
+
+
+def _sizes_for(scale: float) -> list[int]:
+    """Figure 7 vertex sweep, shrunk proportionally for quick runs."""
+    full = [4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288]
+    if scale >= 1.0:
+        return full
+    return [max(1024, int(n * scale)) for n in full]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = 0.25 if args.quick else args.scale
+    os.makedirs(args.output, exist_ok=True)
+    wanted = set(args.only or ARTIFACTS)
+
+    def emit(name: str, text: str) -> None:
+        path = os.path.join(args.output, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"[{time.strftime('%H:%M:%S')}] wrote {path}")
+
+    suite_needed = wanted & {"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6"}
+    graphs = load_suite(seed=args.seed, scale=scale) if suite_needed else {}
+
+    if "table1" in wanted:
+        emit("table1_suite", table1(graphs).render())
+    if "table2" in wanted:
+        emit("table2_priorwork", table2(graphs["urand"]).render())
+    if "table3" in wanted:
+        emit("table3_detailed", table3(graphs).render())
+    if "fig3" in wanted:
+        emit("fig3_vertex_traffic", figure3_vertex_traffic(graphs).render())
+    if wanted & {"fig4", "fig5", "fig6"}:
+        data = suite_measurements(graphs)
+        if "fig4" in wanted:
+            emit("fig4_speedup", figure4_speedup(graphs, _measurements=data).render())
+        if "fig5" in wanted:
+            emit(
+                "fig5_comm_reduction",
+                figure5_communication_reduction(graphs, _measurements=data).render(),
+            )
+        if "fig6" in wanted:
+            emit(
+                "fig6_gail",
+                figure6_requests_per_edge(graphs, _measurements=data).render(),
+            )
+    if "fig7" in wanted:
+        emit("fig7_scale_vertices", figure7_scaling_vertices(_sizes_for(scale)).render())
+    if "fig8" in wanted:
+        degrees = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]
+        n = max(2048, int(65536 * scale)) if scale < 1.0 else 65536
+        emit(
+            "fig8_scale_degree",
+            figure8_scaling_degree(degrees, num_vertices=n).render(),
+        )
+    if wanted & {"fig9", "fig10"}:
+        widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
+        sweep_graphs = load_suite(seed=args.seed, scale=0.5 * scale)
+        sweep = bin_width_sweep(sweep_graphs, widths)
+        if "fig9" in wanted:
+            emit(
+                "fig9_binwidth_comm",
+                figure9_bin_width_communication(
+                    sweep_graphs, widths, _sweep_cache=sweep
+                ).render(),
+            )
+        if "fig10" in wanted:
+            emit(
+                "fig10_binwidth_time",
+                figure10_bin_width_time(
+                    sweep_graphs, widths, _sweep_cache=sweep
+                ).render(),
+            )
+    if "fig11" in wanted:
+        widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
+        urand = load_graph("urand", seed=args.seed, scale=scale)
+        emit("fig11_phase_breakdown", figure11_phase_breakdown(urand, widths).render())
+    print("done.")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""PageRank kernels: the paper's contribution and every compared strategy.
+
+============== =========================================== =================
+name           class                                       paper role
+============== =========================================== =================
+``baseline``   :class:`~repro.kernels.pull.PullPageRank`   reference (pull)
+``push``       :class:`~repro.kernels.push.PushPageRank`   substrate
+``cb``         :class:`~repro.kernels.cache_block.\
+CacheBlockedPageRank`                                       1-D cache blocking
+``pb``         :class:`~repro.kernels.propagation_blocking.\
+PropagationBlockingPageRank`                                **contribution**
+``dpb``        :class:`~repro.kernels.propagation_blocking.\
+DeterministicPBPageRank`                                    **contribution**
+``ligra`` ...  :mod:`repro.kernels.priorwork`              Table II rows
+============== =========================================== =================
+
+Use :func:`~repro.kernels.pagerank.pagerank` for the high-level API and
+:func:`~repro.kernels.pagerank.make_kernel` for direct access to a
+strategy.  :mod:`repro.kernels.spmv` generalizes propagation blocking to
+weighted, non-square SpMV (paper Section IX).
+"""
+
+from repro.kernels.base import (
+    DAMPING,
+    InstructionModel,
+    PageRankKernel,
+    init_scores,
+    compute_contributions,
+    apply_damping,
+    reference_pagerank,
+    score_delta,
+)
+from repro.kernels.pull import PullPageRank
+from repro.kernels.push import PushPageRank
+from repro.kernels.cache_block import CacheBlockedPageRank
+from repro.kernels.bins import BinLayout, default_bin_width
+from repro.kernels.propagation_blocking import (
+    PropagationBlockingPageRank,
+    DeterministicPBPageRank,
+)
+from repro.kernels.priorwork import (
+    LigraStyle,
+    GraphMatStyle,
+    GaloisStyle,
+    CSBStyle,
+    PRIOR_WORK,
+)
+from repro.kernels.pagerank import (
+    KERNELS,
+    PageRankResult,
+    make_kernel,
+    select_method,
+    pagerank,
+)
+from repro.kernels.spmv import SparseMatrix, spmv, spmv_trace
+from repro.kernels.partial import (
+    PARTIAL_METHODS,
+    active_edge_count,
+    partial_propagate,
+    partial_trace,
+)
+from repro.kernels.delta import DeltaPageRankResult, DeltaRound, pagerank_delta
+
+__all__ = [
+    "DAMPING",
+    "InstructionModel",
+    "PageRankKernel",
+    "init_scores",
+    "compute_contributions",
+    "apply_damping",
+    "reference_pagerank",
+    "score_delta",
+    "PullPageRank",
+    "PushPageRank",
+    "CacheBlockedPageRank",
+    "BinLayout",
+    "default_bin_width",
+    "PropagationBlockingPageRank",
+    "DeterministicPBPageRank",
+    "LigraStyle",
+    "GraphMatStyle",
+    "GaloisStyle",
+    "CSBStyle",
+    "PRIOR_WORK",
+    "KERNELS",
+    "PageRankResult",
+    "make_kernel",
+    "select_method",
+    "pagerank",
+    "SparseMatrix",
+    "spmv",
+    "spmv_trace",
+    "PARTIAL_METHODS",
+    "active_edge_count",
+    "partial_propagate",
+    "partial_trace",
+    "DeltaPageRankResult",
+    "DeltaRound",
+    "pagerank_delta",
+]

@@ -1,0 +1,201 @@
+"""Common infrastructure for PageRank kernels.
+
+Every implementation strategy in the paper (pull baseline, push, cache
+blocking, propagation blocking, deterministic propagation blocking, and the
+prior-work strategy models) is a :class:`PageRankKernel`.  A kernel is
+bound to one graph at construction — preprocessing such as transposing,
+partitioning into blocks, or computing the bin layout happens once there,
+matching the paper's methodology: "We do not include the time to block the
+graph for CB or to allocate the bins for PB, as these can be done in
+advance" (Section VI).
+
+A kernel exposes three views of the same algorithm:
+
+* :meth:`PageRankKernel.run` — an executable, vectorized NumPy
+  implementation producing actual PageRank scores (all kernels produce
+  identical scores; the strategies differ only in memory behaviour);
+* :meth:`PageRankKernel.trace` — the cache-line access trace of one or more
+  iterations, consumed by :mod:`repro.memsim` to measure communication;
+* :meth:`PageRankKernel.instruction_count` — the analytic instruction-count
+  model used by the bottleneck time model.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.memsim.cache import simulate
+from repro.memsim.counters import MemCounters
+from repro.memsim.trace import TraceChunk
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+
+__all__ = [
+    "DAMPING",
+    "InstructionModel",
+    "PageRankKernel",
+    "init_scores",
+    "compute_contributions",
+    "apply_damping",
+    "reference_pagerank",
+    "score_delta",
+]
+
+#: The paper's damping factor d = 0.85 (Section II).
+DAMPING = 0.85
+
+
+def init_scores(num_vertices: int) -> np.ndarray:
+    """Initial uniform scores ``PR[:] = 1/|V|`` (float32, one 32-bit word each)."""
+    return np.full(num_vertices, 1.0 / num_vertices, dtype=np.float32)
+
+
+def compute_contributions(scores: np.ndarray, out_degrees: np.ndarray) -> np.ndarray:
+    """Per-vertex contribution ``PR[u] / outdegree(u)``.
+
+    Vertices with no out-edges contribute nothing (their contribution is
+    never propagated), so their entry is set to zero rather than dividing
+    by zero.  Like the GAP reference implementation, dangling mass is
+    dropped rather than redistributed.
+    """
+    degrees = np.asarray(out_degrees)
+    contributions = np.zeros_like(scores, dtype=np.float32)
+    nonzero = degrees > 0
+    np.divide(
+        scores, degrees.astype(np.float32), out=contributions, where=nonzero
+    )
+    return contributions
+
+
+def apply_damping(sums: np.ndarray, num_vertices: int, damping: float = DAMPING) -> np.ndarray:
+    """Final per-iteration update ``PR[u] = (1-d)/|V| + d * sums[u]``."""
+    base = np.float32((1.0 - damping) / num_vertices)
+    return (base + np.float32(damping) * sums).astype(np.float32)
+
+
+def score_delta(a: np.ndarray, b: np.ndarray) -> float:
+    """L1 distance between two score vectors — the convergence criterion."""
+    return float(np.abs(a.astype(np.float64) - b.astype(np.float64)).sum())
+
+
+def reference_pagerank(
+    graph: CSRGraph, num_iterations: int, damping: float = DAMPING
+) -> np.ndarray:
+    """Slow, obviously-correct float64 PageRank used as the test oracle.
+
+    Propagates edge by edge with ``np.add.at`` in float64; every kernel's
+    float32 result must match this within accumulation tolerance.
+    """
+    n = graph.num_vertices
+    scores = np.full(n, 1.0 / n, dtype=np.float64)
+    degrees = np.asarray(graph.out_degrees(), dtype=np.float64)
+    sources = graph.edge_sources()
+    base = (1.0 - damping) / n
+    for _ in range(num_iterations):
+        contributions = np.divide(
+            scores, degrees, out=np.zeros_like(scores), where=degrees > 0
+        )
+        sums = np.zeros(n, dtype=np.float64)
+        np.add.at(sums, graph.targets, contributions[sources])
+        scores = base + damping * sums
+    return scores
+
+
+@dataclass(frozen=True)
+class InstructionModel:
+    """Linear instruction-count model ``per_edge * m + per_vertex * n``.
+
+    Constants are calibrated to the paper's measured instruction counts
+    (Tables II and III); see each kernel's docstring for its derivation.
+    """
+
+    per_edge: float
+    per_vertex: float
+
+    def count(self, num_vertices: int, num_edges: int) -> float:
+        return self.per_edge * num_edges + self.per_vertex * num_vertices
+
+
+class PageRankKernel(abc.ABC):
+    """One PageRank implementation strategy bound to a graph.
+
+    Subclasses set :attr:`name` and :attr:`instruction_model`, perform any
+    preprocessing in ``__init__`` (after calling ``super().__init__``), and
+    implement :meth:`run` and :meth:`trace`.
+    """
+
+    #: Short identifier used in tables ("baseline", "cb", "pb", "dpb", ...).
+    name: str = "abstract"
+    instruction_model: InstructionModel = InstructionModel(0.0, 0.0)
+
+    def __init__(
+        self, graph: CSRGraph, machine: MachineSpec = SIMULATED_MACHINE
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise ValueError("PageRank requires at least one vertex")
+        self.graph = graph
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # the three views
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(
+        self,
+        num_iterations: int = 1,
+        scores: np.ndarray | None = None,
+        damping: float = DAMPING,
+    ) -> np.ndarray:
+        """Execute ``num_iterations`` power iterations and return new scores.
+
+        ``scores`` defaults to the uniform initial vector; passing the
+        previous result continues the iteration (used by the convergence
+        driver in :mod:`repro.kernels.pagerank`).
+        """
+
+    @abc.abstractmethod
+    def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
+        """Yield the cache-line access trace of ``num_iterations`` iterations."""
+
+    def instruction_count(self, num_iterations: int = 1) -> float:
+        """Analytic instruction count for ``num_iterations`` iterations."""
+        return num_iterations * self.instruction_model.count(
+            self.graph.num_vertices, self.graph.num_edges
+        )
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def measure(
+        self, num_iterations: int = 1, engine: str = "flru"
+    ) -> MemCounters:
+        """Simulate the trace against this kernel's machine LLC.
+
+        Returns the DRAM traffic counters — the reproduction of the paper's
+        performance-counter measurement of one (or more) iterations.
+        """
+        from repro.memsim import make_engine  # local import: avoid cycle at import time
+
+        return simulate(
+            self.trace(num_iterations), make_engine(engine, self.machine.llc)
+        )
+
+    # ------------------------------------------------------------------
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _initial_scores(self, scores: np.ndarray | None) -> np.ndarray:
+        if scores is None:
+            return init_scores(self.graph.num_vertices)
+        scores = np.asarray(scores, dtype=np.float32)
+        if scores.shape != (self.graph.num_vertices,):
+            raise ValueError(
+                f"scores must have shape ({self.graph.num_vertices},), got {scores.shape}"
+            )
+        return scores
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(graph={self.graph!r})"

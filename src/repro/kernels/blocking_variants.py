@@ -1,0 +1,314 @@
+"""Additional blocking strategies: 2-D cache blocking and CSR segmenting.
+
+Two techniques the paper discusses but does not measure:
+
+* **2-D cache blocking** (Section V): "We do not model 2D cache blocking
+  since in our context, 2D cache blocking will not communicate
+  significantly less than 1D cache blocking.  As 2D cache blocks are
+  processed temporally, they will effectively merge into a 1D cache block
+  along the dimension they are being processed along."
+  :class:`CacheBlocked2DPageRank` implements real 2-D (source x
+  destination) blocking so that claim can be *measured* instead of
+  assumed — see ``tests/kernels/test_blocking_variants.py`` and
+  ``benchmarks/bench_ablation_blocking_variants.py``.
+
+* **CSR segmenting** (Zhang et al. [36], Section VIII related work):
+  "a more efficient means of 1D cache blocking".  The graph's in-edges
+  are split into segments by *source* range so each segment's
+  contributions slice is cache-resident; every segment produces a dense
+  partial-sums vector sequentially, and a final merge pass sums the
+  per-segment vectors.  All irregular accesses become cache hits at the
+  price of ``2 r n / b`` partial-vector traffic — communication again
+  proportional to the number of segments, i.e. to ``n/c``, which is why
+  it loses to propagation blocking on large graphs just like CB does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.partition import choose_block_width, num_blocks_for_width
+from repro.kernels.base import (
+    DAMPING,
+    InstructionModel,
+    PageRankKernel,
+    apply_damping,
+    compute_contributions,
+)
+from repro.kernels.layout import (
+    build_regions,
+    gather,
+    monotone_scan,
+    scatter,
+    seq_read,
+    seq_write,
+    streaming_write,
+)
+from repro.memsim.trace import Stream, TraceChunk, sequential_chunk
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+
+__all__ = ["CacheBlocked2DPageRank", "CSRSegmentingPageRank"]
+
+
+class CacheBlocked2DPageRank(PageRankKernel):
+    """Push-direction PageRank over a 2-D (source x destination) grid.
+
+    Edges are bucketed by ``(src_block, dst_block)`` and the grid is
+    processed destination-major: for a fixed destination block, the inner
+    loop walks the source blocks in order.  Because the sums slice stays
+    resident across the whole inner loop, the processing "effectively
+    merges into a 1D cache block along the dimension being processed
+    along" — the paper's argument, which the measured traffic confirms.
+    """
+
+    name = "cb2d"
+    instruction_model = InstructionModel(per_edge=9.0, per_vertex=22.0)
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        machine: MachineSpec = SIMULATED_MACHINE,
+        *,
+        block_width: int | None = None,
+    ) -> None:
+        super().__init__(graph, machine)
+        if block_width is None:
+            block_width = choose_block_width(graph.num_vertices, machine.cache_words)
+        self.block_width = block_width
+        n = graph.num_vertices
+        self.num_blocks = num_blocks_for_width(n, block_width)
+        shift = int(block_width).bit_length() - 1
+        src = graph.edge_sources()
+        dst = graph.targets
+        # Grid cell id, destination-major: (dst_block, src_block).
+        cell = (dst.astype(np.int64) >> shift) * self.num_blocks + (
+            src.astype(np.int64) >> shift
+        )
+        order = np.argsort(cell, kind="stable")
+        self._src = src[order]
+        self._dst = dst[order]
+        counts = np.bincount(cell, minlength=self.num_blocks * self.num_blocks)
+        self._cell_bounds = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._cell_bounds[1:])
+        self._out_degrees = graph.out_degrees()
+
+    def _cells(self):
+        for j in range(self.num_blocks):  # destination blocks, outer
+            for i in range(self.num_blocks):  # source blocks, inner
+                cell = j * self.num_blocks + i
+                lo = int(self._cell_bounds[cell])
+                hi = int(self._cell_bounds[cell + 1])
+                if lo != hi:
+                    yield j, i, lo, hi
+
+    def run(
+        self,
+        num_iterations: int = 1,
+        scores: np.ndarray | None = None,
+        damping: float = DAMPING,
+    ) -> np.ndarray:
+        scores = self._initial_scores(scores)
+        n = self.graph.num_vertices
+        width = self.block_width
+        sums = np.zeros(n, dtype=np.float64)
+        for _ in range(num_iterations):
+            contributions = compute_contributions(scores, self._out_degrees)
+            sums[:] = 0.0
+            for j, _i, lo, hi in self._cells():
+                start = j * width
+                stop = min(start + width, n)
+                sums[start:stop] += np.bincount(
+                    self._dst[lo:hi] - start,
+                    weights=contributions[self._src[lo:hi]].astype(np.float64),
+                    minlength=stop - start,
+                )
+            scores = apply_damping(sums.astype(np.float32), n, damping)
+        return scores
+
+    def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
+        graph = self.graph
+        n = graph.num_vertices
+        regions = build_regions(
+            self.machine,
+            {
+                "scores": n,
+                "degrees": n,
+                "contributions": n,
+                "sums": n,
+                "cells": max(2 * graph.num_edges, 1),
+            },
+        )
+        for _ in range(num_iterations):
+            yield seq_read(regions["scores"], Stream.VERTEX_SCORES, phase="contrib")
+            yield seq_read(regions["degrees"], Stream.VERTEX_DEGREE, phase="contrib")
+            yield seq_write(
+                regions["contributions"], Stream.VERTEX_CONTRIB, phase="contrib"
+            )
+            yield streaming_write(regions["sums"], Stream.VERTEX_SUMS, phase="blocks")
+            word = 0
+            for _j, _i, lo, hi in self._cells():
+                count = hi - lo
+                yield sequential_chunk(
+                    regions["cells"].sequential_lines(word, 2 * count),
+                    stream=Stream.EDGE_ADJ,
+                    phase="blocks",
+                )
+                word += 2 * count
+                yield monotone_scan(
+                    regions["contributions"],
+                    self._src[lo:hi],
+                    Stream.VERTEX_CONTRIB,
+                    phase="blocks",
+                )
+                yield scatter(
+                    regions["sums"], self._dst[lo:hi], Stream.VERTEX_SUMS, phase="blocks"
+                )
+            yield seq_read(regions["sums"], Stream.VERTEX_SUMS, phase="apply")
+            yield seq_write(regions["scores"], Stream.VERTEX_SCORES, phase="apply")
+
+
+class CSRSegmentingPageRank(PageRankKernel):
+    """Pull-direction CSR segmenting (Zhang et al. [36]).
+
+    The in-edges are split into ``r`` segments by source range; segment
+    ``s`` holds, for every destination vertex, its in-neighbors whose ids
+    fall in ``[s*width, (s+1)*width)``.  Processing a segment gathers only
+    from its cache-resident contributions slice and writes a dense partial
+    sums vector *sequentially*; a final merge pass adds the ``r`` partial
+    vectors.  No atomics, no low-locality access at all — but ``2 r n/b``
+    lines of partial-vector traffic, so communication grows with ``n/c``
+    exactly like 1-D cache blocking.
+    """
+
+    name = "csrseg"
+    instruction_model = InstructionModel(per_edge=9.0, per_vertex=24.0)
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        machine: MachineSpec = SIMULATED_MACHINE,
+        *,
+        segment_width: int | None = None,
+    ) -> None:
+        super().__init__(graph, machine)
+        if segment_width is None:
+            segment_width = choose_block_width(graph.num_vertices, machine.cache_words)
+        self.segment_width = segment_width
+        n = graph.num_vertices
+        self.num_segments = num_blocks_for_width(n, segment_width)
+        shift = int(segment_width).bit_length() - 1
+        transpose = graph.transposed()
+        in_src = transpose.targets  # the contributing neighbor ids
+        in_dst = np.repeat(
+            np.arange(n, dtype=np.int32), np.diff(transpose.offsets)
+        )
+        segment_ids = in_src.astype(np.int64) >> shift
+        # Segment-major, destination-minor: within a segment, edges sorted
+        # by destination so the partial-vector writes are sequential.
+        order = np.argsort(segment_ids * n + in_dst.astype(np.int64), kind="stable")
+        self._seg_src = in_src[order]
+        self._seg_dst = in_dst[order]
+        counts = np.bincount(segment_ids, minlength=self.num_segments)
+        self._seg_bounds = np.zeros(self.num_segments + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._seg_bounds[1:])
+        # Compact per-segment index (Cagra stores only vertices with
+        # in-segment neighbors): 2 words per distinct destination.
+        self._seg_distinct_dst = np.zeros(self.num_segments, dtype=np.int64)
+        for s in range(self.num_segments):
+            lo, hi = int(self._seg_bounds[s]), int(self._seg_bounds[s + 1])
+            if hi > lo:
+                dst = self._seg_dst[lo:hi]
+                self._seg_distinct_dst[s] = 1 + int(
+                    np.count_nonzero(dst[1:] != dst[:-1])
+                )
+        self._out_degrees = graph.out_degrees()
+
+    def run(
+        self,
+        num_iterations: int = 1,
+        scores: np.ndarray | None = None,
+        damping: float = DAMPING,
+    ) -> np.ndarray:
+        scores = self._initial_scores(scores)
+        n = self.graph.num_vertices
+        for _ in range(num_iterations):
+            contributions = compute_contributions(scores, self._out_degrees)
+            totals = np.zeros(n, dtype=np.float64)
+            for s in range(self.num_segments):
+                lo, hi = int(self._seg_bounds[s]), int(self._seg_bounds[s + 1])
+                if lo == hi:
+                    continue
+                partial = np.bincount(
+                    self._seg_dst[lo:hi],
+                    weights=contributions[self._seg_src[lo:hi]].astype(np.float64),
+                    minlength=n,
+                )
+                totals += partial  # the merge pass
+            scores = apply_damping(totals.astype(np.float32), n, damping)
+        return scores
+
+    def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
+        graph = self.graph
+        n = graph.num_vertices
+        index_words = int(2 * self._seg_distinct_dst.sum())
+        sizes = {
+            "scores": n,
+            "degrees": n,
+            "contributions": n,
+            "totals": n,
+            # Compact per-segment CSR indices (2 words per destination
+            # with in-segment neighbors) plus the segmented adjacency.
+            "seg_index": max(index_words, 1),
+            "seg_adjacency": max(graph.num_edges, 1),
+        }
+        for s in range(self.num_segments):
+            sizes[f"partial_{s}"] = n
+        regions = build_regions(self.machine, sizes)
+        for _ in range(num_iterations):
+            yield seq_read(regions["scores"], Stream.VERTEX_SCORES, phase="contrib")
+            yield seq_read(regions["degrees"], Stream.VERTEX_DEGREE, phase="contrib")
+            yield seq_write(
+                regions["contributions"], Stream.VERTEX_CONTRIB, phase="contrib"
+            )
+            adj_word = 0
+            index_word = 0
+            for s in range(self.num_segments):
+                lo, hi = int(self._seg_bounds[s]), int(self._seg_bounds[s + 1])
+                if lo == hi:
+                    continue
+                seg_index_words = int(2 * self._seg_distinct_dst[s])
+                yield sequential_chunk(
+                    regions["seg_index"].sequential_lines(index_word, seg_index_words),
+                    stream=Stream.EDGE_INDEX,
+                    phase="segments",
+                )
+                index_word += seg_index_words
+                yield sequential_chunk(
+                    regions["seg_adjacency"].sequential_lines(adj_word, hi - lo),
+                    stream=Stream.EDGE_ADJ,
+                    phase="segments",
+                )
+                adj_word += hi - lo
+                # Gathers stay inside the segment's cached slice.
+                yield gather(
+                    regions["contributions"],
+                    self._seg_src[lo:hi],
+                    Stream.VERTEX_CONTRIB,
+                    phase="segments",
+                )
+                # Dense partial vector, written sequentially (NT stores).
+                yield streaming_write(
+                    regions[f"partial_{s}"], Stream.VERTEX_SUMS, phase="segments"
+                )
+            # Merge pass: read every partial vector + write totals.
+            for s in range(self.num_segments):
+                if self._seg_bounds[s + 1] > self._seg_bounds[s]:
+                    yield seq_read(
+                        regions[f"partial_{s}"], Stream.VERTEX_SUMS, phase="merge"
+                    )
+            yield seq_write(regions["totals"], Stream.VERTEX_SUMS, phase="merge")
+            yield seq_read(regions["totals"], Stream.VERTEX_SUMS, phase="apply")
+            yield seq_write(regions["scores"], Stream.VERTEX_SCORES, phase="apply")

@@ -1,0 +1,128 @@
+"""Simulated memory layout shared by the traced kernels.
+
+Each kernel lays out its data structures in a fresh simulated address space
+(one line-aligned region per array, as the C++ implementation's allocator
+would) and emits trace chunks against those regions.  The helpers here keep
+that emission declarative: ``seq_read(region)`` is "stream this whole array
+once", ``gather(region, indices)`` is "access these elements in this
+order".
+
+Word accounting follows the paper (Section V): scores, contributions,
+sums, degrees and adjacency entries are one 32-bit word each; CSR index
+pointers are 64-bit, i.e. **two** words per vertex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.memsim.trace import (
+    AddressSpace,
+    Region,
+    Stream,
+    TraceChunk,
+    irregular_chunk,
+    sequential_chunk,
+)
+from repro.models.machine import MachineSpec
+
+__all__ = [
+    "build_regions",
+    "seq_read",
+    "seq_write",
+    "streaming_write",
+    "gather",
+    "scatter",
+    "monotone_scan",
+    "csr_stream_words",
+]
+
+#: CSR index pointers are 64-bit (paper Section V) = 2 words per entry.
+INDEX_WORDS_PER_VERTEX = 2
+
+
+def csr_stream_words(graph: CSRGraph) -> tuple[int, int]:
+    """(index_words, adjacency_words) for streaming a CSR graph once."""
+    return INDEX_WORDS_PER_VERTEX * graph.num_vertices, graph.num_edges
+
+
+def build_regions(
+    machine: MachineSpec, sizes: dict[str, int]
+) -> dict[str, Region]:
+    """Allocate one region per named array in a fresh address space."""
+    space = AddressSpace(words_per_line=machine.words_per_line)
+    return {name: space.allocate(name, words) for name, words in sizes.items()}
+
+
+def seq_read(region: Region, stream: Stream, phase: str = "") -> TraceChunk:
+    """Stream every line of ``region`` once (sequential read)."""
+    return sequential_chunk(region.sequential_lines(), stream=stream, phase=phase)
+
+
+def seq_write(region: Region, stream: Stream, phase: str = "") -> TraceChunk:
+    """Stream every line of ``region`` once (regular write: allocate + write-back)."""
+    return sequential_chunk(
+        region.sequential_lines(), write=True, stream=stream, phase=phase
+    )
+
+
+def streaming_write(
+    region: Region,
+    stream: Stream,
+    phase: str = "",
+    *,
+    num_words: int | None = None,
+    start_word: int = 0,
+) -> TraceChunk:
+    """Non-temporal full-line writes of (part of) ``region``.
+
+    Models the paper's AVX streaming stores through write-combining buffers
+    (Section VII): whole lines go straight to DRAM with no allocate read.
+    """
+    return sequential_chunk(
+        region.sequential_lines(start_word, num_words),
+        write=True,
+        stream=stream,
+        streaming_store=True,
+        phase=phase,
+    )
+
+
+def gather(
+    region: Region, indices: np.ndarray, stream: Stream, phase: str = ""
+) -> TraceChunk:
+    """Data-dependent reads of ``region[indices]`` in the given order."""
+    return irregular_chunk(region.line_of(indices), stream=stream, phase=phase)
+
+
+def scatter(
+    region: Region, indices: np.ndarray, stream: Stream, phase: str = ""
+) -> TraceChunk:
+    """Data-dependent read-modify-writes of ``region[indices]`` in order."""
+    return irregular_chunk(
+        region.line_of(indices), write=True, stream=stream, phase=phase
+    )
+
+
+def monotone_scan(
+    region: Region, sorted_indices: np.ndarray, stream: Stream, phase: str = ""
+) -> TraceChunk:
+    """Ascending-index reads of ``region[sorted_indices]``.
+
+    A monotone access pattern never revisits a line once the scan has moved
+    past it, so each distinct line costs exactly one transfer regardless of
+    cache size — the SEQUENTIAL chunk semantics.  Used for cache blocking's
+    per-block contribution scan, where edges are sorted by source.
+    """
+    idx = np.asarray(sorted_indices)
+    if idx.size and np.any(np.diff(idx) < 0):
+        raise ValueError("monotone_scan requires non-decreasing indices")
+    lines = region.line_of(idx)
+    # Distinct lines only (ascending, so consecutive dedup is global dedup).
+    if lines.size:
+        keep = np.empty(lines.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+        lines = lines[keep]
+    return sequential_chunk(lines, stream=stream, phase=phase)

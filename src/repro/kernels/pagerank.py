@@ -1,0 +1,157 @@
+"""Public PageRank API: method selection and the convergence driver.
+
+The paper's evaluation times single iterations, but a real user wants
+"PageRank until converged" with the right strategy chosen for them.
+:func:`pagerank` provides that, including the runtime heuristic the paper
+sketches in Section VI-C: the topological parameters that decide between
+the pull baseline, CB, and DPB — the number of vertices relative to the
+cache and the directed degree — "are easy to access and the decision to
+use DPB or CB could be made dynamically at runtime".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.kernels.base import DAMPING, PageRankKernel, init_scores, score_delta
+from repro.kernels.cache_block import CacheBlockedPageRank
+from repro.kernels.propagation_blocking import (
+    DeterministicPBPageRank,
+    PropagationBlockingPageRank,
+)
+from repro.kernels.pull import PullPageRank
+from repro.kernels.push import PushPageRank
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+
+__all__ = ["KERNELS", "PageRankResult", "make_kernel", "select_method", "pagerank"]
+
+#: Registry of the measured implementation strategies, keyed by table name.
+KERNELS: dict[str, type[PageRankKernel]] = {
+    "baseline": PullPageRank,
+    "pull": PullPageRank,
+    "push": PushPageRank,
+    "cb": CacheBlockedPageRank,
+    "pb": PropagationBlockingPageRank,
+    "dpb": DeterministicPBPageRank,
+}
+
+
+@dataclass(frozen=True)
+class PageRankResult:
+    """Outcome of a :func:`pagerank` call.
+
+    Attributes
+    ----------
+    scores:
+        Final PageRank vector (float32, sums to <= 1; dangling mass is
+        dropped as in the GAP reference).
+    iterations:
+        Number of power iterations performed.
+    converged:
+        Whether the L1 delta fell below the tolerance before ``max_iterations``.
+    method:
+        Name of the strategy that actually ran (after "auto" resolution).
+    """
+
+    scores: np.ndarray
+    iterations: int
+    converged: bool
+    method: str
+
+
+def select_method(graph: CSRGraph, machine: MachineSpec = SIMULATED_MACHINE) -> str:
+    """The paper's dynamic strategy choice (Sections V-C and VI-C).
+
+    * Vertex values fit in cache (``n <= c``): nothing to block — pull.
+    * Otherwise blocking pays; between CB and DPB, propagation blocking
+      wins when the graph is sparse enough.  From the models, CB-EL beats
+      DPB only when ``r >= 2k + 2`` fails, i.e. for high degree relative
+      to the block count, so choose DPB when ``k <= (r - 2) / 2``.
+    """
+    n = graph.num_vertices
+    c = machine.cache_words
+    if n <= c:
+        return "baseline"
+    from repro.graphs.partition import choose_block_width, num_blocks_for_width
+
+    width = choose_block_width(n, c)
+    r = num_blocks_for_width(n, width)
+    k = graph.average_degree
+    return "dpb" if k <= (r - 2) / 2 else "cb"
+
+
+def make_kernel(
+    graph: CSRGraph,
+    method: str = "auto",
+    machine: MachineSpec = SIMULATED_MACHINE,
+    **kwargs,
+) -> PageRankKernel:
+    """Instantiate a kernel by name (``"auto"`` applies :func:`select_method`).
+
+    Extra keyword arguments reach the kernel constructor (``bin_width`` for
+    PB/DPB, ``block_width`` for CB).
+    """
+    if method == "auto":
+        method = select_method(graph, machine)
+    if method not in KERNELS:
+        raise KeyError(
+            f"unknown method {method!r}; choose from {sorted(KERNELS)} or 'auto'"
+        )
+    return KERNELS[method](graph, machine, **kwargs)
+
+
+def pagerank(
+    graph: CSRGraph,
+    *,
+    method: str = "auto",
+    damping: float = DAMPING,
+    tolerance: float = 1e-6,
+    max_iterations: int = 100,
+    machine: MachineSpec = SIMULATED_MACHINE,
+    **kwargs,
+) -> PageRankResult:
+    """Compute PageRank scores, iterating to convergence.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (CSR).  Directed graphs use out-edges for propagation.
+    method:
+        ``"auto"`` (default, the paper's runtime heuristic) or one of
+        ``"pull"``/``"baseline"``, ``"push"``, ``"cb"``, ``"pb"``, ``"dpb"``.
+    damping:
+        The PageRank damping factor ``d`` (paper uses 0.85).
+    tolerance:
+        Stop when the L1 change of the score vector falls below this.
+    max_iterations:
+        Iteration cap.
+
+    Every method returns identical scores (up to float32 rounding); they
+    differ only in memory behaviour.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    kernel = make_kernel(graph, method, machine, **kwargs)
+    scores = init_scores(graph.num_vertices)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_scores = kernel.run(1, scores=scores, damping=damping)
+        delta = score_delta(new_scores, scores)
+        scores = new_scores
+        if delta < tolerance:
+            converged = True
+            break
+    return PageRankResult(
+        scores=scores,
+        iterations=iterations,
+        converged=converged,
+        method=kernel.name,
+    )

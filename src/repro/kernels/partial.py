@@ -1,0 +1,325 @@
+"""Partial (active-subset) propagation — paper Section IX.
+
+Many iterative graph algorithms (delta-stepping PageRank, label
+propagation, SpMSpV-style kernels) propagate from only an *active* subset
+of vertices per round.  The paper claims a structural advantage for
+propagation blocking there:
+
+    "Since the amount of communication for propagation blocking is
+    proportional to the number of propagations, unlike cache blocking,
+    propagation blocking experiences no loss in communication efficiency
+    if only a subset of the vertices are active."
+
+The asymmetry, made concrete by the traced strategies below:
+
+* **pull** must read *every* vertex's full in-neighbor list — it cannot
+  know which in-neighbors are active without looking — so its traffic is
+  independent of the active fraction;
+* **cache blocking** stores the graph pre-blocked as per-block edge lists;
+  each block's whole list must be streamed to find its active edges, so
+  edge traffic is also independent of the active fraction (only the
+  vertex-value traffic shrinks);
+* **propagation blocking** starts from CSR, jumps directly to the active
+  vertices' adjacency ranges, and bins only active propagations — every
+  term of its traffic scales with the number of active edges.
+
+:func:`partial_propagate` computes the actual sums (all strategies agree);
+:func:`partial_trace` emits each strategy's memory trace for measurement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.partition import choose_block_width, partition_by_destination
+from repro.kernels.base import compute_contributions
+from repro.kernels.bins import BinLayout, default_bin_width
+from repro.kernels.layout import (
+    build_regions,
+    gather,
+    monotone_scan,
+    scatter,
+    seq_read,
+    streaming_write,
+)
+from repro.memsim.trace import AddressSpace, Stream, TraceChunk, sequential_chunk
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+
+__all__ = ["active_edge_count", "partial_propagate", "partial_trace", "PARTIAL_METHODS"]
+
+PARTIAL_METHODS = ("pull", "push", "cb", "pb")
+
+
+def _check_active(graph: CSRGraph, active: np.ndarray) -> np.ndarray:
+    active = np.asarray(active, dtype=bool)
+    if active.shape != (graph.num_vertices,):
+        raise ValueError(
+            f"active mask must have shape ({graph.num_vertices},), got {active.shape}"
+        )
+    return active
+
+
+def active_edge_count(graph: CSRGraph, active: np.ndarray) -> int:
+    """Number of propagations a round with this active set performs."""
+    active = _check_active(graph, active)
+    return int(np.asarray(graph.out_degrees())[active].sum())
+
+
+def partial_propagate(
+    graph: CSRGraph, active: np.ndarray, scores: np.ndarray | None = None
+) -> np.ndarray:
+    """One propagation round from the active vertices only.
+
+    Returns ``sums`` where ``sums[v] = sum of contributions of v's active
+    in-neighbors``.  Strategy-independent reference semantics (all traced
+    strategies compute exactly this).
+    """
+    active = _check_active(graph, active)
+    n = graph.num_vertices
+    if scores is None:
+        scores = np.full(n, 1.0 / n, dtype=np.float32)
+    contributions = compute_contributions(scores, graph.out_degrees())
+    contributions = np.where(active, contributions, np.float32(0.0))
+    sources = graph.edge_sources()
+    per_edge = contributions[sources].astype(np.float64)
+    return np.bincount(graph.targets, weights=per_edge, minlength=n).astype(np.float32)
+
+
+def _active_adjacency_lines(
+    graph: CSRGraph, active_mask: np.ndarray, region
+) -> np.ndarray:
+    """Distinct adjacency-region lines covering the active vertices' ranges.
+
+    Active edge slots are an ascending union of CSR ranges, so mapping
+    each slot to its line and deduplicating consecutive repeats yields the
+    exact never-revisited scan the binning phase performs.
+    """
+    edge_active = active_mask[graph.edge_sources()]
+    positions = np.flatnonzero(edge_active)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.int64)
+    lines = (region.base_word + positions) // region.words_per_line
+    keep = np.empty(lines.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    return lines[keep]
+
+
+def partial_trace(
+    graph: CSRGraph,
+    active: np.ndarray,
+    method: str,
+    machine: MachineSpec = SIMULATED_MACHINE,
+) -> Iterator[TraceChunk]:
+    """Memory trace of one partial propagation round under ``method``."""
+    active = _check_active(graph, active)
+    if method not in PARTIAL_METHODS:
+        raise ValueError(f"method must be one of {PARTIAL_METHODS}, got {method!r}")
+    n = graph.num_vertices
+    active_ids = np.flatnonzero(active).astype(np.int64)
+
+    if method == "pull":
+        yield from _partial_pull(graph, machine, n)
+    elif method == "push":
+        yield from _partial_push(graph, active, active_ids, machine, n)
+    elif method == "cb":
+        yield from _partial_cb(graph, active, machine, n)
+    else:
+        yield from _partial_pb(graph, active_ids, machine, n)
+
+
+def _partial_pull(graph: CSRGraph, machine: MachineSpec, n: int):
+    """Pull ignores activity: the full gather pass runs regardless.
+
+    (Contributions of inactive vertices are zeroed, but pull still reads
+    every in-neighbor's entry to find that out.)
+    """
+    transpose = graph.transposed()
+    regions = build_regions(
+        machine,
+        {
+            "contributions": n,
+            "index": 2 * n,
+            "adjacency": max(transpose.num_edges, 1),
+            "sums": n,
+        },
+    )
+    yield seq_read(regions["index"], Stream.EDGE_INDEX, phase="partial")
+    if transpose.num_edges:
+        yield seq_read(regions["adjacency"], Stream.EDGE_ADJ, phase="partial")
+        yield gather(
+            regions["contributions"],
+            transpose.targets,
+            Stream.VERTEX_CONTRIB,
+            phase="partial",
+        )
+    yield sequential_chunk(
+        regions["sums"].sequential_lines(),
+        write=True,
+        stream=Stream.VERTEX_SUMS,
+        phase="partial",
+    )
+
+
+def _partial_push(
+    graph: CSRGraph,
+    active: np.ndarray,
+    active_ids: np.ndarray,
+    machine: MachineSpec,
+    n: int,
+):
+    """Unblocked push from the active set (vertex-centric engines' default).
+
+    Edge traffic scales with activity (CSR lets push jump to active
+    ranges), but every propagation is an unblocked read-modify-write into
+    the full sums range — the low-locality scatter PB exists to fix.
+    """
+    regions = build_regions(
+        machine,
+        {
+            "contributions": n,
+            "index": 2 * n,
+            "adjacency": max(graph.num_edges, 1),
+            "sums": n,
+        },
+    )
+    index_lines = (
+        regions["index"].line_of(
+            np.repeat(2 * active_ids, 2) + np.tile([0, 1], active_ids.size)
+        )
+        if active_ids.size
+        else np.empty(0, dtype=np.int64)
+    )
+    yield sequential_chunk(
+        np.unique(index_lines), stream=Stream.EDGE_INDEX, phase="partial"
+    )
+    adj_lines = _active_adjacency_lines(graph, active, regions["adjacency"])
+    yield sequential_chunk(adj_lines, stream=Stream.EDGE_ADJ, phase="partial")
+    yield streaming_write(regions["sums"], Stream.VERTEX_SUMS, phase="partial")
+    if active_ids.size:
+        yield monotone_scan(
+            regions["contributions"], active_ids, Stream.VERTEX_CONTRIB, phase="partial"
+        )
+        edge_active = active[graph.edge_sources()]
+        yield scatter(
+            regions["sums"],
+            graph.targets[edge_active],
+            Stream.VERTEX_SUMS,
+            phase="partial",
+        )
+
+
+def _partial_cb(graph: CSRGraph, active: np.ndarray, machine: MachineSpec, n: int):
+    """CB streams every pre-blocked edge list; only vertex traffic shrinks."""
+    width = choose_block_width(n, machine.cache_words)
+    partition = partition_by_destination(graph, width, storage="edgelist")
+    regions = build_regions(
+        machine,
+        {
+            "contributions": n,
+            "sums": n,
+            "blocks": max(2 * graph.num_edges, 1),
+        },
+    )
+    yield streaming_write(regions["sums"], Stream.VERTEX_SUMS, phase="partial")
+    word = 0
+    for block in partition.blocks:
+        if block.num_edges == 0:
+            continue
+        # The whole block edge list streams through to find active edges.
+        yield sequential_chunk(
+            regions["blocks"].sequential_lines(word, 2 * block.num_edges),
+            stream=Stream.EDGE_ADJ,
+            phase="partial",
+        )
+        word += 2 * block.num_edges
+        live = active[block.src]
+        if not live.any():
+            continue
+        # Contributions of active sources only (ascending scan with gaps).
+        yield monotone_scan(
+            regions["contributions"],
+            block.src[live],
+            Stream.VERTEX_CONTRIB,
+            phase="partial",
+        )
+        yield scatter(
+            regions["sums"], block.dst[live], Stream.VERTEX_SUMS, phase="partial"
+        )
+
+
+def _partial_pb(graph: CSRGraph, active_ids: np.ndarray, machine: MachineSpec, n: int):
+    """PB touches only the active vertices' CSR ranges and propagations."""
+    layout = BinLayout(
+        graph, min(default_bin_width(machine), _pow2_at_least(n))
+    )
+    space = AddressSpace(words_per_line=machine.words_per_line)
+    regions = {
+        name: space.allocate(name, words)
+        for name, words in {
+            "contributions": n,
+            "sums": n,
+            "index": 2 * n,
+            "adjacency": max(graph.num_edges, 1),
+        }.items()
+    }
+    # Active edges in bin-major order: filter the layout's permutation.
+    sources = graph.edge_sources()
+    active_mask = np.zeros(n, dtype=bool)
+    active_mask[active_ids] = True
+    binned_active = active_mask[sources[layout.order]]
+    binned_dst = layout.sorted_dst[binned_active]
+    # Per-bin counts of active propagations.
+    per_bin = np.empty(layout.num_bins, dtype=np.int64)
+    pos = 0
+    bin_bounds = []
+    for b in range(layout.num_bins):
+        lo, hi = int(layout.bounds[b]), int(layout.bounds[b + 1])
+        count = int(np.count_nonzero(binned_active[lo:hi]))
+        per_bin[b] = count
+        bin_bounds.append((pos, pos + count))
+        pos += count
+    bin_regions = [
+        space.allocate(f"bin_{b}", max(2 * int(per_bin[b]), 1))
+        for b in range(layout.num_bins)
+    ]
+
+    # Binning phase: index + adjacency of active vertices only (CSR lets
+    # the kernel jump straight to their ranges), contributions scan of the
+    # active ids, NT stores of the active pairs.
+    index_lines = regions["index"].line_of(
+        np.repeat(2 * active_ids, 2) + np.tile([0, 1], active_ids.size)
+    ) if active_ids.size else np.empty(0, dtype=np.int64)
+    yield sequential_chunk(
+        np.unique(index_lines), stream=Stream.EDGE_INDEX, phase="partial"
+    )
+    adj_lines = _active_adjacency_lines(graph, active_mask, regions["adjacency"])
+    yield sequential_chunk(adj_lines, stream=Stream.EDGE_ADJ, phase="partial")
+    if active_ids.size:
+        yield monotone_scan(
+            regions["contributions"], active_ids, Stream.VERTEX_CONTRIB, phase="partial"
+        )
+    for b in range(layout.num_bins):
+        if per_bin[b]:
+            yield streaming_write(bin_regions[b], Stream.BIN_DATA, phase="partial")
+
+    # Accumulate phase: drain non-empty bins into their sums slices.
+    yield streaming_write(regions["sums"], Stream.VERTEX_SUMS, phase="partial")
+    for b in range(layout.num_bins):
+        lo, hi = bin_bounds[b]
+        if lo == hi:
+            continue
+        yield seq_read(bin_regions[b], Stream.BIN_DATA, phase="partial")
+        yield scatter(
+            regions["sums"], binned_dst[lo:hi], Stream.VERTEX_SUMS, phase="partial"
+        )
+
+
+def _pow2_at_least(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power

@@ -1,0 +1,108 @@
+"""The push-direction kernel (Algorithm 2).
+
+Each vertex adds its contribution to the running sums of its *outgoing*
+neighbors; a final pass converts sums to scores.  The contribution has
+perfect locality (computed once per vertex, register-resident) but the
+scatter into ``sums[v]`` is the low-locality stream — and unlike pull's
+gathers, these are read-modify-*writes*, which in a parallel setting also
+require atomics (why the paper calls pull "often more efficient",
+Section II).
+
+Push is not one of the paper's measured configurations, but it is the
+starting point both CB and PB transform (both "compute in the push
+direction"), so it is included as a substrate and for ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.kernels.base import (
+    DAMPING,
+    InstructionModel,
+    PageRankKernel,
+    apply_damping,
+    compute_contributions,
+)
+from repro.kernels.layout import (
+    build_regions,
+    csr_stream_words,
+    scatter,
+    seq_read,
+    seq_write,
+    streaming_write,
+)
+from repro.memsim.trace import Stream, TraceChunk
+from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+
+__all__ = ["PushPageRank"]
+
+
+class PushPageRank(PageRankKernel):
+    """Push-direction PageRank with unblocked scatter-adds.
+
+    Instruction model: like the pull baseline plus a read-modify-write per
+    edge (~1 extra instruction) and the extra sums pass: ``8 m + 16 n``.
+    """
+
+    name = "push"
+    instruction_model = InstructionModel(per_edge=8.0, per_vertex=16.0)
+
+    def __init__(
+        self, graph: CSRGraph, machine: MachineSpec = SIMULATED_MACHINE
+    ) -> None:
+        super().__init__(graph, machine)
+        self._out_degrees = graph.out_degrees()
+
+    def run(
+        self,
+        num_iterations: int = 1,
+        scores: np.ndarray | None = None,
+        damping: float = DAMPING,
+    ) -> np.ndarray:
+        scores = self._initial_scores(scores)
+        graph = self.graph
+        n = graph.num_vertices
+        degrees = self._out_degrees
+        for _ in range(num_iterations):
+            contributions = compute_contributions(scores, degrees)
+            per_edge = np.repeat(contributions, degrees)
+            sums = np.bincount(
+                graph.targets, weights=per_edge.astype(np.float64), minlength=n
+            ).astype(np.float32)
+            scores = apply_damping(sums, n, damping)
+        return scores
+
+    def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
+        graph = self.graph
+        n = graph.num_vertices
+        index_words, adj_words = csr_stream_words(graph)
+        regions = build_regions(
+            self.machine,
+            {
+                "scores": n,
+                "degrees": n,
+                "sums": n,
+                "index": index_words,
+                "adjacency": max(adj_words, 1),
+            },
+        )
+        for _ in range(num_iterations):
+            # sums[:] = 0 — a large memset, modelled as streaming stores.
+            yield streaming_write(regions["sums"], Stream.VERTEX_SUMS, phase="scatter")
+            # Scatter pass: contribution is computed on the fly from the
+            # score and degree streams, then added to each out-neighbor.
+            yield seq_read(regions["scores"], Stream.VERTEX_SCORES, phase="scatter")
+            yield seq_read(regions["degrees"], Stream.VERTEX_DEGREE, phase="scatter")
+            yield seq_read(regions["index"], Stream.EDGE_INDEX, phase="scatter")
+            if adj_words:
+                yield seq_read(regions["adjacency"], Stream.EDGE_ADJ, phase="scatter")
+                yield scatter(
+                    regions["sums"], graph.targets, Stream.VERTEX_SUMS, phase="scatter"
+                )
+            # Final pass: scores from sums.
+            yield seq_read(regions["sums"], Stream.VERTEX_SUMS, phase="apply")
+            yield seq_write(regions["scores"], Stream.VERTEX_SCORES, phase="apply")

@@ -1,0 +1,86 @@
+"""Memory-system simulator: the stand-in for hardware performance counters.
+
+Kernels emit cache-line access *traces* (:mod:`repro.memsim.trace`); cache
+*engines* (:mod:`repro.memsim.cache`, :mod:`repro.memsim.fastcache`) replay
+them against an LLC model and accumulate DRAM transfers into
+:class:`~repro.memsim.counters.MemCounters` — the quantity the paper
+measures with Intel PCM.  :mod:`repro.memsim.hierarchy` adds L1 effects and
+:mod:`repro.memsim.reuse` provides miss-ratio-curve oracles.
+"""
+
+from repro.memsim.trace import (
+    AccessMode,
+    Stream,
+    STREAM_CATEGORY,
+    TraceChunk,
+    Region,
+    AddressSpace,
+    sequential_chunk,
+    irregular_chunk,
+    collapse_consecutive,
+)
+from repro.memsim.counters import MemCounters
+from repro.memsim.cache import (
+    WORD_BYTES,
+    CacheConfig,
+    FullyAssociativeLRU,
+    SetAssociativeLRU,
+    simulate,
+)
+from repro.memsim.fastcache import DirectMappedVectorized
+from repro.memsim.plru import TreePLRUCache
+from repro.memsim.traceio import save_trace, load_trace
+from repro.memsim.hierarchy import DEFAULT_L1, L1Model, TwoLevel
+from repro.memsim.reuse import (
+    reuse_distance_histogram,
+    misses_for_capacity,
+    miss_ratio_curve,
+)
+
+__all__ = [
+    "AccessMode",
+    "Stream",
+    "STREAM_CATEGORY",
+    "TraceChunk",
+    "Region",
+    "AddressSpace",
+    "sequential_chunk",
+    "irregular_chunk",
+    "collapse_consecutive",
+    "MemCounters",
+    "WORD_BYTES",
+    "CacheConfig",
+    "FullyAssociativeLRU",
+    "SetAssociativeLRU",
+    "simulate",
+    "DirectMappedVectorized",
+    "TreePLRUCache",
+    "save_trace",
+    "load_trace",
+    "DEFAULT_L1",
+    "L1Model",
+    "TwoLevel",
+    "reuse_distance_histogram",
+    "misses_for_capacity",
+    "miss_ratio_curve",
+    "make_engine",
+]
+
+
+def make_engine(name: str, config: CacheConfig):
+    """Engine factory: ``"flru"`` (default), ``"set"``, ``"plru"`` or ``"dmap"``."""
+    if name == "flru":
+        return FullyAssociativeLRU(config)
+    if name == "set":
+        return SetAssociativeLRU(config)
+    if name == "plru":
+        if config.ways is None:
+            config = CacheConfig(
+                config.capacity_bytes, config.line_bytes, ways=min(16, config.num_lines)
+            )
+        return TreePLRUCache(config)
+    if name == "dmap":
+        return DirectMappedVectorized(config)
+    raise ValueError(
+        f"unknown engine {name!r}; choose 'flru', 'set', 'plru', or 'dmap'"
+    )

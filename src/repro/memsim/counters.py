@@ -1,0 +1,161 @@
+"""DRAM traffic counters — the reproduction of Intel PCM's memory counters.
+
+The paper measures "memory reads" and "memory writes" in units of cache-line
+transfers using hardware performance counters (Section VI).  Our counters
+accumulate the same two quantities from the cache simulator, broken down by
+:class:`~repro.memsim.trace.Stream` and by phase so that Figure 3 (edge vs
+vertex traffic) and Figure 11 (binning vs accumulate) fall out directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.memsim.trace import STREAM_CATEGORY, Stream
+
+__all__ = ["MemCounters"]
+
+
+@dataclass
+class MemCounters:
+    """Accumulated DRAM line transfers and cache hit statistics.
+
+    Attributes
+    ----------
+    reads, writes:
+        Per-stream DRAM line transfers.  ``reads`` includes write-allocate
+        fills; ``writes`` includes write-backs of dirty lines and
+        non-temporal stores.
+    hits, accesses:
+        Per-stream cache hits and total accesses (SEQUENTIAL chunks count
+        as accesses that always miss).
+    phase_reads, phase_writes:
+        The same read/write totals keyed by kernel phase label.
+    irregular_requests, irregular_accesses:
+        Transfers and accesses attributable to IRREGULAR (data-dependent)
+        chunks — the requests whose memory-level parallelism is limited by
+        the instruction window (the paper's Section VI-A bottleneck
+        discussion; used by the MLP-coupled time model).
+    """
+
+    reads: dict[Stream, int] = field(default_factory=lambda: defaultdict(int))
+    writes: dict[Stream, int] = field(default_factory=lambda: defaultdict(int))
+    hits: dict[Stream, int] = field(default_factory=lambda: defaultdict(int))
+    accesses: dict[Stream, int] = field(default_factory=lambda: defaultdict(int))
+    phase_reads: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    phase_writes: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    irregular_requests: int = 0
+    irregular_accesses: int = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        stream: Stream,
+        *,
+        reads: int = 0,
+        writes: int = 0,
+        hits: int = 0,
+        accesses: int = 0,
+        phase: str = "",
+        irregular: bool = False,
+    ) -> None:
+        """Add transfers/hits for one chunk's processing."""
+        if reads:
+            self.reads[stream] += reads
+        if writes:
+            self.writes[stream] += writes
+        if hits:
+            self.hits[stream] += hits
+        if accesses:
+            self.accesses[stream] += accesses
+        if irregular:
+            self.irregular_requests += reads + writes
+            self.irregular_accesses += accesses
+        if phase:
+            if reads:
+                self.phase_reads[phase] += reads
+            if writes:
+                self.phase_writes[phase] += writes
+
+    def merge(self, other: "MemCounters") -> None:
+        """Accumulate ``other`` into ``self`` (used by multi-phase kernels)."""
+        self.irregular_requests += other.irregular_requests
+        self.irregular_accesses += other.irregular_accesses
+        for src, dst in (
+            (other.reads, self.reads),
+            (other.writes, self.writes),
+            (other.hits, self.hits),
+            (other.accesses, self.accesses),
+        ):
+            for key, value in src.items():
+                dst[key] += value
+        for src2, dst2 in (
+            (other.phase_reads, self.phase_reads),
+            (other.phase_writes, self.phase_writes),
+        ):
+            for key2, value2 in src2.items():
+                dst2[key2] += value2
+
+    # ------------------------------------------------------------------
+    # totals
+    # ------------------------------------------------------------------
+    @property
+    def total_reads(self) -> int:
+        """DRAM line reads — the paper's "Memory Reads" column."""
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> int:
+        """DRAM line writes — the paper's "Memory Writes" column."""
+        return sum(self.writes.values())
+
+    @property
+    def total_requests(self) -> int:
+        """Reads + writes — total memory requests (GAIL's communication)."""
+        return self.total_reads + self.total_writes
+
+    def category_reads(self, category: str) -> int:
+        """DRAM reads for one coarse category ("edge", "vertex", "bin")."""
+        return sum(
+            count
+            for stream, count in self.reads.items()
+            if STREAM_CATEGORY[stream] == category
+        )
+
+    def category_requests(self, category: str) -> int:
+        """DRAM requests (reads+writes) for one coarse category."""
+        reads = self.category_reads(category)
+        writes = sum(
+            count
+            for stream, count in self.writes.items()
+            if STREAM_CATEGORY[stream] == category
+        )
+        return reads + writes
+
+    def vertex_read_fraction(self) -> float:
+        """Fraction of DRAM *reads* that are vertex traffic — Figure 3's y axis."""
+        total = self.total_reads
+        if total == 0:
+            return 0.0
+        return self.category_reads("vertex") / total
+
+    def requests_per_edge(self, num_edges: int) -> float:
+        """GAIL communication metric (Figure 6-8's y axis)."""
+        if num_edges <= 0:
+            raise ValueError(f"num_edges must be positive, got {num_edges}")
+        return self.total_requests / num_edges
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary dictionary for reports."""
+        return {
+            "reads": float(self.total_reads),
+            "writes": float(self.total_writes),
+            "requests": float(self.total_requests),
+            "edge_reads": float(self.category_reads("edge")),
+            "vertex_reads": float(self.category_reads("vertex")),
+            "bin_reads": float(self.category_reads("bin")),
+            "vertex_read_fraction": self.vertex_read_fraction(),
+        }

@@ -1,0 +1,109 @@
+"""Vectorized direct-mapped cache engine.
+
+For large sweeps the per-access Python loop of the exact LRU engines
+dominates runtime.  This engine trades the LRU replacement policy for a
+direct-mapped one, which admits a fully vectorized O(N log N) NumPy
+implementation:
+
+1. concatenate every IRREGULAR access into one array (SEQUENTIAL chunks
+   bypass the cache in all engines, so cross-chunk state only involves
+   irregular accesses);
+2. stable-sort by set index — each set's accesses form a contiguous
+   subsequence in program order;
+3. within a set's subsequence, an access misses iff its line differs from
+   the previous access's line (the set holds exactly one line); runs of
+   equal lines form *residencies*, and a residency writes back iff any
+   access in it was a store.
+
+Direct-mapped caches suffer conflict misses a 16/20-way LLC would not,
+especially when a hot slice coexists with other data, so this engine
+slightly *overestimates* traffic for the blocked kernels.  Use it for
+quick, large-scale exploration; use :class:`~repro.memsim.cache.
+FullyAssociativeLRU` (the default everywhere in the harness) for numbers
+you report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memsim.cache import CacheConfig, _EngineBase
+from repro.memsim.counters import MemCounters
+from repro.memsim.trace import TraceChunk
+
+__all__ = ["DirectMappedVectorized"]
+
+
+class DirectMappedVectorized(_EngineBase):
+    """Direct-mapped write-back cache evaluated with vectorized NumPy.
+
+    Unlike the exact engines this one buffers irregular chunks and resolves
+    them in :meth:`flush` (or when :func:`~repro.memsim.cache.simulate`
+    flushes at the end), because vectorization needs the whole access
+    sequence at once.  Results are exact *for the direct-mapped policy*.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        if config.ways not in (None, 1):
+            raise ValueError("DirectMappedVectorized supports ways=1 only")
+        self.config = CacheConfig(config.capacity_bytes, config.line_bytes, ways=1)
+        self._pending: list[TraceChunk] = []
+
+    def _process_irregular(self, chunk: TraceChunk, counters: MemCounters) -> None:
+        self._pending.append(chunk)
+
+    def flush(self, counters: MemCounters) -> None:
+        """Resolve all buffered irregular accesses and write back dirty lines."""
+        chunks, self._pending = self._pending, []
+        if not chunks:
+            return
+        lines = np.concatenate([c.lines for c in chunks])
+        if lines.size == 0:
+            return
+        writes = np.concatenate(
+            [np.full(c.num_accesses, c.write, dtype=bool) for c in chunks]
+        )
+        stream_codes = np.concatenate(
+            [np.full(c.num_accesses, i, dtype=np.int32) for i, c in enumerate(chunks)]
+        )
+
+        num_sets = self.config.num_lines  # 1 line per set
+        set_idx = lines % num_sets
+        order = np.argsort(set_idx, kind="stable")
+        s_lines = lines[order]
+        s_sets = set_idx[order]
+        s_writes = writes[order]
+        s_codes = stream_codes[order]
+
+        # A residency starts where the set changes or the line changes.
+        boundary = np.empty(s_lines.size, dtype=bool)
+        boundary[0] = True
+        np.logical_or(
+            s_sets[1:] != s_sets[:-1], s_lines[1:] != s_lines[:-1], out=boundary[1:]
+        )
+        run_id = np.cumsum(boundary) - 1
+        num_runs = int(run_id[-1]) + 1
+
+        # Every residency begins with a miss (fill read, incl. write-allocate).
+        miss_codes = s_codes[boundary]
+        # A residency is dirty iff any access in it stored.
+        run_dirty = np.zeros(num_runs, dtype=bool)
+        np.logical_or.at(run_dirty, run_id, s_writes)
+        # A dirty residency is written back when evicted (next run in the
+        # same set) or at the final flush — either way, exactly once.
+        writeback_codes = miss_codes[run_dirty]
+
+        hit_mask = ~boundary
+        for i, chunk in enumerate(chunks):
+            reads = int(np.count_nonzero(miss_codes == i))
+            wb = int(np.count_nonzero(writeback_codes == i))
+            hits = int(np.count_nonzero(hit_mask & (s_codes == i)))
+            counters.record(
+                chunk.stream,
+                reads=reads,
+                writes=wb,
+                hits=hits,
+                accesses=chunk.num_accesses,
+                phase=chunk.phase,
+                irregular=True,
+            )

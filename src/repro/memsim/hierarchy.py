@@ -1,0 +1,152 @@
+"""Multi-level cache modelling.
+
+The paper's communication analysis uses a single level (the LLC), but two
+of its results hinge on the *L1*:
+
+* Figure 10 — bins that are too small make the binning phase slow because
+  the many bin insertion points no longer fit in L1;
+* Figure 11 — "these L1 misses reduce performance, but they do not greatly
+  increase memory traffic because they result in mostly L3 hits".
+
+:class:`L1Model` reproduces exactly that effect: it simulates a small L1
+over one access stream (the bin insertion pointers) and reports the hit/
+miss split, which the time model converts into extra cycles without adding
+DRAM traffic.  :class:`TwoLevel` is the general composition — an L1 filter
+in front of any LLC engine — provided for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memsim.cache import CacheConfig, _EngineBase
+from repro.memsim.counters import MemCounters
+from repro.memsim.trace import (
+    Stream,
+    TraceChunk,
+    collapse_consecutive,
+    irregular_chunk,
+)
+
+__all__ = ["L1Model", "TwoLevel", "DEFAULT_L1"]
+
+#: 32 KiB, 64 B lines — the classic per-core L1D (the paper's Ivy Bridge).
+DEFAULT_L1 = CacheConfig(capacity_bytes=32 * 1024, line_bytes=64)
+
+
+class L1Model:
+    """Hit/miss analysis of a single access stream against a small L1.
+
+    The stream is simulated through an exact fully-associative LRU of L1
+    size.  Real L1s are 8-way set-associative; for the bin-pointer streams
+    this model is driven by (tens to thousands of distinct lines, heavy
+    reuse) the associativity difference is negligible next to the capacity
+    cliff the experiment is about.
+    """
+
+    def __init__(self, config: CacheConfig = DEFAULT_L1) -> None:
+        self.config = config
+
+    def analyze(self, lines: np.ndarray) -> dict[str, int]:
+        """Return ``{"accesses", "hits", "misses"}`` for the line stream."""
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        collapsed, pre_hits = collapse_consecutive(lines)
+        cache: dict[int, bool] = {}
+        capacity = self.config.num_lines
+        pop = cache.pop
+        misses = 0
+        for line in collapsed.tolist():
+            if pop(line, None) is None:
+                misses += 1
+                cache[line] = False
+                if len(cache) > capacity:
+                    pop(next(iter(cache)))
+            else:
+                cache[line] = False
+        accesses = int(lines.size)
+        return {"accesses": accesses, "hits": accesses - misses, "misses": misses}
+
+
+class TwoLevel(_EngineBase):
+    """An exact L1 filter composed in front of an LLC engine.
+
+    IRREGULAR chunks are filtered: L1 hits are absorbed; L1 misses are
+    forwarded (in order) to the LLC engine as reads, and dirty L1 evictions
+    as writes, modelling an inclusive write-back hierarchy.  SEQUENTIAL
+    chunks stream through both levels untouched (they miss everywhere once,
+    which is how the base engines already charge them).
+    """
+
+    def __init__(self, l1_config: CacheConfig, llc_engine: _EngineBase) -> None:
+        if l1_config.capacity_bytes >= llc_engine.config.capacity_bytes:
+            raise ValueError("L1 must be smaller than the LLC")
+        if l1_config.line_bytes != llc_engine.config.line_bytes:
+            raise ValueError("L1 and LLC must share a line size")
+        self.config = llc_engine.config
+        self.l1_config = l1_config
+        self.llc = llc_engine
+        self._l1: dict[int, bool] = {}
+        self.l1_hits = 0
+        self.l1_misses = 0
+
+    def _process_irregular(self, chunk: TraceChunk, counters: MemCounters) -> None:
+        cache = self._l1
+        capacity = self.l1_config.num_lines
+        write = chunk.write
+        pop = cache.pop
+        forwarded_reads: list[int] = []
+        forwarded_writes: list[int] = []
+        hits = 0
+        for line in chunk.lines.tolist():
+            dirty = pop(line, None)
+            if dirty is None:
+                forwarded_reads.append(line)
+                cache[line] = write
+                if len(cache) > capacity:
+                    victim = next(iter(cache))
+                    if pop(victim):
+                        forwarded_writes.append(victim)
+            else:
+                hits += 1
+                cache[line] = dirty or write
+        self.l1_hits += hits
+        self.l1_misses += len(forwarded_reads)
+        if forwarded_reads:
+            self.llc.process_chunk(
+                irregular_chunk(
+                    np.asarray(forwarded_reads, dtype=np.int64),
+                    write=False,
+                    stream=chunk.stream,
+                    phase=chunk.phase,
+                ),
+                counters,
+            )
+        if forwarded_writes:
+            self.llc.process_chunk(
+                irregular_chunk(
+                    np.asarray(forwarded_writes, dtype=np.int64),
+                    write=True,
+                    stream=chunk.stream,
+                    phase=chunk.phase,
+                ),
+                counters,
+            )
+
+    def _process_sequential(self, chunk: TraceChunk, counters: MemCounters) -> None:
+        self.l1_misses += chunk.num_accesses
+        self.llc.process_chunk(chunk, counters)
+
+    def flush(self, counters: MemCounters) -> None:
+        """Drain dirty L1 lines into the LLC, then flush the LLC."""
+        dirty_lines = [line for line, dirty in self._l1.items() if dirty]
+        self._l1.clear()
+        if dirty_lines:
+            self.llc.process_chunk(
+                irregular_chunk(
+                    np.asarray(dirty_lines, dtype=np.int64),
+                    write=True,
+                    stream=Stream.OTHER,
+                ),
+                counters,
+            )
+        self.llc.flush(counters)

@@ -1,0 +1,249 @@
+"""Memory access traces: the interface between kernels and cache engines.
+
+A *trace* is a sequence of :class:`TraceChunk` objects, each describing a
+homogeneous burst of cache-line accesses: all reads or all writes, all
+belonging to one logical *stream* (edge index, adjacency, contributions,
+sums, bins, ...).  Kernels in :mod:`repro.kernels` emit traces; engines in
+:mod:`repro.memsim.cache` consume them and count DRAM line transfers, the
+paper's "memory requests" metric.
+
+Chunks come in two access modes:
+
+* ``SEQUENTIAL`` — a streaming scan of distinct, consecutive lines that the
+  program never revisits (CSR adjacency, edge-list blocks, bins).  Engines
+  count these analytically (one compulsory transfer per line) and do **not**
+  install them in the simulated cache.  This encodes the standard
+  no-pollution assumption for streaming data on a high-associativity LLC,
+  and matches the paper's model, which charges streaming structures exactly
+  ``words/b`` lines (Section V).
+* ``IRREGULAR`` — data-dependent accesses (contribution gathers, sums
+  scatters) that go through the simulated LRU state access by access.
+
+Addresses are *cache-line indices* in a flat word-addressed space managed by
+:class:`AddressSpace`, which assigns each named array a line-aligned region.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_power_of_two
+
+__all__ = [
+    "AccessMode",
+    "Stream",
+    "STREAM_CATEGORY",
+    "TraceChunk",
+    "Region",
+    "AddressSpace",
+    "sequential_chunk",
+    "irregular_chunk",
+    "collapse_consecutive",
+]
+
+
+class AccessMode(enum.Enum):
+    """How a chunk's lines interact with the simulated cache."""
+
+    SEQUENTIAL = "sequential"
+    IRREGULAR = "irregular"
+
+
+class Stream(enum.Enum):
+    """Logical data stream an access belongs to.
+
+    The edge/vertex split is what Figure 3 plots; the finer breakdown keys
+    the per-structure accounting in Table III-style reports.
+    """
+
+    EDGE_INDEX = "edge_index"  #: CSR offsets (64-bit pointers, 2 words each)
+    EDGE_ADJ = "edge_adj"  #: CSR targets / edge-list blocks
+    VERTEX_SCORES = "vertex_scores"  #: PR[:] array
+    VERTEX_CONTRIB = "vertex_contrib"  #: contributions array
+    VERTEX_SUMS = "vertex_sums"  #: sums array
+    VERTEX_DEGREE = "vertex_degree"  #: out-degree array
+    BIN_DATA = "bin_data"  #: (contribution, destination) pairs or contributions
+    BIN_DEST = "bin_dest"  #: DPB's reusable destination-index arrays
+    OTHER = "other"
+
+
+#: Coarse category per stream: "edge", "vertex", or "bin" traffic.
+STREAM_CATEGORY: dict[Stream, str] = {
+    Stream.EDGE_INDEX: "edge",
+    Stream.EDGE_ADJ: "edge",
+    Stream.VERTEX_SCORES: "vertex",
+    Stream.VERTEX_CONTRIB: "vertex",
+    Stream.VERTEX_SUMS: "vertex",
+    Stream.VERTEX_DEGREE: "vertex",
+    Stream.BIN_DATA: "bin",
+    Stream.BIN_DEST: "bin",
+    Stream.OTHER: "other",
+}
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One homogeneous burst of cache-line accesses.
+
+    Attributes
+    ----------
+    lines:
+        ``int64`` array of cache-line indices, in program order.
+    write:
+        Whether the burst stores (True) or loads (False).
+    stream:
+        Logical stream for per-structure accounting.
+    mode:
+        :class:`AccessMode` — see module docstring.
+    streaming_store:
+        Non-temporal store semantics (paper Section VII): the line is
+        written to DRAM without the write-allocate read.  Only meaningful
+        with ``write=True``.
+    phase:
+        Optional label ("binning", "accumulate", ...) used by the
+        phase-breakdown experiment (Figure 11).
+    """
+
+    lines: np.ndarray
+    write: bool
+    stream: Stream
+    mode: AccessMode
+    streaming_store: bool = False
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        lines = np.ascontiguousarray(self.lines, dtype=np.int64)
+        if lines.ndim != 1:
+            raise ValueError("lines must be a 1-D array")
+        object.__setattr__(self, "lines", lines)
+        if self.streaming_store and not self.write:
+            raise ValueError("streaming_store requires write=True")
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.lines.size)
+
+
+def sequential_chunk(
+    lines: np.ndarray,
+    *,
+    write: bool = False,
+    stream: Stream = Stream.OTHER,
+    streaming_store: bool = False,
+    phase: str = "",
+) -> TraceChunk:
+    """Build a SEQUENTIAL chunk (one compulsory transfer per distinct line)."""
+    return TraceChunk(
+        lines, write, stream, AccessMode.SEQUENTIAL, streaming_store, phase
+    )
+
+
+def irregular_chunk(
+    lines: np.ndarray,
+    *,
+    write: bool = False,
+    stream: Stream = Stream.OTHER,
+    phase: str = "",
+) -> TraceChunk:
+    """Build an IRREGULAR chunk (simulated access by access)."""
+    return TraceChunk(lines, write, stream, AccessMode.IRREGULAR, False, phase)
+
+
+def collapse_consecutive(lines: np.ndarray) -> tuple[np.ndarray, int]:
+    """Collapse runs of identical consecutive lines.
+
+    Returns ``(collapsed, num_removed)``.  Back-to-back accesses to the same
+    line are guaranteed cache hits under any LRU cache with >= 1 line, so
+    engines may collapse them up front and credit the removed accesses as
+    hits; on high-spatial-locality gathers (web graph) this removes most of
+    the per-access simulation work.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    if lines.size <= 1:
+        return lines, 0
+    keep = np.empty(lines.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    collapsed = lines[keep]
+    return collapsed, int(lines.size - collapsed.size)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, line-aligned span of the simulated address space."""
+
+    name: str
+    base_word: int
+    num_words: int
+    words_per_line: int
+
+    @property
+    def base_line(self) -> int:
+        return self.base_word // self.words_per_line
+
+    @property
+    def num_lines(self) -> int:
+        return -(-self.num_words // self.words_per_line)
+
+    def line_of(self, word_indices: np.ndarray) -> np.ndarray:
+        """Cache-line index of each word offset into this region."""
+        idx = np.asarray(word_indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_words):
+            raise IndexError(
+                f"word indices out of range for region {self.name!r} "
+                f"(size {self.num_words})"
+            )
+        return (self.base_word + idx) // self.words_per_line
+
+    def sequential_lines(
+        self, start_word: int = 0, num_words: int | None = None
+    ) -> np.ndarray:
+        """Distinct line indices covering ``[start_word, start_word+num_words)``."""
+        if num_words is None:
+            num_words = self.num_words - start_word
+        if num_words <= 0:
+            return np.empty(0, dtype=np.int64)
+        first = (self.base_word + start_word) // self.words_per_line
+        last = (self.base_word + start_word + num_words - 1) // self.words_per_line
+        return np.arange(first, last + 1, dtype=np.int64)
+
+
+class AddressSpace:
+    """Allocator handing out disjoint line-aligned regions to named arrays.
+
+    Mirrors how the paper's C++ implementation lays out its arrays: every
+    structure (scores, contributions, sums, CSR index, adjacency, bins) gets
+    its own contiguous allocation, so two structures never share a cache
+    line.
+    """
+
+    def __init__(self, words_per_line: int = 16) -> None:
+        check_power_of_two("words_per_line", words_per_line)
+        self.words_per_line = words_per_line
+        self._next_word = 0
+        self._regions: dict[str, Region] = {}
+
+    def allocate(self, name: str, num_words: int) -> Region:
+        """Reserve ``num_words`` (line-aligned) under ``name``."""
+        check_positive("num_words", num_words)
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        region = Region(name, self._next_word, int(num_words), self.words_per_line)
+        aligned = -(-int(num_words) // self.words_per_line) * self.words_per_line
+        self._next_word += aligned
+        self._regions[name] = region
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    @property
+    def total_words(self) -> int:
+        """Words allocated so far (the simulated footprint)."""
+        return self._next_word

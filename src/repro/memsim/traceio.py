@@ -1,0 +1,96 @@
+"""Trace serialization: save a kernel's access trace, replay it later.
+
+Traces are the interface between kernels and cache engines; being able to
+persist them enables (a) regression-testing memory behaviour against a
+golden trace, (b) replaying one trace against many cache configurations
+without re-running the kernel, and (c) exporting workloads to external
+cache simulators.
+
+Format: a single ``.npz`` holding the concatenated line addresses plus
+per-chunk metadata columns (offsets, flags, stream/phase tables).  Lossless
+round trip for every :class:`~repro.memsim.trace.TraceChunk` field.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.memsim.trace import AccessMode, Stream, TraceChunk
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(path: str | os.PathLike, trace) -> int:
+    """Serialize an iterable of chunks to ``path``; returns the chunk count.
+
+    The trace iterable is consumed.  Phases and streams are interned into
+    small lookup tables so the file stays compact.
+    """
+    chunks = list(trace)
+    lines = (
+        np.concatenate([c.lines for c in chunks])
+        if chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
+    np.cumsum([c.num_accesses for c in chunks], out=offsets[1:])
+    stream_names = sorted({c.stream.value for c in chunks})
+    phase_names = sorted({c.phase for c in chunks})
+    stream_index = {name: i for i, name in enumerate(stream_names)}
+    phase_index = {name: i for i, name in enumerate(phase_names)}
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        lines=lines,
+        offsets=offsets,
+        write=np.array([c.write for c in chunks], dtype=bool),
+        sequential=np.array(
+            [c.mode is AccessMode.SEQUENTIAL for c in chunks], dtype=bool
+        ),
+        streaming_store=np.array([c.streaming_store for c in chunks], dtype=bool),
+        stream_codes=np.array(
+            [stream_index[c.stream.value] for c in chunks], dtype=np.int16
+        ),
+        phase_codes=np.array(
+            [phase_index[c.phase] for c in chunks], dtype=np.int16
+        ),
+        stream_names=np.array(stream_names, dtype=object),
+        phase_names=np.array(phase_names, dtype=object),
+    )
+    return len(chunks)
+
+
+def load_trace(path: str | os.PathLike) -> list[TraceChunk]:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=True) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace file version {version} (expected {_FORMAT_VERSION})"
+            )
+        lines = data["lines"]
+        offsets = data["offsets"]
+        stream_names = [str(s) for s in data["stream_names"]]
+        phase_names = [str(p) for p in data["phase_names"]]
+        chunks = []
+        for i in range(offsets.size - 1):
+            mode = (
+                AccessMode.SEQUENTIAL
+                if bool(data["sequential"][i])
+                else AccessMode.IRREGULAR
+            )
+            chunks.append(
+                TraceChunk(
+                    lines=lines[offsets[i] : offsets[i + 1]],
+                    write=bool(data["write"][i]),
+                    stream=Stream(stream_names[int(data["stream_codes"][i])]),
+                    mode=mode,
+                    streaming_store=bool(data["streaming_store"][i]),
+                    phase=phase_names[int(data["phase_codes"][i])],
+                )
+            )
+        return chunks

@@ -1,0 +1,54 @@
+"""Analytic models: machines, communication (paper Section V), time, GAIL."""
+
+from repro.models.machine import MachineSpec, IVY_BRIDGE_SERVER, SIMULATED_MACHINE
+from repro.models.communication import (
+    ModelParams,
+    paper_pull_reads,
+    paper_cb_csr_reads,
+    paper_cb_edgelist_reads,
+    paper_pb_reads,
+    paper_pb_writes,
+    pb_beats_pull_line_size,
+    pb_beats_cb_blocks,
+    detailed_pull,
+    detailed_cb_edgelist,
+    detailed_pb,
+    expected_touched_lines,
+)
+from repro.models.performance import (
+    bottleneck_time,
+    TimeBreakdown,
+    kernel_time,
+    pb_phase_times,
+)
+from repro.models.gail import GailMetrics, gail_metrics
+from repro.models.energy import EnergyModel, DEFAULT_ENERGY_MODEL
+from repro.models.utilization import useful_words, line_utilization
+
+__all__ = [
+    "MachineSpec",
+    "IVY_BRIDGE_SERVER",
+    "SIMULATED_MACHINE",
+    "ModelParams",
+    "paper_pull_reads",
+    "paper_cb_csr_reads",
+    "paper_cb_edgelist_reads",
+    "paper_pb_reads",
+    "paper_pb_writes",
+    "pb_beats_pull_line_size",
+    "pb_beats_cb_blocks",
+    "detailed_pull",
+    "detailed_cb_edgelist",
+    "detailed_pb",
+    "expected_touched_lines",
+    "bottleneck_time",
+    "TimeBreakdown",
+    "kernel_time",
+    "pb_phase_times",
+    "GailMetrics",
+    "gail_metrics",
+    "EnergyModel",
+    "DEFAULT_ENERGY_MODEL",
+    "useful_words",
+    "line_utilization",
+]

@@ -1,0 +1,203 @@
+"""Analytic communication models (paper Section V).
+
+The paper derives closed-form cache-line counts for each strategy on a
+uniform random graph, using parameters
+
+====== =====================================================
+``n``  number of vertices
+``k``  average directed degree (``kn = m``)
+``b``  words per cache line (16 for 64 B lines, 32-bit words)
+``c``  words of cache capacity
+``r``  number of graph blocks for cache blocking
+====== =====================================================
+
+Two families of formulas are provided:
+
+* ``paper_*`` — the exact expressions printed in Section V.  These ignore
+  small per-pass terms (degree reads, write-allocate fills) because the
+  paper only needs leading-order behaviour.
+* ``detailed_*`` — the same models extended with every term our traced
+  kernels actually emit, so simulator-vs-model agreement can be asserted
+  tightly in tests (the paper does the analogous validation in Figure 3:
+  "The traffic we measure for reading only the graph is also in close
+  agreement with our model").
+
+All results are cache-line counts for **one** PageRank iteration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ModelParams",
+    "paper_pull_reads",
+    "paper_cb_csr_reads",
+    "paper_cb_edgelist_reads",
+    "paper_pb_reads",
+    "paper_pb_writes",
+    "pb_beats_pull_line_size",
+    "pb_beats_cb_blocks",
+    "detailed_pull",
+    "detailed_cb_edgelist",
+    "detailed_pb",
+    "expected_touched_lines",
+]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Parameter bundle for the Section V models."""
+
+    n: int  #: vertices
+    k: float  #: average directed degree
+    b: int  #: words per cache line
+    c: int  #: cache capacity in words
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_positive("k", self.k)
+        check_positive("b", self.b)
+        check_positive("c", self.c)
+
+    @property
+    def m(self) -> float:
+        """Directed edges ``kn``."""
+        return self.k * self.n
+
+    @property
+    def miss_rate(self) -> float:
+        """The model's gather miss rate ``1 - c/n`` (clamped at 0)."""
+        return max(0.0, 1.0 - self.c / self.n)
+
+
+# ----------------------------------------------------------------------
+# the paper's formulas, verbatim
+# ----------------------------------------------------------------------
+def paper_pull_reads(p: ModelParams) -> float:
+    """Pull baseline: ``((1 - c/n) + 3/(kb) + 1/b) kn`` (Section V)."""
+    return (p.miss_rate + 3.0 / (p.k * p.b) + 1.0 / p.b) * p.k * p.n
+
+
+def paper_cb_csr_reads(p: ModelParams, r: int) -> float:
+    """1-D cache blocking, CSR blocks: ``(k + 3r + 1) n / b`` (Section V-A)."""
+    check_positive("r", r)
+    return (p.k + 3.0 * r + 1.0) * p.n / p.b
+
+
+def paper_cb_edgelist_reads(p: ModelParams, r: int) -> float:
+    """1-D cache blocking, edge-list blocks: ``(2k + r + 1) n / b``."""
+    check_positive("r", r)
+    return (2.0 * p.k + r + 1.0) * p.n / p.b
+
+
+def paper_pb_reads(p: ModelParams) -> float:
+    """Propagation blocking: ``(3 + 3/k) kn / b`` (Section V-B)."""
+    return (3.0 + 3.0 / p.k) * p.k * p.n / p.b
+
+
+def paper_pb_writes(p: ModelParams, *, reuse_destinations: bool = True) -> float:
+    """PB writes: ``(1 + 1/k) kn/b`` with destination reuse (DPB), one more
+    ``kn/b`` without (PB re-writes the destination ids every iteration)."""
+    base = (1.0 + 1.0 / p.k) * p.k * p.n / p.b
+    return base if reuse_destinations else base + p.k * p.n / p.b
+
+
+# ----------------------------------------------------------------------
+# crossover conditions (Section V-C)
+# ----------------------------------------------------------------------
+def pb_beats_pull_line_size(p: ModelParams) -> float:
+    """PB communicates less than pull when ``b >= 3 / (1 - c/n)``.
+
+    Returns that threshold line size (in words); ``inf`` when the graph
+    fits in cache (pull never misses, blocking can't win).
+    """
+    if p.miss_rate == 0.0:
+        return math.inf
+    return 3.0 / p.miss_rate
+
+
+def pb_beats_cb_blocks(p: ModelParams) -> float:
+    """PB communicates less than CB (edge list) when ``r >= 2k + 2``."""
+    return 2.0 * p.k + 2.0
+
+
+# ----------------------------------------------------------------------
+# detailed models matching the traced kernels
+# ----------------------------------------------------------------------
+def expected_touched_lines(num_lines: float, accesses: float) -> float:
+    """Expected distinct lines touched by uniform random accesses.
+
+    ``num_lines (1 - (1 - 1/num_lines)^accesses)`` — the coupon-collector
+    coverage term used for cache blocking's per-block contribution scans.
+    """
+    if num_lines <= 0:
+        return 0.0
+    return num_lines * (1.0 - (1.0 - 1.0 / num_lines) ** accesses)
+
+
+def detailed_pull(p: ModelParams) -> dict[str, float]:
+    """Reads/writes of the traced pull kernel.
+
+    Adds to the paper's model: the degree-array read, the contributions
+    write-allocate, and the scores write-allocate (all ``n/b``), plus the
+    two dirty write-backs.
+    """
+    nv = p.n / p.b
+    reads = p.miss_rate * p.m + p.m / p.b + 6.0 * nv
+    writes = 2.0 * nv  # contributions + scores write-backs
+    return {"reads": reads, "writes": writes}
+
+
+def detailed_cb_edgelist(p: ModelParams, r: int) -> dict[str, float]:
+    """Reads/writes of the traced edge-list cache-blocking kernel.
+
+    The contribution re-reads use the coverage expectation: with ``kn/r``
+    edges per block, a block touches ``E[lines]`` of the ``n/b``
+    contribution lines rather than all of them (this matters for sparse
+    graphs, where the paper's ``r n/b`` term is an upper bound).
+    """
+    check_positive("r", r)
+    nv = p.n / p.b
+    edges_per_block = p.m / r
+    contrib_lines = r * expected_touched_lines(nv, edges_per_block)
+    reads = (
+        2.0 * p.m / p.b  # edge-list blocks (2 words/edge)
+        + contrib_lines  # per-block contribution scans
+        + nv  # sums compulsory (write-allocate fills)
+        + 3.0 * nv  # contrib pass: scores + degrees + contributions allocate
+        + 2.0 * nv  # apply pass: sums read + scores allocate
+    )
+    # Contributions + scores write-backs, the NT memset of sums, and the
+    # per-block sums write-backs: 4 n/b in total.
+    writes = 4.0 * nv
+    return {"reads": reads, "writes": writes}
+
+
+def detailed_pb(p: ModelParams, *, reuse_destinations: bool) -> dict[str, float]:
+    """Reads/writes of the traced PB/DPB kernels (leading terms).
+
+    Per-bin line rounding (one partially-filled line per bin per array) is
+    not included; with the default widths it is under 1 % of bin traffic.
+    """
+    nv = p.n / p.b
+    pair_lines = 2.0 * p.m / p.b  # pairs, or contributions + dest indices
+    reads = (
+        p.m / p.b  # adjacency
+        + 2.0 * nv  # CSR index
+        + 2.0 * nv  # binning: scores + degrees
+        + pair_lines  # accumulate: bin data
+        + nv  # accumulate: sums compulsory (allocate)
+        + 2.0 * nv  # apply: sums + scores allocate
+    )
+    bin_writes = pair_lines / 2.0 if reuse_destinations else pair_lines
+    writes = (
+        bin_writes  # binning-phase NT stores
+        + nv  # sums memset (NT)
+        + nv  # sums write-backs
+        + nv  # scores write-backs
+    )
+    return {"reads": reads, "writes": writes}

@@ -1,0 +1,81 @@
+"""Energy model — the paper's opening motivation, quantified.
+
+Section I: "Reducing communication can also save energy, as moving data
+consumes more energy than the arithmetic operations that manipulate it",
+citing Choi et al.'s roofline model of energy.  This module applies that
+model to our measurements: total energy is a DRAM-transfer term plus an
+instruction term,
+
+    E = e_line * (reads + writes) + e_instr * instructions
+
+with defaults in the range the architecture literature reports for the
+paper's 22 nm era (~10 nJ per 64 B DRAM line transfer, ~70 pJ per
+executed instruction including core overheads).  Because propagation
+blocking trades a ~4x instruction increase for a ~3-4x traffic decrease,
+whether it saves *energy* depends on exactly this ratio — and the model
+shows it does, except on high-locality inputs (see
+``benchmarks/bench_energy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.counters import MemCounters
+from repro.utils.validation import check_positive
+
+__all__ = ["EnergyModel", "DEFAULT_ENERGY_MODEL"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Two-term energy model (Joules).
+
+    Parameters
+    ----------
+    joules_per_line:
+        Energy to move one cache line (64 B) between DRAM and the chip,
+        including DRAM activate/precharge and link energy.
+    joules_per_instruction:
+        Average core energy per executed instruction.
+    """
+
+    joules_per_line: float = 10e-9
+    joules_per_instruction: float = 70e-12
+
+    def __post_init__(self) -> None:
+        check_positive("joules_per_line", self.joules_per_line)
+        check_positive("joules_per_instruction", self.joules_per_instruction)
+
+    def energy(self, counters: MemCounters, instructions: float) -> dict[str, float]:
+        """Energy breakdown for one measured execution.
+
+        Returns ``{"dram", "core", "total"}`` in Joules.
+        """
+        dram = self.joules_per_line * counters.total_requests
+        core = self.joules_per_instruction * instructions
+        return {"dram": dram, "core": core, "total": dram + core}
+
+    def breakeven_instruction_ratio(
+        self, traffic_reduction: float, baseline_instr_per_request: float
+    ) -> float:
+        """Largest tolerable instruction blow-up for an energy win.
+
+        Given a technique that divides DRAM traffic by
+        ``traffic_reduction``, returns the maximum factor by which it may
+        multiply instructions while still saving total energy, as a
+        function of the baseline's instructions-per-DRAM-request ratio.
+        Propagation blocking's ~4x sits far under this bound for
+        low-locality PageRank (~7 instructions/request baseline).
+        """
+        check_positive("traffic_reduction", traffic_reduction)
+        check_positive("baseline_instr_per_request", baseline_instr_per_request)
+        line = self.joules_per_line
+        instr = self.joules_per_instruction
+        # Solve: line/R + instr*i*x  <=  line + instr*i   (per baseline request)
+        i = baseline_instr_per_request
+        return 1.0 + line * (1.0 - 1.0 / traffic_reduction) / (instr * i)
+
+
+#: Model instance used by the energy bench.
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,55 @@
+"""GAIL — the Graph Algorithm Iron Law (Beamer et al., IA^3'15).
+
+The paper normalizes communication by the number of directed edges
+processed ("this ratio from the GAIL metrics allows us to concisely compare
+communication efficiencies", Figure 6).  GAIL decomposes time per edge as::
+
+    time / edge = (instructions / edge) x (cycles / instruction) ... etc.
+
+Here we carry the three per-edge ratios every figure uses: memory requests
+per edge (Figures 6-8), instructions per edge, and modelled time per edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.counters import MemCounters
+
+__all__ = ["GailMetrics", "gail_metrics"]
+
+
+@dataclass(frozen=True)
+class GailMetrics:
+    """Per-edge efficiency ratios for one kernel execution."""
+
+    requests_per_edge: float
+    reads_per_edge: float
+    writes_per_edge: float
+    instructions_per_edge: float
+    seconds_per_edge: float
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per second (the inverse of seconds/edge)."""
+        if self.seconds_per_edge == 0:
+            return float("inf")
+        return 1.0 / self.seconds_per_edge
+
+
+def gail_metrics(
+    num_edges: int,
+    counters: MemCounters,
+    instructions: float,
+    seconds: float,
+) -> GailMetrics:
+    """Assemble the GAIL ratios from raw measurements."""
+    if num_edges <= 0:
+        raise ValueError(f"num_edges must be positive, got {num_edges}")
+    return GailMetrics(
+        requests_per_edge=counters.total_requests / num_edges,
+        reads_per_edge=counters.total_reads / num_edges,
+        writes_per_edge=counters.total_writes / num_edges,
+        instructions_per_edge=instructions / num_edges,
+        seconds_per_edge=seconds / num_edges,
+    )

@@ -1,0 +1,30 @@
+"""Shared utilities: validation, RNG handling, table formatting, timing.
+
+These helpers are intentionally dependency-light so every subpackage
+(:mod:`repro.graphs`, :mod:`repro.memsim`, :mod:`repro.kernels`, ...) can use
+them without import cycles.
+"""
+
+from repro.utils.rng import as_generator, spawn_child
+from repro.utils.validation import (
+    check_positive,
+    check_nonnegative,
+    check_power_of_two,
+    check_probability,
+    check_array_dtype,
+)
+from repro.utils.tables import format_table, format_series
+from repro.utils.timing import Timer
+
+__all__ = [
+    "as_generator",
+    "spawn_child",
+    "check_positive",
+    "check_nonnegative",
+    "check_power_of_two",
+    "check_probability",
+    "check_array_dtype",
+    "format_table",
+    "format_series",
+    "Timer",
+]

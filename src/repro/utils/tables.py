@@ -1,0 +1,79 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The paper reports results as tables (Tables I-III) and line plots
+(Figures 3-11).  In a terminal-only reproduction we print tables as aligned
+ASCII and figures as labelled series; both go through the two functions
+here so output is uniform across all benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        if abs(value) >= 0.001:
+            return f"{value:.3f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render a figure's data as one row per x value, one column per series.
+
+    This is the textual stand-in for the paper's line plots: the x axis and
+    every plotted series appear as table columns, so crossover points and
+    trends are directly readable.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            if len(values) != len(x_values):
+                raise ValueError(
+                    f"series length {len(values)} != x length {len(x_values)}"
+                )
+            row.append(values[i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)

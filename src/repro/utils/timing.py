@@ -1,0 +1,36 @@
+"""Lightweight wall-clock timing for the executable kernels.
+
+The simulated experiments use the analytic time model
+(:mod:`repro.models.performance`); the *executable* NumPy kernels are also
+timed for the wall-clock benchmark (``benchmarks/bench_wallclock_kernels``),
+and this context manager is the shared stopwatch.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start

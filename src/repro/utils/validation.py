@@ -1,0 +1,55 @@
+"""Argument-validation helpers with consistent error messages.
+
+All public entry points of the library validate their scalar arguments with
+these helpers so that misuse fails fast with an actionable message instead
+of propagating NaNs or silently mis-sized arrays deep into a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_power_of_two",
+    "check_probability",
+    "check_array_dtype",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two.
+
+    The cache simulator and the bin-layout code rely on power-of-two sizes
+    so that index computations reduce to shifts, mirroring the paper's
+    implementation note (Section VII).
+    """
+    if not (isinstance(value, (int, np.integer)) and value > 0 and (value & (value - 1)) == 0):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_array_dtype(name: str, array: np.ndarray, dtype: np.dtype | type) -> None:
+    """Raise ``TypeError`` unless ``array.dtype`` equals ``dtype``."""
+    if np.asarray(array).dtype != np.dtype(dtype):
+        raise TypeError(
+            f"{name} must have dtype {np.dtype(dtype)}, got {np.asarray(array).dtype}"
+        )

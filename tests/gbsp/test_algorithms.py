@@ -1,0 +1,83 @@
+"""GBSP algorithms validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gbsp import bfs_levels, connected_components, reachable_from
+from repro.graphs import EdgeList, build_csr, uniform_random_graph, web_crawl_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(800, 3, seed=111))
+
+
+@pytest.fixture(scope="module")
+def nx_graph(graph):
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    G.add_edges_from(zip(graph.edge_sources().tolist(), graph.targets.tolist()))
+    return G
+
+
+@pytest.mark.parametrize("backend", ["push", "pb"])
+def test_connected_components_match_networkx(graph, nx_graph, backend):
+    labels = connected_components(graph, backend=backend)
+    for component in nx.connected_components(nx_graph):
+        expected = min(component)
+        assert all(labels[v] == expected for v in component)
+
+
+def test_component_count(graph, nx_graph):
+    labels = connected_components(graph)
+    assert len(set(labels.tolist())) == nx.number_connected_components(nx_graph)
+
+
+@pytest.mark.parametrize("backend", ["push", "pb"])
+def test_bfs_levels_match_networkx(graph, nx_graph, backend):
+    levels = bfs_levels(graph, 0, backend=backend)
+    expected = nx.single_source_shortest_path_length(nx_graph, 0)
+    for v, d in expected.items():
+        assert levels[v] == d
+    unreachable = set(range(graph.num_vertices)) - set(expected)
+    assert all(np.isinf(levels[v]) for v in unreachable)
+
+
+def test_bfs_source_validation(graph):
+    with pytest.raises(ValueError, match="source"):
+        bfs_levels(graph, graph.num_vertices)
+
+
+def test_reachable_from(graph, nx_graph):
+    mask = reachable_from(graph, 0)
+    expected = nx.node_connected_component(nx_graph, 0)
+    assert set(np.flatnonzero(mask).tolist()) == expected
+
+
+def test_bfs_on_path_graph():
+    n = 10
+    el = EdgeList(n, list(range(n - 1)) + list(range(1, n)),
+                  list(range(1, n)) + list(range(n - 1)))
+    g = build_csr(el, symmetric=True)
+    levels = bfs_levels(g, 0)
+    np.testing.assert_array_equal(levels, np.arange(n))
+
+
+def test_cc_on_two_cliques():
+    el = EdgeList(
+        6,
+        [0, 1, 2, 0, 3, 4, 5, 3],
+        [1, 2, 0, 2, 4, 5, 3, 5],
+    )
+    g = build_csr(el, symmetrize=True)
+    labels = connected_components(g)
+    assert labels[:3].tolist() == [0, 0, 0]
+    assert labels[3:].tolist() == [3, 3, 3]
+
+
+def test_cc_on_directed_web_graph_runs():
+    g = build_csr(web_crawl_graph(2000, 4, seed=112))
+    labels = connected_components(g)
+    assert labels.shape == (2000,)
+    assert (labels <= np.arange(2000)).all()  # labels only decrease

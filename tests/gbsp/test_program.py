@@ -1,0 +1,39 @@
+"""Unit tests for :mod:`repro.gbsp.program`."""
+
+import numpy as np
+import pytest
+
+from repro.gbsp import COMBINERS, VertexProgram
+
+
+def dummy_program(combine="add"):
+    return VertexProgram(
+        scatter=lambda values: values,
+        combine=combine,
+        apply=lambda values, acc, received: values,
+        initial=lambda n: np.zeros(n),
+    )
+
+
+def test_combiners_registry():
+    assert set(COMBINERS) == {"add", "min", "max"}
+    ufunc, identity = COMBINERS["min"]
+    assert ufunc is np.minimum
+    assert identity == np.inf
+
+
+def test_program_exposes_combiner():
+    program = dummy_program("max")
+    assert program.combiner is np.maximum
+    assert program.identity == -np.inf
+
+
+def test_rejects_unknown_combiner():
+    with pytest.raises(ValueError, match="combine"):
+        dummy_program("mul")
+
+
+def test_identity_values_are_neutral():
+    for name, (ufunc, identity) in COMBINERS.items():
+        x = np.array([3.0, -2.0, 0.5])
+        np.testing.assert_array_equal(ufunc(x, identity), x)

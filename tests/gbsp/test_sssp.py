@@ -1,0 +1,131 @@
+"""Weighted SSSP on the GBSP model, validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gbsp import VertexProgram, sssp_distances
+from repro.graphs import EdgeList, build_csr, uniform_random_graph
+
+
+def weighted_graph(n=400, degree=5, seed=211):
+    rng = np.random.default_rng(seed)
+    el = uniform_random_graph(n, degree, seed=seed, symmetric=False)
+    weights = rng.uniform(0.1, 5.0, size=el.num_edges).astype(np.float32)
+    return build_csr(EdgeList(n, el.src, el.dst, weights=weights), dedup=True)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_graph()
+
+
+@pytest.fixture(scope="module")
+def nx_graph(graph):
+    G = nx.DiGraph()
+    G.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in zip(
+        graph.edge_sources().tolist(), graph.targets.tolist(), graph.weights.tolist()
+    ):
+        G.add_edge(u, v, weight=w)
+    return G
+
+
+@pytest.mark.parametrize("backend", ["push", "pb"])
+def test_sssp_matches_dijkstra(graph, nx_graph, backend):
+    distances = sssp_distances(graph, 0, backend=backend)
+    expected = nx.single_source_dijkstra_path_length(nx_graph, 0)
+    for v, d in expected.items():
+        assert distances[v] == pytest.approx(d, rel=1e-5)
+    unreachable = set(range(graph.num_vertices)) - set(expected)
+    assert all(np.isinf(distances[v]) for v in unreachable)
+
+
+def test_backends_agree(graph):
+    a = sssp_distances(graph, 7, backend="push")
+    b = sssp_distances(graph, 7, backend="pb")
+    np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+def test_source_distance_zero(graph):
+    distances = sssp_distances(graph, 5)
+    assert distances[5] == 0.0
+
+
+def test_sssp_on_weighted_path():
+    el = EdgeList(4, [0, 1, 2], [1, 2, 3], weights=[1.5, 2.5, 4.0])
+    g = build_csr(el, dedup=False)
+    distances = sssp_distances(g, 0)
+    np.testing.assert_allclose(distances, [0.0, 1.5, 4.0, 8.0])
+
+
+def test_sssp_picks_cheaper_detour():
+    # 0 -> 2 direct costs 10; 0 -> 1 -> 2 costs 3.
+    el = EdgeList(3, [0, 0, 1], [2, 1, 2], weights=[10.0, 1.0, 2.0])
+    g = build_csr(el, dedup=False)
+    distances = sssp_distances(g, 0)
+    assert distances[2] == pytest.approx(3.0)
+
+
+def test_requires_weights():
+    g = build_csr(uniform_random_graph(50, 3, seed=212))
+    with pytest.raises(ValueError, match="weighted"):
+        sssp_distances(g, 0)
+
+
+def test_source_validated(graph):
+    with pytest.raises(ValueError, match="source"):
+        sssp_distances(graph, -1)
+
+
+def test_edge_op_validation():
+    with pytest.raises(ValueError, match="edge_op"):
+        VertexProgram(
+            scatter=lambda v: v,
+            combine="min",
+            apply=lambda v, a, r: v,
+            initial=lambda n: np.zeros(n),
+            edge_op="xor",
+        )
+
+
+def test_edge_op_requires_weighted_graph():
+    from repro.gbsp import run_superstep
+
+    g = build_csr(uniform_random_graph(20, 3, seed=213))
+    program = VertexProgram(
+        scatter=lambda v: v,
+        combine="min",
+        apply=lambda v, a, r: v,
+        initial=lambda n: np.zeros(n),
+        edge_op="add",
+    )
+    with pytest.raises(ValueError, match="edge weights"):
+        run_superstep(g, program, np.zeros(20), np.ones(20, dtype=bool))
+
+
+def test_mul_edge_op_weighted_reachability():
+    """edge_op='mul' with max-combine computes best path *reliability*."""
+    from repro.gbsp import run_until_quiescent
+
+    el = EdgeList(3, [0, 0, 1], [2, 1, 2], weights=[0.1, 0.9, 0.9])
+    g = build_csr(el, dedup=False)
+
+    def initial(n):
+        values = np.zeros(n)
+        values[0] = 1.0
+        return values
+
+    program = VertexProgram(
+        scatter=lambda v: v,
+        combine="max",
+        apply=lambda v, acc, rec: np.where(rec, np.maximum(v, acc), v),
+        initial=initial,
+        edge_op="mul",
+    )
+    frontier = np.array([True, False, False])
+    values, _ = run_until_quiescent(
+        g, program, initial_frontier=frontier, max_supersteps=10
+    )
+    # Best reliability to 2: via 1 (0.9 * 0.9 = 0.81), not direct (0.1).
+    assert values[2] == pytest.approx(0.81)

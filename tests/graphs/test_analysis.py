@@ -1,0 +1,100 @@
+"""Tests for graph characterization and strategy recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, kronecker_graph, load_graph, uniform_random_graph
+from repro.graphs.analysis import (
+    degree_statistics,
+    describe,
+    estimate_gather_hit_rate,
+)
+from repro.kernels import make_kernel
+from repro.models import SIMULATED_MACHINE
+
+
+@pytest.fixture(scope="module")
+def urand():
+    return build_csr(uniform_random_graph(32768, 8, seed=181))
+
+
+def test_degree_statistics(urand):
+    stats = degree_statistics(urand)
+    assert stats["mean"] == pytest.approx(urand.average_degree)
+    assert stats["max"] >= stats["mean"]
+    assert 0 <= stats["zero_fraction"] < 0.05
+
+
+def test_degree_statistics_empty_graph():
+    from repro.graphs import EdgeList
+
+    g = build_csr(EdgeList(3, [], []))
+    stats = degree_statistics(g)
+    assert stats["mean"] == 0.0
+    assert stats["zero_fraction"] == 1.0
+
+
+def test_hit_rate_estimate_matches_full_simulation(urand):
+    """The sampled estimate tracks the exact gather hit rate."""
+    estimated = estimate_gather_hit_rate(urand, SIMULATED_MACHINE, sample_edges=50_000)
+    counters = make_kernel(urand, "baseline", SIMULATED_MACHINE).measure(1)
+    from repro.memsim import Stream
+
+    gathers = counters.accesses[Stream.VERTEX_CONTRIB]
+    # Exclude the sequential contrib-pass accesses (n writes + reads).
+    irregular_hits = counters.hits[Stream.VERTEX_CONTRIB]
+    exact = irregular_hits / counters.irregular_accesses
+    assert estimated == pytest.approx(exact, abs=0.1)
+
+
+def test_hit_rate_high_for_local_graph():
+    web = load_graph("web", scale=0.5)
+    webrnd = load_graph("webrnd", scale=0.5)
+    assert estimate_gather_hit_rate(web) > estimate_gather_hit_rate(webrnd) + 0.3
+
+
+def test_hit_rate_perfect_for_cache_resident_graph():
+    small = build_csr(uniform_random_graph(1024, 8, seed=182))
+    # 1024 vertices = 64 lines << the 256-line LLC: everything hits after
+    # compulsory misses.
+    assert estimate_gather_hit_rate(small) > 0.9
+
+
+def test_describe_recommends_blocking_for_large_random(urand):
+    profile = describe(urand)
+    # k=8 sits at the CB/DPB decision boundary for this n/c; either way,
+    # blocking — not the baseline — must be recommended.
+    assert profile.recommended_method in ("cb", "dpb")
+    assert profile.is_low_locality()
+    assert profile.vertex_to_cache_ratio == pytest.approx(8.0)
+
+
+def test_describe_recommends_dpb_for_large_sparse():
+    sparse = build_csr(uniform_random_graph(131072, 6, seed=184))
+    assert describe(sparse).recommended_method == "dpb"
+
+
+def test_describe_overrides_to_baseline_for_web_layout():
+    web = load_graph("web", scale=0.5)
+    profile = describe(web)
+    assert profile.recommended_method == "baseline"
+    assert not profile.is_low_locality()
+    # Same topology, shuffled labels: recommendation flips to blocking.
+    webrnd = load_graph("webrnd", scale=0.5)
+    assert describe(webrnd).recommended_method in ("dpb", "cb")
+
+
+def test_describe_skew_detects_kron():
+    kron = build_csr(kronecker_graph(13, 8, seed=183), symmetric=True)
+    profile = describe(kron)
+    assert profile.degree_skew > 20
+
+
+def test_hit_rate_estimate_deterministic(urand):
+    a = estimate_gather_hit_rate(urand, SIMULATED_MACHINE, seed=7)
+    b = estimate_gather_hit_rate(urand, SIMULATED_MACHINE, seed=7)
+    assert a == b
+
+
+def test_describe_deterministic(urand):
+    assert describe(urand, seed=3) == describe(urand, seed=3)

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.graphs.builder`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeList, build_csr, deduplicate_edges, remove_self_loops
+
+
+def test_remove_self_loops():
+    el = EdgeList(3, [0, 1, 2], [0, 2, 2])
+    out = remove_self_loops(el)
+    assert out.num_edges == 1
+    assert (int(out.src[0]), int(out.dst[0])) == (1, 2)
+
+
+def test_dedup_unweighted():
+    el = EdgeList(3, [0, 0, 0, 1], [1, 1, 2, 2])
+    out = deduplicate_edges(el)
+    pairs = sorted(zip(out.src.tolist(), out.dst.tolist()))
+    assert pairs == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_dedup_weighted_sums_weights():
+    el = EdgeList(3, [0, 0, 1], [1, 1, 2], weights=[1.0, 2.5, 4.0])
+    out = deduplicate_edges(el)
+    pairs = {
+        (int(s), int(d)): float(w) for s, d, w in zip(out.src, out.dst, out.weights)
+    }
+    assert pairs == {(0, 1): 3.5, (1, 2): 4.0}
+
+
+def test_build_sorts_neighbors():
+    el = EdgeList(4, [0, 0, 0], [3, 1, 2])
+    g = build_csr(el, dedup=False)
+    np.testing.assert_array_equal(g.neighbors(0), [1, 2, 3])
+
+
+def test_build_preserves_insertion_order_when_unsorted():
+    el = EdgeList(4, [0, 0, 0], [3, 1, 2])
+    g = build_csr(el, dedup=False, sort_neighbors=False)
+    np.testing.assert_array_equal(g.neighbors(0), [3, 1, 2])
+
+
+def test_symmetrize_doubles_degree():
+    el = EdgeList(4, [0, 1, 2], [1, 2, 3])
+    g = build_csr(el, symmetrize=True)
+    assert g.symmetric
+    assert g.num_edges == 6
+    assert g.transposed() is g
+
+
+def test_symmetrize_then_dedup_collapses_mutual_edges():
+    # 0<->1 given in both directions: symmetrize makes 4 copies, dedup -> 2.
+    el = EdgeList(2, [0, 1], [1, 0])
+    g = build_csr(el, symmetrize=True)
+    assert g.num_edges == 2
+
+
+def test_weighted_build_carries_weights_sorted():
+    el = EdgeList(3, [0, 0], [2, 1], weights=[5.0, 7.0])
+    g = build_csr(el, dedup=False)
+    np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+    np.testing.assert_allclose(g.edge_weights(0), [7.0, 5.0])
+
+
+def test_build_empty_graph():
+    g = build_csr(EdgeList(3, [], []))
+    assert g.num_vertices == 3
+    assert g.num_edges == 0
+
+
+def test_isolated_trailing_vertices_kept():
+    g = build_csr(EdgeList(10, [0], [1]))
+    assert g.num_vertices == 10
+    assert g.out_degrees()[9] == 0

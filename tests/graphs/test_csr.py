@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.graphs.csr`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, EdgeList, build_csr, uniform_random_graph
+
+
+def simple_graph() -> CSRGraph:
+    # 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+    return CSRGraph(offsets=[0, 2, 3, 3, 4], targets=[1, 2, 2, 0])
+
+
+def test_basic_properties():
+    g = simple_graph()
+    assert g.num_vertices == 4
+    assert g.num_edges == 4
+    assert g.average_degree == 1.0
+    np.testing.assert_array_equal(g.out_degrees(), [2, 1, 0, 1])
+    np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+    np.testing.assert_array_equal(g.neighbors(2), [])
+
+
+def test_offsets_validation():
+    with pytest.raises(ValueError, match="offsets\\[0\\]"):
+        CSRGraph(offsets=[1, 2], targets=[0, 0])
+    with pytest.raises(ValueError, match="non-decreasing"):
+        CSRGraph(offsets=[0, 2, 1], targets=[0, 0])
+    with pytest.raises(ValueError, match="equal len"):
+        CSRGraph(offsets=[0, 3], targets=[0, 0])
+    with pytest.raises(ValueError, match="target ids"):
+        CSRGraph(offsets=[0, 1], targets=[5])
+
+
+def test_edge_sources_expansion():
+    g = simple_graph()
+    np.testing.assert_array_equal(g.edge_sources(), [0, 0, 1, 3])
+
+
+def test_to_edge_list_round_trip():
+    g = simple_graph()
+    el = g.to_edge_list()
+    g2 = build_csr(el, dedup=False)
+    np.testing.assert_array_equal(g.offsets, g2.offsets)
+    np.testing.assert_array_equal(g.targets, g2.targets)
+
+
+def test_transpose_reverses_edges():
+    g = simple_graph()
+    t = g.transposed()
+    assert t.num_edges == g.num_edges
+    np.testing.assert_array_equal(t.neighbors(2), [0, 1])
+    np.testing.assert_array_equal(t.neighbors(0), [3])
+    # Transposing twice returns the original object (cached).
+    assert t.transposed() is g
+
+
+def test_symmetric_transpose_aliases_self():
+    el = EdgeList(3, [0, 1], [1, 2]).symmetrized()
+    g = build_csr(el, symmetric=True)
+    assert g.transposed() is g
+
+
+def test_transpose_of_random_graph_is_involution():
+    g = build_csr(uniform_random_graph(200, 4, seed=7, symmetric=False))
+    t = g.transposed()
+    # Edge sets must be exact mirrors.
+    fwd = set(zip(g.edge_sources().tolist(), g.targets.tolist()))
+    bwd = set(zip(t.targets.tolist(), t.edge_sources().tolist()))
+    assert fwd == bwd
+
+
+def test_transpose_carries_weights():
+    g = CSRGraph(offsets=[0, 2, 2], targets=[0, 1], weights=[1.0, 2.0])
+    t = g.transposed()
+    assert t.is_weighted
+    # Edge 0->1 (weight 2.0) becomes 1 in t.neighbors... check via pairs.
+    pairs = {
+        (int(s), int(d)): float(w)
+        for s, d, w in zip(t.edge_sources(), t.targets, t.weights)
+    }
+    assert pairs == {(0, 0): 1.0, (1, 0): 2.0}
+
+
+def test_edge_weights_accessor():
+    g = CSRGraph(offsets=[0, 2, 2], targets=[0, 1], weights=[1.0, 2.0])
+    np.testing.assert_allclose(g.edge_weights(0), [1.0, 2.0])
+    unweighted = simple_graph()
+    with pytest.raises(ValueError, match="unweighted"):
+        unweighted.edge_weights(0)
+
+
+def test_permuted_preserves_structure():
+    g = simple_graph()
+    perm = np.array([3, 2, 1, 0], dtype=np.int32)
+    pg = g.permuted(perm)
+    assert pg.num_edges == g.num_edges
+    # Edge (0 -> 1) becomes (3 -> 2), etc.
+    fwd = set(zip(g.edge_sources().tolist(), g.targets.tolist()))
+    mapped = {(int(perm[s]), int(perm[d])) for s, d in fwd}
+    got = set(zip(pg.edge_sources().tolist(), pg.targets.tolist()))
+    assert mapped == got

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.graphs.edgelist`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeList
+
+
+def test_basic_construction():
+    el = EdgeList(4, [0, 1, 2], [1, 2, 3])
+    assert el.num_vertices == 4
+    assert el.num_edges == 3
+    assert not el.is_weighted
+    assert el.src.dtype == np.int32
+    assert el.dst.dtype == np.int32
+
+
+def test_empty_edge_list():
+    el = EdgeList(5, [], [])
+    assert el.num_edges == 0
+    assert el.reversed().num_edges == 0
+    assert el.symmetrized().num_edges == 0
+
+
+def test_rejects_out_of_range_ids():
+    with pytest.raises(ValueError, match="vertex ids"):
+        EdgeList(3, [0, 1], [1, 3])
+    with pytest.raises(ValueError, match="vertex ids"):
+        EdgeList(3, [-1], [0])
+
+
+def test_rejects_mismatched_lengths():
+    with pytest.raises(ValueError, match="same length"):
+        EdgeList(3, [0, 1], [1])
+
+
+def test_rejects_mismatched_weights():
+    with pytest.raises(ValueError, match="weights"):
+        EdgeList(3, [0, 1], [1, 2], weights=[1.0])
+
+
+def test_reversed_swaps_endpoints():
+    el = EdgeList(4, [0, 1], [2, 3])
+    rev = el.reversed()
+    np.testing.assert_array_equal(rev.src, [2, 3])
+    np.testing.assert_array_equal(rev.dst, [0, 1])
+
+
+def test_symmetrized_doubles_edges_and_keeps_weights():
+    el = EdgeList(4, [0, 1], [2, 3], weights=[1.5, 2.5])
+    sym = el.symmetrized()
+    assert sym.num_edges == 4
+    np.testing.assert_array_equal(sym.src, [0, 1, 2, 3])
+    np.testing.assert_array_equal(sym.dst, [2, 3, 0, 1])
+    np.testing.assert_allclose(sym.weights, [1.5, 2.5, 1.5, 2.5])
+
+
+def test_permuted_relabels_endpoints_preserving_order():
+    el = EdgeList(3, [0, 1, 2], [1, 2, 0])
+    perm = np.array([2, 0, 1], dtype=np.int32)
+    out = el.permuted(perm)
+    np.testing.assert_array_equal(out.src, [2, 0, 1])
+    np.testing.assert_array_equal(out.dst, [0, 1, 2])
+
+
+def test_permuted_rejects_wrong_shape():
+    el = EdgeList(3, [0], [1])
+    with pytest.raises(ValueError, match="perm"):
+        el.permuted(np.arange(2))
+
+
+def test_weighted_flag():
+    el = EdgeList(2, [0], [1], weights=[3.0])
+    assert el.is_weighted
+    assert el.weights.dtype == np.float32

@@ -1,0 +1,112 @@
+"""Statistical properties of the generators (the locality knobs that make
+the suite reproduce Figure 3's per-graph contrasts)."""
+
+import numpy as np
+
+from repro.graphs import (
+    build_csr,
+    citation_graph,
+    community_graph,
+    kronecker_graph,
+    social_network_graph,
+    uniform_random_graph,
+    web_crawl_graph,
+)
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0=uniform)."""
+    v = np.sort(values.astype(np.float64))
+    if v.sum() == 0:
+        return 0.0
+    n = v.size
+    cumulative = np.cumsum(v)
+    return float((n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n)
+
+
+def test_uniform_random_degrees_concentrated():
+    g = build_csr(uniform_random_graph(20000, 16, seed=1))
+    degrees = np.asarray(g.out_degrees())
+    # Poisson-like: low inequality, no heavy tail.
+    assert gini(degrees) < 0.2
+    assert degrees.max() < 5 * degrees.mean()
+
+
+def test_kronecker_degrees_heavy_tailed():
+    g = build_csr(kronecker_graph(14, 16, seed=2), symmetric=True)
+    degrees = np.asarray(g.out_degrees())
+    assert gini(degrees) > 0.55
+    assert degrees.max() > 30 * max(degrees.mean(), 1)
+
+
+def test_social_network_top_vertices_dominate_in_edges():
+    g = build_csr(social_network_graph(20000, 16, seed=3))
+    in_degrees = np.asarray(g.transposed().out_degrees())
+    top_share = np.sort(in_degrees)[-200:].sum() / max(in_degrees.sum(), 1)
+    assert top_share > 0.15  # top 1% of accounts get >15% of all follows
+    assert in_degrees.max() > 50 * in_degrees.mean()  # celebrity hubs exist
+
+
+def test_community_graph_modularity_signal():
+    """Intra-community edges dominate when measured in community space."""
+    size = 256
+    el = community_graph(8192, 16, seed=4, community_size=size, intra_fraction=0.7)
+    # Recover the hidden community id via the generator's permutation is
+    # not possible from outside; instead verify clustering statistically:
+    # the neighbor lists of adjacent vertices overlap far more than in a
+    # uniform random graph of the same degree.
+    g = build_csr(el, symmetric=True)
+    rng = np.random.default_rng(0)
+    overlaps = []
+    for u in rng.integers(0, g.num_vertices, size=200):
+        neigh = set(g.neighbors(int(u)).tolist())
+        if len(neigh) < 2:
+            continue
+        v = next(iter(neigh))
+        neigh_v = set(g.neighbors(int(v)).tolist())
+        overlaps.append(len(neigh & neigh_v) / len(neigh))
+    uniform = build_csr(uniform_random_graph(8192, 16, seed=5))
+    base_overlaps = []
+    for u in rng.integers(0, uniform.num_vertices, size=200):
+        neigh = set(uniform.neighbors(int(u)).tolist())
+        if len(neigh) < 2:
+            continue
+        v = next(iter(neigh))
+        neigh_v = set(uniform.neighbors(int(v)).tolist())
+        base_overlaps.append(len(neigh & neigh_v) / len(neigh))
+    assert np.mean(overlaps) > 3 * max(np.mean(base_overlaps), 1e-3)
+
+
+def test_citation_graph_is_acyclic():
+    el = citation_graph(5000, 12, seed=6)
+    g = build_csr(el)
+    # Edges strictly decrease vertex id -> topological order exists trivially.
+    assert np.all(g.targets < g.edge_sources())
+
+
+def test_citation_recency_bias():
+    el = citation_graph(20000, 12, seed=7, recency_weight=0.6)
+    age = el.src.astype(np.int64) - el.dst.astype(np.int64)
+    relative_age = age / np.maximum(el.src.astype(np.int64), 1)
+    # A solid share of citations go to recent papers (age << src id).
+    assert np.mean(relative_age < 0.05) > 0.25
+
+
+def test_web_crawl_degree_independent_of_window():
+    a = build_csr(web_crawl_graph(10000, 6, seed=8, window=64))
+    b = build_csr(web_crawl_graph(10000, 6, seed=8, window=4096))
+    assert abs(a.average_degree - b.average_degree) < 0.5
+
+
+def test_generators_scale_invariance_of_degree():
+    """Doubling n keeps the average directed degree (the suite's scaling
+    assumption)."""
+    for factory in (
+        lambda n, s: uniform_random_graph(n, 12, seed=s),
+        lambda n, s: social_network_graph(n, 12, seed=s),
+        lambda n, s: citation_graph(n, 12, seed=s),
+        lambda n, s: web_crawl_graph(n, 12, seed=s),
+    ):
+        small = build_csr(factory(4000, 9))
+        large = build_csr(factory(8000, 10))
+        assert abs(small.average_degree - large.average_degree) < 1.5

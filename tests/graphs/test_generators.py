@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.graphs.generators`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    build_csr,
+    citation_graph,
+    coauthorship_graph,
+    community_graph,
+    kronecker_graph,
+    social_network_graph,
+    uniform_random_graph,
+    web_crawl_graph,
+)
+
+
+def test_uniform_random_degree_and_symmetry():
+    el = uniform_random_graph(1000, 8.0, seed=1, symmetric=True)
+    assert el.num_vertices == 1000
+    assert el.num_edges == 8000
+    # Every edge must appear in both directions.
+    fwd = set(zip(el.src.tolist(), el.dst.tolist()))
+    assert all((d, s) in fwd for s, d in fwd)
+
+
+def test_uniform_random_directed():
+    el = uniform_random_graph(500, 5.0, seed=2, symmetric=False)
+    assert el.num_edges == 2500
+
+
+def test_uniform_random_determinism():
+    a = uniform_random_graph(100, 4.0, seed=3)
+    b = uniform_random_graph(100, 4.0, seed=3)
+    np.testing.assert_array_equal(a.src, b.src)
+    np.testing.assert_array_equal(a.dst, b.dst)
+
+
+def test_uniform_random_rejects_bad_args():
+    with pytest.raises(ValueError):
+        uniform_random_graph(0, 4.0)
+    with pytest.raises(ValueError):
+        uniform_random_graph(10, -1.0)
+
+
+def test_kronecker_size_and_skew():
+    el = kronecker_graph(10, 16.0, seed=4)
+    assert el.num_vertices == 1024
+    g = build_csr(el, symmetric=True)
+    degrees = np.asarray(g.out_degrees())
+    # Strong power law: max degree far above the mean, many isolated vertices.
+    assert degrees.max() > 8 * degrees.mean()
+    assert (degrees == 0).sum() > 0
+
+
+def test_kronecker_rejects_bad_initiator():
+    with pytest.raises(ValueError, match="sum to 1"):
+        kronecker_graph(4, 4.0, initiator=(0.5, 0.5, 0.5, 0.5))
+
+
+def test_social_network_in_degree_skew():
+    el = social_network_graph(2000, 16.0, seed=5)
+    g = build_csr(el)
+    in_degrees = np.asarray(g.transposed().out_degrees())
+    # Celebrity effect: top vertex has a large share of all follows.
+    assert in_degrees.max() > 20 * max(in_degrees.mean(), 1)
+
+
+def test_community_graph_symmetric_and_clustered():
+    el = community_graph(4096, 12.0, seed=6, community_size=256, intra_fraction=0.8)
+    fwd = set(zip(el.src.tolist(), el.dst.tolist()))
+    assert all((d, s) in fwd for s, d in fwd)
+
+
+def test_citation_graph_edges_point_backward():
+    el = citation_graph(3000, 10.0, seed=7)
+    assert np.all(el.dst < el.src)
+
+
+def test_coauthorship_degree_near_target():
+    el = coauthorship_graph(5000, 10.0, seed=8)
+    g = build_csr(el, symmetric=True)
+    assert 4.0 < g.average_degree < 20.0
+
+
+def test_web_crawl_is_banded():
+    el = web_crawl_graph(20000, 6.0, seed=9, window=512, long_range_fraction=0.05)
+    dist = np.abs(el.src.astype(np.int64) - el.dst.astype(np.int64))
+    # The bulk of edges fall inside the window.
+    assert np.mean(dist <= 512) > 0.9
+
+
+def test_web_crawl_long_range_fraction():
+    el = web_crawl_graph(20000, 6.0, seed=10, window=64, long_range_fraction=0.5)
+    dist = np.abs(el.src.astype(np.int64) - el.dst.astype(np.int64))
+    assert np.mean(dist > 64) > 0.3
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda rng: uniform_random_graph(512, 4, rng),
+        lambda rng: kronecker_graph(9, 4, rng),
+        lambda rng: social_network_graph(512, 4, rng),
+        lambda rng: community_graph(512, 4, rng, community_size=64),
+        lambda rng: citation_graph(512, 4, rng),
+        lambda rng: coauthorship_graph(512, 4, rng),
+        lambda rng: web_crawl_graph(512, 4, rng),
+    ],
+)
+def test_generators_accept_generator_instance(factory):
+    rng = np.random.default_rng(0)
+    el = factory(rng)
+    assert el.num_edges > 0
+    assert el.src.max() < el.num_vertices
+
+
+def test_grid_graph_structure():
+    from repro.graphs import grid_graph
+
+    el = grid_graph(4, 5)
+    assert el.num_vertices == 20
+    # 2*(rows*(cols-1) + (rows-1)*cols) directed edges after symmetrize.
+    assert el.num_edges == 2 * (4 * 4 + 3 * 5)
+    fwd = set(zip(el.src.tolist(), el.dst.tolist()))
+    assert (0, 1) in fwd and (1, 0) in fwd  # right neighbor
+    assert (0, 5) in fwd and (5, 0) in fwd  # down neighbor
+    assert (4, 5) not in fwd  # no wraparound across row ends
+
+
+def test_grid_graph_is_ideal_diagonal_layout():
+    from repro.graphs import bandwidth_profile, build_csr, grid_graph
+
+    g = build_csr(grid_graph(32, 16), symmetric=True)
+    profile = bandwidth_profile(g)
+    # Matrix bandwidth == number of columns: the narrow diagonal.
+    assert profile["max_distance"] == 16
+    assert profile["mean_distance"] < 16
+
+
+def test_grid_graph_validation():
+    import pytest as _pytest
+
+    from repro.graphs import grid_graph
+
+    with _pytest.raises(ValueError):
+        grid_graph(0, 5)

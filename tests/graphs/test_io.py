@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.graphs.io`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    EdgeList,
+    build_csr,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+    uniform_random_graph,
+)
+from repro.graphs.io import load_or_build
+
+
+def test_npz_round_trip(tmp_path):
+    g = build_csr(uniform_random_graph(200, 4, seed=1), symmetric=True)
+    path = tmp_path / "g.npz"
+    save_npz(path, g)
+    loaded = load_npz(path)
+    np.testing.assert_array_equal(loaded.offsets, g.offsets)
+    np.testing.assert_array_equal(loaded.targets, g.targets)
+    assert loaded.symmetric
+
+
+def test_npz_round_trip_weighted(tmp_path):
+    el = EdgeList(3, [0, 1], [1, 2], weights=[0.5, 1.5])
+    g = build_csr(el, dedup=False)
+    path = tmp_path / "w.npz"
+    save_npz(path, g)
+    loaded = load_npz(path)
+    np.testing.assert_allclose(loaded.weights, g.weights)
+
+
+def test_edge_list_text_round_trip(tmp_path):
+    el = EdgeList(10, [0, 3, 7], [1, 4, 9])
+    path = tmp_path / "g.el"
+    save_edge_list(path, el)
+    loaded = load_edge_list(path)
+    np.testing.assert_array_equal(loaded.src, el.src)
+    np.testing.assert_array_equal(loaded.dst, el.dst)
+    assert loaded.num_vertices == 10
+
+
+def test_edge_list_text_round_trip_weighted(tmp_path):
+    el = EdgeList(5, [0, 1], [1, 2], weights=[0.25, 0.75])
+    path = tmp_path / "g.wel"
+    save_edge_list(path, el)
+    loaded = load_edge_list(path)
+    np.testing.assert_allclose(loaded.weights, [0.25, 0.75])
+
+
+def test_edge_list_num_vertices_override(tmp_path):
+    el = EdgeList(100, [0], [1])
+    path = tmp_path / "g.el"
+    save_edge_list(path, el)
+    loaded = load_edge_list(path, num_vertices=100)
+    assert loaded.num_vertices == 100
+
+
+def test_load_or_build_caches(tmp_path):
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return uniform_random_graph(100, 4, seed=2)
+
+    path = tmp_path / "cache" / "g.npz"
+    g1 = load_or_build(path, factory)
+    g2 = load_or_build(path, factory)
+    assert len(calls) == 1
+    np.testing.assert_array_equal(g1.targets, g2.targets)

@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.graphs.partition`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    build_csr,
+    choose_block_width,
+    num_blocks_for_width,
+    partition_by_destination,
+    uniform_random_graph,
+)
+
+
+@pytest.fixture()
+def graph():
+    return build_csr(uniform_random_graph(1000, 8, seed=11))
+
+
+def test_num_blocks_for_width():
+    assert num_blocks_for_width(1000, 256) == 4
+    assert num_blocks_for_width(1024, 256) == 4
+    assert num_blocks_for_width(1, 256) == 1
+
+
+def test_choose_block_width_power_of_two():
+    width = choose_block_width(10**6, cache_words=8192)
+    assert width & (width - 1) == 0
+    assert width <= 4096  # half the cache by default
+
+
+def test_partition_covers_all_edges(graph):
+    part = partition_by_destination(graph, 256)
+    assert part.num_edges == graph.num_edges
+    assert part.num_blocks == 4
+
+
+def test_partition_blocks_respect_destination_ranges(graph):
+    part = partition_by_destination(graph, 128)
+    for block in part.blocks:
+        if block.num_edges:
+            assert block.dst.min() >= block.dst_start
+            assert block.dst.max() < block.dst_stop
+
+
+def test_partition_edges_sorted_by_source_within_block(graph):
+    part = partition_by_destination(graph, 256)
+    for block in part.blocks:
+        assert np.all(np.diff(block.src) >= 0)
+
+
+def test_partition_preserves_multiset_of_edges(graph):
+    part = partition_by_destination(graph, 64)
+    pairs = []
+    for block in part.blocks:
+        pairs.extend(zip(block.src.tolist(), block.dst.tolist()))
+    original = sorted(zip(graph.edge_sources().tolist(), graph.targets.tolist()))
+    assert sorted(pairs) == original
+
+
+def test_partition_csr_storage(graph):
+    part = partition_by_destination(graph, 256, storage="csr")
+    total = 0
+    for block in part.blocks:
+        assert block.offsets.size == graph.num_vertices + 1
+        assert block.offsets[-1] == block.num_edges
+        total += block.num_edges
+        if block.num_edges:
+            assert block.targets.min() >= block.dst_start
+            assert block.targets.max() < block.dst_stop
+    assert total == graph.num_edges
+
+
+def test_partition_rejects_non_power_of_two(graph):
+    with pytest.raises(ValueError, match="power of two"):
+        partition_by_destination(graph, 100)
+
+
+def test_partition_rejects_unknown_storage(graph):
+    with pytest.raises(ValueError, match="storage"):
+        partition_by_destination(graph, 256, storage="blocks")
+
+
+def test_single_block_partition(graph):
+    part = partition_by_destination(graph, 1024)
+    assert part.num_blocks == 1
+    assert part.blocks[0].num_edges == graph.num_edges

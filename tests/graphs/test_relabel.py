@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.graphs.relabel`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    average_neighbor_distance,
+    bandwidth_profile,
+    bfs_permutation,
+    build_csr,
+    degree_sort_permutation,
+    identity_permutation,
+    invert_permutation,
+    random_permutation,
+    rcm_permutation,
+    uniform_random_graph,
+    web_crawl_graph,
+)
+
+
+def line_graph(n: int = 16):
+    src = list(range(n - 1))
+    dst = list(range(1, n))
+    from repro.graphs import EdgeList
+
+    return build_csr(EdgeList(n, src + dst, dst + src), symmetric=True)
+
+
+def test_identity_permutation():
+    perm = identity_permutation(5)
+    np.testing.assert_array_equal(perm, [0, 1, 2, 3, 4])
+
+
+def test_invert_permutation_round_trip():
+    perm = random_permutation(100, seed=1)
+    inv = invert_permutation(perm)
+    np.testing.assert_array_equal(perm[inv], np.arange(100))
+    np.testing.assert_array_equal(inv[perm], np.arange(100))
+
+
+def test_random_permutation_is_permutation():
+    perm = random_permutation(1000, seed=2)
+    assert sorted(perm.tolist()) == list(range(1000))
+
+
+def test_degree_sort_puts_hubs_first():
+    g = build_csr(uniform_random_graph(500, 8, seed=3))
+    perm = degree_sort_permutation(g)
+    relabeled = g.permuted(perm)
+    degrees = np.asarray(relabeled.out_degrees())
+    assert np.all(np.diff(degrees) <= 0)  # non-increasing
+
+
+def test_bfs_permutation_visits_everything():
+    g = build_csr(uniform_random_graph(300, 4, seed=4))
+    perm = bfs_permutation(g)
+    assert sorted(perm.tolist()) == list(range(300))
+
+
+def test_bfs_permutation_rejects_bad_source():
+    g = line_graph(4)
+    with pytest.raises(ValueError, match="source"):
+        bfs_permutation(g, source=99)
+
+
+def test_rcm_reduces_bandwidth_of_shuffled_line():
+    g = line_graph(256)
+    shuffled = g.permuted(random_permutation(256, seed=5))
+    before = bandwidth_profile(shuffled)["mean_distance"]
+    improved = shuffled.permuted(rcm_permutation(shuffled))
+    after = bandwidth_profile(improved)["mean_distance"]
+    assert after < before / 10  # a line graph relabels to bandwidth ~1
+
+
+def test_bandwidth_profile_of_line_graph():
+    g = line_graph(64)
+    profile = bandwidth_profile(g)
+    assert profile["max_distance"] == 1.0
+    assert profile["mean_distance"] == 1.0
+    assert profile["within_line_fraction"] == 1.0
+
+
+def test_bandwidth_profile_empty_graph():
+    from repro.graphs import EdgeList
+
+    g = build_csr(EdgeList(4, [], []))
+    assert bandwidth_profile(g)["mean_distance"] == 0.0
+
+
+def test_random_relabel_destroys_web_locality():
+    g = build_csr(web_crawl_graph(8192, 6, seed=6, window=256))
+    shuffled = g.permuted(random_permutation(8192, seed=7))
+    assert (
+        bandwidth_profile(shuffled)["mean_distance"]
+        > 3 * bandwidth_profile(g)["mean_distance"]
+    )
+
+
+def test_average_neighbor_distance_orders_layouts():
+    g = build_csr(web_crawl_graph(8192, 8, seed=8, window=128))
+    shuffled = g.permuted(random_permutation(8192, seed=9))
+    assert average_neighbor_distance(g) < average_neighbor_distance(shuffled)

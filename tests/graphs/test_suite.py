@@ -1,0 +1,87 @@
+"""Unit tests for :mod:`repro.graphs.suite`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    SUITE,
+    SUITE_NAMES,
+    LOW_LOCALITY_NAMES,
+    bandwidth_profile,
+    load_graph,
+    load_suite,
+    suite_table_rows,
+)
+
+SCALE = 0.04  # keep unit tests fast; benches use scale=1
+
+
+def test_suite_has_eight_graphs():
+    assert len(SUITE_NAMES) == 8
+    assert set(SUITE_NAMES) == {
+        "urand", "kron", "twitter", "friend", "cite", "coauth", "web", "webrnd",
+    }
+
+
+def test_low_locality_excludes_only_web():
+    assert set(SUITE_NAMES) - set(LOW_LOCALITY_NAMES) == {"web"}
+
+
+def test_unknown_graph_name():
+    with pytest.raises(KeyError, match="unknown suite graph"):
+        load_graph("nope")
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_each_graph_loads_with_expected_symmetry(name):
+    g = load_graph(name, scale=SCALE)
+    assert g.num_vertices > 0
+    assert g.num_edges > 0
+    assert g.symmetric == SUITE[name].symmetric
+    if g.symmetric:
+        assert g.transposed() is g
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_degree_lands_near_paper_target(name):
+    g = load_graph(name, scale=SCALE)
+    target = SUITE[name].paper_degree
+    assert 0.5 * target <= g.average_degree <= 1.7 * target
+
+
+def test_determinism_across_loads():
+    a = load_graph("urand", scale=SCALE, seed=1)
+    b = load_graph("urand", scale=SCALE, seed=1)
+    np.testing.assert_array_equal(a.targets, b.targets)
+
+
+def test_seed_changes_graph():
+    a = load_graph("urand", scale=SCALE, seed=1)
+    b = load_graph("urand", scale=SCALE, seed=2)
+    assert not np.array_equal(a.targets, b.targets)
+
+
+def test_web_and_webrnd_share_topology():
+    web = load_graph("web", scale=SCALE, seed=5)
+    webrnd = load_graph("webrnd", scale=SCALE, seed=5)
+    assert web.num_vertices == webrnd.num_vertices
+    assert web.num_edges == webrnd.num_edges
+    # Same degree *distribution* (relabelling permutes it).
+    assert sorted(web.out_degrees().tolist()) == sorted(webrnd.out_degrees().tolist())
+
+
+def test_webrnd_has_worse_layout_than_web():
+    web = load_graph("web", scale=SCALE)
+    webrnd = load_graph("webrnd", scale=SCALE)
+    assert (
+        bandwidth_profile(webrnd)["mean_distance"]
+        > 2 * bandwidth_profile(web)["mean_distance"]
+    )
+
+
+def test_load_suite_and_table_rows():
+    graphs = load_suite(scale=SCALE, names=("urand", "web"))
+    rows = suite_table_rows(graphs)
+    assert len(rows) == 2
+    assert rows[0][0] == "urand"
+    assert rows[0][2] == graphs["urand"].num_vertices

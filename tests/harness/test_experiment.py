@@ -1,0 +1,63 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.harness import measure_kernel, run_experiment
+from repro.kernels import make_kernel
+from tests.kernels.conftest import TINY_MACHINE
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(4096, 8, seed=71))
+
+
+def test_run_experiment_fields(graph):
+    m = run_experiment(graph, "dpb", machine=TINY_MACHINE, graph_name="g")
+    assert m.graph_name == "g"
+    assert m.method == "dpb"
+    assert m.num_vertices == 4096
+    assert m.num_edges == graph.num_edges
+    assert m.reads > 0 and m.writes > 0
+    assert m.requests == m.reads + m.writes
+    assert m.seconds > 0
+    assert m.reads_per_second > 0
+
+
+def test_measure_kernel_equivalent_to_run_experiment(graph):
+    a = run_experiment(graph, "baseline", machine=TINY_MACHINE)
+    b = measure_kernel(make_kernel(graph, "baseline", TINY_MACHINE))
+    assert a.reads == b.reads
+    assert a.seconds == pytest.approx(b.seconds)
+
+
+def test_speedup_and_reduction_relations(graph):
+    base = run_experiment(graph, "baseline", machine=TINY_MACHINE)
+    dpb = run_experiment(graph, "dpb", machine=TINY_MACHINE)
+    assert dpb.speedup_over(base) == pytest.approx(base.seconds / dpb.seconds)
+    assert dpb.communication_reduction_over(base) == pytest.approx(
+        base.requests / dpb.requests
+    )
+    assert base.speedup_over(base) == pytest.approx(1.0)
+
+
+def test_gail_consistency(graph):
+    m = run_experiment(graph, "cb", machine=TINY_MACHINE)
+    gail = m.gail()
+    assert gail.requests_per_edge == pytest.approx(m.requests / m.num_edges)
+    assert gail.instructions_per_edge == pytest.approx(m.instructions / m.num_edges)
+
+
+def test_kernel_kwargs_forwarded(graph):
+    narrow = run_experiment(graph, "dpb", machine=TINY_MACHINE, bin_width=64)
+    wide = run_experiment(graph, "dpb", machine=TINY_MACHINE, bin_width=1024)
+    # More bins -> more per-bin partial-line rounding -> >= traffic.
+    assert narrow.requests >= wide.requests
+
+
+def test_multi_iteration_measurement(graph):
+    one = run_experiment(graph, "baseline", machine=TINY_MACHINE, num_iterations=1)
+    two = run_experiment(graph, "baseline", machine=TINY_MACHINE, num_iterations=2)
+    assert two.requests == pytest.approx(2 * one.requests, rel=0.05)
+    assert two.instructions == pytest.approx(2 * one.instructions)

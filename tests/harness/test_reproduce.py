@@ -1,0 +1,54 @@
+"""Tests for the one-command reproduction driver."""
+
+import os
+
+import pytest
+
+from repro.harness.reproduce import ARTIFACTS, build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.scale == 1.0
+    assert args.output == "results"
+    assert args.only is None
+
+
+def test_parser_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--only", "fig99"])
+
+
+def test_subset_run_writes_files(tmp_path, capsys):
+    code = main(
+        [
+            "--scale",
+            "0.03",
+            "--output",
+            str(tmp_path),
+            "--only",
+            "table1",
+            "fig3",
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "table1_suite.txt").exists()
+    assert (tmp_path / "fig3_vertex_traffic.txt").exists()
+    # No other artifacts were produced.
+    assert len(list(tmp_path.iterdir())) == 2
+    out = capsys.readouterr().out
+    assert "wrote" in out and "done." in out
+
+
+def test_fig7_quick(tmp_path, capsys):
+    code = main(
+        ["--quick", "--output", str(tmp_path), "--only", "fig7"]
+    )
+    assert code == 0
+    text = (tmp_path / "fig7_scale_vertices.txt").read_text()
+    assert "Baseline" in text and "DPB" in text
+
+
+def test_artifact_registry_complete():
+    assert len(ARTIFACTS) == 12
+    assert set(ARTIFACTS) >= {"table1", "table3", "fig3", "fig11"}

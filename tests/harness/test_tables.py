@@ -1,0 +1,77 @@
+"""Tests for the table regenerators (Tables I-III)."""
+
+import pytest
+
+from repro.graphs import load_suite
+from repro.harness import PAPER_TABLE2, PAPER_TABLE3, table1, table2, table3
+from tests.kernels.conftest import TINY_MACHINE
+
+SCALE = 0.04
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return load_suite(scale=SCALE, names=("urand", "web"))
+
+
+def test_table1_rows(graphs):
+    result = table1(graphs)
+    assert len(result.rows) == 2
+    text = result.render()
+    assert "urand" in text and "webbase" in text
+
+
+def test_table2_structure_and_orderings(graphs):
+    result = table2(graphs["urand"], TINY_MACHINE)
+    assert [row[0] for row in result.rows] == [
+        "baseline",
+        "csb",
+        "galois",
+        "graphmat",
+        "ligra",
+    ]
+    by_name = {row[0]: row for row in result.rows}
+    # Baseline reads fewest lines and executes fewest instructions.
+    assert all(
+        by_name[name][2] > by_name["baseline"][2] for name in PAPER_TABLE2 if name != "baseline"
+    )
+    assert all(
+        by_name[name][4] > by_name["baseline"][4] for name in PAPER_TABLE2 if name != "baseline"
+    )
+    # Baseline is the fastest (paper: > 1.5x faster than all prior work).
+    assert all(
+        by_name[name][1] > by_name["baseline"][1] for name in PAPER_TABLE2 if name != "baseline"
+    )
+
+
+def test_table3_covers_graphs_and_methods(graphs):
+    result = table3(graphs, TINY_MACHINE)
+    assert len(result.rows) == 2 * 3  # 2 graphs x (baseline, pb, dpb)
+    assert "urand/dpb" in result.measurements
+    urand_base = result.measurements["urand/baseline"]
+    urand_dpb = result.measurements["urand/dpb"]
+    # The headline claim, in miniature: DPB communicates and runs less.
+    assert urand_dpb.requests < urand_base.requests
+    assert urand_dpb.seconds < urand_base.seconds
+
+
+def test_table3_dpb_writes_below_pb(graphs):
+    result = table3(graphs, TINY_MACHINE)
+    assert (
+        result.measurements["urand/dpb"].writes
+        < result.measurements["urand/pb"].writes
+    )
+
+
+def test_paper_reference_values_sane():
+    # Spot-check the transcription of the paper's tables.
+    assert PAPER_TABLE2["baseline"][0] == 2.49
+    assert PAPER_TABLE3["urand"]["dpb"][1] == 481.0
+    assert set(PAPER_TABLE3) == {
+        "urand", "kron", "cite", "coauth", "friend", "twitter", "web", "webrnd",
+    }
+
+
+def test_render_includes_paper_columns(graphs):
+    text = table3(graphs, TINY_MACHINE).render()
+    assert "paper reads (M)" in text

@@ -1,0 +1,40 @@
+"""Shared fixtures for kernel tests: small graphs and a tiny machine."""
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph, web_crawl_graph
+from repro.memsim import CacheConfig
+from repro.models.machine import MachineSpec
+
+#: A machine small enough that a few-thousand-vertex graph is "large":
+#: 4 KiB LLC = 1024 words, 64 lines.  The 2 KiB L1 (32 lines) comfortably
+#: holds the insertion points of the default bin count, like the real L1.
+TINY_MACHINE = MachineSpec(
+    name="tiny",
+    llc=CacheConfig(capacity_bytes=4 * 1024, line_bytes=64),
+    l1=CacheConfig(capacity_bytes=2 * 1024, line_bytes=64),
+    mem_bandwidth_requests=1e9,
+    instr_rate=50e9,
+)
+
+
+@pytest.fixture()
+def tiny_machine():
+    return TINY_MACHINE
+
+
+@pytest.fixture()
+def random_graph():
+    """Symmetric uniform random graph, n >> tiny cache words."""
+    return build_csr(uniform_random_graph(8192, 8, seed=3))
+
+
+@pytest.fixture()
+def directed_graph():
+    return build_csr(uniform_random_graph(4096, 6, seed=4, symmetric=False))
+
+
+@pytest.fixture()
+def local_graph():
+    """High-locality banded graph (web stand-in)."""
+    return build_csr(web_crawl_graph(8192, 6, seed=5, window=128))

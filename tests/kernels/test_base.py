@@ -1,0 +1,85 @@
+"""Unit tests for :mod:`repro.kernels.base`."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, build_csr, uniform_random_graph
+from repro.kernels import (
+    InstructionModel,
+    apply_damping,
+    compute_contributions,
+    init_scores,
+    reference_pagerank,
+    score_delta,
+)
+from repro.kernels.pull import PullPageRank
+
+
+def test_init_scores_uniform():
+    scores = init_scores(4)
+    np.testing.assert_allclose(scores, 0.25)
+    assert scores.dtype == np.float32
+
+
+def test_compute_contributions_handles_zero_degree():
+    scores = np.array([0.5, 0.5], dtype=np.float32)
+    degrees = np.array([2, 0])
+    contributions = compute_contributions(scores, degrees)
+    np.testing.assert_allclose(contributions, [0.25, 0.0])
+    assert np.isfinite(contributions).all()
+
+
+def test_apply_damping_formula():
+    sums = np.array([0.0, 1.0], dtype=np.float32)
+    out = apply_damping(sums, num_vertices=2, damping=0.85)
+    np.testing.assert_allclose(out, [0.075, 0.925], rtol=1e-6)
+
+
+def test_score_delta():
+    a = np.array([0.1, 0.2], dtype=np.float32)
+    b = np.array([0.2, 0.1], dtype=np.float32)
+    assert score_delta(a, b) == pytest.approx(0.2, rel=1e-5)
+
+
+def test_reference_pagerank_cycle():
+    # A 3-cycle: symmetric scores = 1/3 at every iteration.
+    g = CSRGraph(offsets=[0, 1, 2, 3], targets=[1, 2, 0])
+    scores = reference_pagerank(g, 10)
+    np.testing.assert_allclose(scores, 1.0 / 3, rtol=1e-9)
+
+
+def test_reference_pagerank_mass_conservation_without_dangling():
+    g = build_csr(uniform_random_graph(500, 6, seed=1))  # symmetric: no dangling
+    scores = reference_pagerank(g, 5)
+    assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_reference_pagerank_drops_dangling_mass():
+    # 0 -> 1, vertex 1 dangles: its mass is dropped, total < 1.
+    g = CSRGraph(offsets=[0, 1, 1], targets=[1])
+    scores = reference_pagerank(g, 2)
+    assert scores.sum() < 1.0
+
+
+def test_instruction_model_linear():
+    model = InstructionModel(per_edge=2.0, per_vertex=3.0)
+    assert model.count(10, 100) == 230.0
+
+
+def test_kernel_rejects_empty_graph():
+    g = CSRGraph(offsets=[0], targets=[])
+    with pytest.raises(ValueError, match="at least one vertex"):
+        PullPageRank(g)
+
+
+def test_kernel_rejects_bad_scores_shape():
+    g = build_csr(uniform_random_graph(100, 4, seed=2))
+    kernel = PullPageRank(g)
+    with pytest.raises(ValueError, match="shape"):
+        kernel.run(scores=np.zeros(5, dtype=np.float32))
+
+
+def test_instruction_count_scales_with_iterations():
+    g = build_csr(uniform_random_graph(100, 4, seed=2))
+    kernel = PullPageRank(g)
+    assert kernel.instruction_count(3) == pytest.approx(3 * kernel.instruction_count(1))

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.kernels.bins`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import EdgeList, build_csr, uniform_random_graph
+from repro.kernels import BinLayout, default_bin_width
+from repro.models.machine import SIMULATED_MACHINE
+
+
+@pytest.fixture()
+def graph():
+    return build_csr(uniform_random_graph(1000, 8, seed=21))
+
+
+def test_layout_geometry(graph):
+    layout = BinLayout(graph, 256)
+    assert layout.num_bins == 4
+    assert layout.bin_width_bytes == 1024
+    assert layout.bin_slice(0) == (0, 256)
+    assert layout.bin_slice(3) == (768, 1000)
+
+
+def test_layout_rejects_non_power_of_two(graph):
+    with pytest.raises(ValueError, match="power of two"):
+        BinLayout(graph, 100)
+
+
+def test_bin_slice_bounds(graph):
+    layout = BinLayout(graph, 256)
+    with pytest.raises(IndexError):
+        layout.bin_slice(4)
+    with pytest.raises(IndexError):
+        layout.bin_slice(-1)
+
+
+def test_bins_partition_all_edges(graph):
+    layout = BinLayout(graph, 128)
+    assert sum(layout.bin_count(i) for i in range(layout.num_bins)) == graph.num_edges
+    layout.check()
+
+
+def test_destinations_within_slice(graph):
+    layout = BinLayout(graph, 128)
+    for i in range(layout.num_bins):
+        dsts = layout.bin_destinations(i)
+        start, stop = layout.bin_slice(i)
+        if dsts.size:
+            assert dsts.min() >= start
+            assert dsts.max() < stop
+
+
+def test_order_is_permutation(graph):
+    layout = BinLayout(graph, 64)
+    assert sorted(layout.order.tolist()) == list(range(graph.num_edges))
+
+
+def test_deterministic_layout_is_stable_within_bins(graph):
+    """Within a bin, propagations keep CSR (source) order — the property
+    DPB's reusable destination indices rely on."""
+    layout = BinLayout(graph, 128)
+    for i in range(layout.num_bins):
+        lo, hi = int(layout.bounds[i]), int(layout.bounds[i + 1])
+        positions = layout.order[lo:hi]
+        assert np.all(np.diff(positions) > 0)
+
+
+def test_single_bin_when_width_covers_graph(graph):
+    layout = BinLayout(graph, 1024)
+    assert layout.num_bins == 1
+    np.testing.assert_array_equal(np.sort(layout.sorted_dst), np.sort(graph.targets))
+
+
+def test_edge_bin_ids_in_csr_order(graph):
+    layout = BinLayout(graph, 128)
+    ids = layout.edge_bin_ids()
+    assert ids.size == graph.num_edges
+    np.testing.assert_array_equal(ids, graph.targets.astype(np.int64) >> 7)
+
+
+def test_default_bin_width_follows_half_cache_rule():
+    width = default_bin_width(SIMULATED_MACHINE)
+    assert width & (width - 1) == 0
+    # Slice words <= half the LLC words.
+    assert width <= SIMULATED_MACHINE.cache_words // 2
+    assert width > SIMULATED_MACHINE.cache_words // 8
+
+
+@given(
+    n=st.integers(min_value=1, max_value=100),
+    width_exp=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_layout_invariants(n, width_exp, seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(0, 4 * n))
+    el = EdgeList(
+        n,
+        rng.integers(0, n, size=m).astype(np.int32),
+        rng.integers(0, n, size=m).astype(np.int32),
+    )
+    g = build_csr(el, dedup=False)
+    layout = BinLayout(g, 1 << width_exp)
+    layout.check()
+    # Accumulating bins in order recovers every destination exactly once.
+    collected = np.concatenate(
+        [layout.bin_destinations(i) for i in range(layout.num_bins)]
+    )
+    assert sorted(collected.tolist()) == sorted(g.targets.tolist())

@@ -1,0 +1,74 @@
+"""Tests for frontier-based PageRank-Delta."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, kronecker_graph, uniform_random_graph
+from repro.kernels import pagerank
+from repro.kernels.delta import pagerank_delta
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(3000, 8, seed=131))
+
+
+def test_matches_power_iteration_fixed_point(graph):
+    ref = pagerank(graph, method="pull", tolerance=1e-10, max_iterations=300)
+    res = pagerank_delta(graph, tolerance=1e-9)
+    assert res.converged
+    np.testing.assert_allclose(res.scores, ref.scores, rtol=1e-4, atol=1e-8)
+
+
+def test_lazy_frontier_still_exact(graph):
+    ref = pagerank(graph, method="pull", tolerance=1e-10, max_iterations=300)
+    res = pagerank_delta(graph, tolerance=1e-9, frontier_tolerance=1e-6)
+    assert res.converged
+    np.testing.assert_allclose(res.scores, ref.scores, rtol=1e-4, atol=1e-7)
+
+
+def test_frontiers_eventually_shrink(graph):
+    res = pagerank_delta(graph, tolerance=1e-9)
+    sizes = [r.frontier_size for r in res.rounds]
+    assert sizes[-1] < sizes[0]
+    assert sizes[-1] < graph.num_vertices // 2
+
+
+def test_telemetry_consistency(graph):
+    res = pagerank_delta(graph, tolerance=1e-8)
+    for r in res.rounds:
+        assert 0 <= r.frontier_size <= graph.num_vertices
+        assert 0 <= r.active_edges <= graph.num_edges
+        assert r.max_delta > 0
+    # Deltas decay overall (geometric with ratio ~damping).
+    assert res.rounds[-1].max_delta < res.rounds[0].max_delta
+    assert res.total_active_edges == sum(r.active_edges for r in res.rounds)
+
+
+def test_total_work_less_than_full_iterations(graph):
+    """The point of the optimization: fewer propagations than running the
+    same number of full power iterations."""
+    res = pagerank_delta(graph, tolerance=1e-9)
+    assert res.total_active_edges < res.num_rounds * graph.num_edges
+
+
+def test_on_skewed_graph():
+    g = build_csr(kronecker_graph(11, 8, seed=132), symmetric=True)
+    ref = pagerank(g, method="pull", tolerance=1e-10, max_iterations=300)
+    res = pagerank_delta(g, tolerance=1e-9)
+    np.testing.assert_allclose(res.scores, ref.scores, rtol=1e-4, atol=1e-8)
+
+
+def test_validation(graph):
+    with pytest.raises(ValueError, match="damping"):
+        pagerank_delta(graph, damping=1.0)
+    with pytest.raises(ValueError, match="tolerance"):
+        pagerank_delta(graph, tolerance=0.0)
+    with pytest.raises(ValueError, match="frontier_tolerance"):
+        pagerank_delta(graph, tolerance=1e-6, frontier_tolerance=1e-9)
+
+
+def test_max_rounds_cap(graph):
+    res = pagerank_delta(graph, tolerance=1e-12, max_rounds=3)
+    assert not res.converged
+    assert res.num_rounds == 3

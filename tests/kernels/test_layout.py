@@ -1,0 +1,91 @@
+"""Unit tests for :mod:`repro.kernels.layout` (trace emission helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph
+from repro.kernels.layout import (
+    build_regions,
+    csr_stream_words,
+    gather,
+    monotone_scan,
+    scatter,
+    seq_read,
+    seq_write,
+    streaming_write,
+)
+from repro.memsim import AccessMode, Stream
+from repro.models.machine import SIMULATED_MACHINE
+
+
+@pytest.fixture()
+def region():
+    return build_regions(SIMULATED_MACHINE, {"r": 64})["r"]
+
+
+def test_csr_stream_words():
+    g = CSRGraph(offsets=[0, 2, 3], targets=[1, 0, 0])
+    index_words, adj_words = csr_stream_words(g)
+    assert index_words == 4  # 2 vertices x 2 words (64-bit pointers)
+    assert adj_words == 3
+
+
+def test_build_regions_disjoint():
+    regions = build_regions(SIMULATED_MACHINE, {"a": 100, "b": 100})
+    a_lines = set(regions["a"].sequential_lines().tolist())
+    b_lines = set(regions["b"].sequential_lines().tolist())
+    assert a_lines.isdisjoint(b_lines)
+
+
+def test_seq_read_covers_whole_region(region):
+    chunk = seq_read(region, Stream.EDGE_ADJ)
+    assert chunk.mode is AccessMode.SEQUENTIAL
+    assert not chunk.write
+    assert chunk.num_accesses == region.num_lines
+
+
+def test_seq_write_and_streaming_write(region):
+    w = seq_write(region, Stream.VERTEX_SCORES)
+    assert w.write and not w.streaming_store
+    nt = streaming_write(region, Stream.BIN_DATA)
+    assert nt.write and nt.streaming_store
+
+
+def test_streaming_write_subrange(region):
+    chunk = streaming_write(region, Stream.BIN_DATA, start_word=16, num_words=16)
+    assert chunk.num_accesses == 1  # exactly one line (16 words per line)
+
+
+def test_gather_maps_indices_to_lines(region):
+    chunk = gather(region, np.array([0, 15, 16, 63]), Stream.VERTEX_CONTRIB)
+    assert chunk.mode is AccessMode.IRREGULAR
+    base = region.base_line
+    np.testing.assert_array_equal(chunk.lines, [base, base, base + 1, base + 3])
+
+
+def test_scatter_is_write(region):
+    chunk = scatter(region, np.array([1, 2]), Stream.VERTEX_SUMS)
+    assert chunk.write
+    assert chunk.mode is AccessMode.IRREGULAR
+
+
+def test_monotone_scan_dedups_lines(region):
+    chunk = monotone_scan(region, np.array([0, 1, 2, 17, 18, 40]), Stream.VERTEX_CONTRIB)
+    assert chunk.mode is AccessMode.SEQUENTIAL
+    base = region.base_line
+    np.testing.assert_array_equal(chunk.lines, [base, base + 1, base + 2])
+
+
+def test_monotone_scan_rejects_descending(region):
+    with pytest.raises(ValueError, match="non-decreasing"):
+        monotone_scan(region, np.array([5, 3]), Stream.VERTEX_CONTRIB)
+
+
+def test_monotone_scan_empty(region):
+    chunk = monotone_scan(region, np.array([], dtype=np.int64), Stream.VERTEX_CONTRIB)
+    assert chunk.num_accesses == 0
+
+
+def test_gather_bounds_checked(region):
+    with pytest.raises(IndexError):
+        gather(region, np.array([64]), Stream.VERTEX_CONTRIB)

@@ -1,0 +1,78 @@
+"""Unit tests for the public pagerank() API and method selection."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel, pagerank, select_method
+from tests.kernels.conftest import TINY_MACHINE
+
+
+@pytest.fixture()
+def graph():
+    return build_csr(uniform_random_graph(2000, 8, seed=31))
+
+
+def test_pagerank_converges(graph):
+    result = pagerank(graph, tolerance=1e-7)
+    assert result.converged
+    assert result.iterations < 100
+    assert result.scores.sum() == pytest.approx(1.0, abs=1e-3)
+
+
+def test_pagerank_methods_agree(graph):
+    results = {
+        m: pagerank(graph, method=m, tolerance=1e-7).scores
+        for m in ("pull", "cb", "dpb")
+    }
+    np.testing.assert_allclose(results["pull"], results["cb"], rtol=1e-3, atol=1e-9)
+    np.testing.assert_allclose(results["pull"], results["dpb"], rtol=1e-3, atol=1e-9)
+
+
+def test_pagerank_max_iterations_cap(graph):
+    result = pagerank(graph, tolerance=0.0, max_iterations=3)
+    assert not result.converged
+    assert result.iterations == 3
+
+
+def test_pagerank_validates_arguments(graph):
+    with pytest.raises(ValueError, match="damping"):
+        pagerank(graph, damping=1.5)
+    with pytest.raises(ValueError, match="tolerance"):
+        pagerank(graph, tolerance=-1)
+    with pytest.raises(ValueError, match="max_iterations"):
+        pagerank(graph, max_iterations=0)
+
+
+def test_pagerank_unknown_method(graph):
+    with pytest.raises(KeyError, match="unknown method"):
+        pagerank(graph, method="quantum")
+
+
+def test_auto_selects_pull_for_cache_resident_graph():
+    small = build_csr(uniform_random_graph(500, 4, seed=32))
+    # 500 vertices < TINY_MACHINE's 1024 cache words.
+    assert select_method(small, TINY_MACHINE) == "baseline"
+
+
+def test_auto_selects_dpb_for_large_sparse_graph():
+    big_sparse = build_csr(uniform_random_graph(65536, 4, seed=33))
+    assert select_method(big_sparse, TINY_MACHINE) == "dpb"
+
+
+def test_auto_selects_cb_for_denser_graph():
+    # Dense relative to the block count of the tiny machine.
+    dense = build_csr(uniform_random_graph(4096, 24, seed=34))
+    assert select_method(dense, TINY_MACHINE) == "cb"
+
+
+def test_auto_resolution_reported(graph):
+    result = pagerank(graph, method="auto", machine=TINY_MACHINE, max_iterations=2)
+    assert result.method in {"baseline", "cb", "dpb"}
+
+
+def test_make_kernel_passes_kwargs(graph):
+    kernel = make_kernel(graph, "dpb", TINY_MACHINE, bin_width=64)
+    assert kernel.layout.bin_width == 64
+    kernel = make_kernel(graph, "cb", TINY_MACHINE, block_width=128)
+    assert kernel.block_width == 128

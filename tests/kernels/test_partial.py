@@ -1,0 +1,142 @@
+"""Tests for active-subset propagation (paper Section IX)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import EdgeList, build_csr, uniform_random_graph
+from repro.kernels.base import compute_contributions, init_scores
+from repro.kernels.partial import (
+    PARTIAL_METHODS,
+    active_edge_count,
+    partial_propagate,
+    partial_trace,
+)
+from repro.memsim import FullyAssociativeLRU, simulate
+from tests.kernels.conftest import TINY_MACHINE
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(4096, 8, seed=81))
+
+
+def measure(graph, active, method):
+    return simulate(
+        partial_trace(graph, active, method, TINY_MACHINE),
+        FullyAssociativeLRU(TINY_MACHINE.llc),
+    )
+
+
+def test_active_edge_count(graph):
+    all_active = np.ones(graph.num_vertices, dtype=bool)
+    assert active_edge_count(graph, all_active) == graph.num_edges
+    none_active = np.zeros(graph.num_vertices, dtype=bool)
+    assert active_edge_count(graph, none_active) == 0
+
+
+def test_mask_shape_validated(graph):
+    with pytest.raises(ValueError, match="active mask"):
+        partial_propagate(graph, np.ones(3, dtype=bool))
+    with pytest.raises(ValueError, match="method"):
+        list(partial_trace(graph, np.ones(graph.num_vertices, bool), "warp"))
+
+
+def test_partial_propagate_matches_manual(graph):
+    rng = np.random.default_rng(1)
+    active = rng.random(graph.num_vertices) < 0.5
+    scores = init_scores(graph.num_vertices)
+    sums = partial_propagate(graph, active, scores)
+    # Manual per-edge reference.
+    contributions = compute_contributions(scores, graph.out_degrees())
+    expected = np.zeros(graph.num_vertices, dtype=np.float64)
+    for u, v in zip(graph.edge_sources(), graph.targets):
+        if active[u]:
+            expected[v] += contributions[u]
+    np.testing.assert_allclose(sums, expected, rtol=1e-4, atol=1e-9)
+
+
+def test_all_active_equals_full_push(graph):
+    active = np.ones(graph.num_vertices, dtype=bool)
+    sums = partial_propagate(graph, active)
+    contributions = compute_contributions(
+        init_scores(graph.num_vertices), graph.out_degrees()
+    )
+    expected = np.bincount(
+        graph.targets,
+        weights=contributions[graph.edge_sources()].astype(np.float64),
+        minlength=graph.num_vertices,
+    )
+    np.testing.assert_allclose(sums, expected, rtol=1e-4)
+
+
+@pytest.mark.parametrize("method", PARTIAL_METHODS)
+def test_traces_produce_traffic(graph, method):
+    rng = np.random.default_rng(2)
+    active = rng.random(graph.num_vertices) < 0.2
+    counters = measure(graph, active, method)
+    assert counters.total_requests > 0
+
+
+def test_pb_traffic_scales_with_active_fraction(graph):
+    """The Section IX claim: PB traffic ~ active propagations."""
+    rng = np.random.default_rng(3)
+    small = rng.random(graph.num_vertices) < 0.05
+    large = rng.random(graph.num_vertices) < 0.8
+    pb_small = measure(graph, small, "pb").total_requests
+    pb_large = measure(graph, large, "pb").total_requests
+    edges_small = active_edge_count(graph, small)
+    edges_large = active_edge_count(graph, large)
+    # Traffic ratio tracks the active-edge ratio within a modest factor
+    # (fixed n/b terms dominate only at the very small end).
+    assert pb_small / pb_large < 3.5 * edges_small / edges_large
+
+
+def test_cb_and_pull_traffic_do_not_scale_down(graph):
+    """CB streams its whole blocked graph; pull reads every in-edge."""
+    rng = np.random.default_rng(4)
+    tiny = rng.random(graph.num_vertices) < 0.02
+    full = np.ones(graph.num_vertices, dtype=bool)
+    for method in ("pull", "cb"):
+        at_tiny = measure(graph, tiny, method).total_requests
+        at_full = measure(graph, full, method).total_requests
+        assert at_tiny > 0.5 * at_full, method  # barely shrinks
+
+
+def test_pb_wins_at_small_fractions(graph):
+    rng = np.random.default_rng(5)
+    active = rng.random(graph.num_vertices) < 0.05
+    edges = active_edge_count(graph, active)
+    per_edge = {
+        method: measure(graph, active, method).total_requests / edges
+        for method in PARTIAL_METHODS
+    }
+    assert per_edge["pb"] < per_edge["cb"] < per_edge["pull"]
+
+
+def test_no_active_vertices(graph):
+    active = np.zeros(graph.num_vertices, dtype=bool)
+    sums = partial_propagate(graph, active)
+    assert not sums.any()
+    for method in PARTIAL_METHODS:
+        counters = measure(graph, active, method)
+        assert counters.total_requests >= 0  # traces must not crash
+
+
+@given(seed=st.integers(0, 50), fraction=st.floats(0.0, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_property_partial_sums_bounded(seed, fraction):
+    rng = np.random.default_rng(seed)
+    n = 200
+    el = EdgeList(
+        n,
+        rng.integers(0, n, size=600).astype(np.int32),
+        rng.integers(0, n, size=600).astype(np.int32),
+    )
+    g = build_csr(el)
+    active = rng.random(n) < fraction
+    sums = partial_propagate(g, active)
+    full = partial_propagate(g, np.ones(n, dtype=bool))
+    assert np.isfinite(sums).all()
+    # Activating fewer vertices never increases any sum.
+    assert np.all(sums <= full + 1e-6)

@@ -1,0 +1,124 @@
+"""Unit and property tests for generalized SpMV with propagation blocking."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import SparseMatrix, spmv, spmv_trace
+from repro.memsim import FullyAssociativeLRU, simulate
+from tests.kernels.conftest import TINY_MACHINE
+
+
+def random_matrix(num_rows, num_cols, nnz, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, num_rows, size=nnz)
+    cols = rng.integers(0, num_cols, size=nnz)
+    vals = rng.normal(size=nnz).astype(np.float32)
+    return SparseMatrix.from_coo(num_rows, num_cols, rows, cols, vals)
+
+
+def test_from_coo_sums_duplicates():
+    m = SparseMatrix.from_coo(2, 2, [0, 0], [1, 1], [1.0, 2.0])
+    assert m.nnz == 1
+    assert m.dense()[0, 1] == pytest.approx(3.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="row ids"):
+        SparseMatrix.from_coo(2, 2, [2], [0], [1.0])
+    with pytest.raises(ValueError, match="column ids"):
+        SparseMatrix(2, 2, [0, 1, 1], [5], [1.0])
+    with pytest.raises(ValueError, match="offsets"):
+        SparseMatrix(2, 2, [0, 1], [0], [1.0])
+
+
+def test_transpose_round_trip():
+    m = random_matrix(30, 20, 100, seed=1)
+    t = m.transposed()
+    assert t.num_rows == 20 and t.num_cols == 30
+    np.testing.assert_allclose(t.dense(), m.dense().T)
+
+
+@pytest.mark.parametrize("method", ["row", "pb"])
+def test_matches_scipy_square(method):
+    m = random_matrix(500, 500, 4000, seed=2)
+    x = np.random.default_rng(3).normal(size=500).astype(np.float32)
+    expected = sp.csr_matrix(
+        (m.values, m.columns, m.offsets), shape=(500, 500)
+    ) @ x
+    got = spmv(m, x, method=method, bin_width=64)
+    np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-5)
+
+
+@pytest.mark.parametrize("method", ["row", "pb"])
+def test_matches_scipy_non_square(method):
+    m = random_matrix(300, 700, 2500, seed=4)
+    x = np.random.default_rng(5).normal(size=700).astype(np.float32)
+    expected = sp.csr_matrix(
+        (m.values, m.columns, m.offsets), shape=(300, 700)
+    ) @ x
+    got = spmv(m, x, method=method, bin_width=32)
+    np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-5)
+
+
+def test_spmv_rejects_bad_x():
+    m = random_matrix(10, 20, 30, seed=6)
+    with pytest.raises(ValueError, match="shape"):
+        spmv(m, np.zeros(10, dtype=np.float32))
+    with pytest.raises(ValueError, match="method"):
+        spmv(m, np.zeros(20, dtype=np.float32), method="diag")
+
+
+def test_empty_matrix():
+    m = SparseMatrix(3, 4, [0, 0, 0, 0], [], [])
+    y = spmv(m, np.ones(4, dtype=np.float32), method="pb", bin_width=4)
+    np.testing.assert_allclose(y, 0.0)
+
+
+@given(
+    num_rows=st.integers(1, 40),
+    num_cols=st.integers(1, 40),
+    seed=st.integers(0, 100),
+    method=st.sampled_from(["row", "pb"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_matches_dense(num_rows, num_cols, seed, method):
+    rng = np.random.default_rng(seed)
+    nnz = int(rng.integers(0, 4 * max(num_rows, num_cols)))
+    m = SparseMatrix.from_coo(
+        num_rows,
+        num_cols,
+        rng.integers(0, num_rows, size=nnz),
+        rng.integers(0, num_cols, size=nnz),
+        rng.normal(size=nnz).astype(np.float32),
+    )
+    x = rng.normal(size=num_cols).astype(np.float32)
+    expected = m.dense() @ x.astype(np.float64)
+    got = spmv(m, x, method=method, bin_width=8)
+    np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-4)
+
+
+@pytest.mark.parametrize("method", ["row", "pb"])
+def test_trace_runs_and_counts(method):
+    m = random_matrix(4096, 4096, 30000, seed=7)
+    engine = FullyAssociativeLRU(TINY_MACHINE.llc)
+    counters = simulate(
+        spmv_trace(m, method=method, bin_width=256, machine=TINY_MACHINE), engine
+    )
+    assert counters.total_reads > 0
+
+
+def test_pb_trace_reduces_communication_vs_row():
+    """Section IX's claim, measured: PB-SpMV beats row-major SpMV on a
+    low-locality matrix (n much larger than the cache)."""
+    m = random_matrix(8192, 8192, 65536, seed=8)
+    row = simulate(
+        spmv_trace(m, method="row", machine=TINY_MACHINE),
+        FullyAssociativeLRU(TINY_MACHINE.llc),
+    )
+    pb = simulate(
+        spmv_trace(m, method="pb", bin_width=512, machine=TINY_MACHINE),
+        FullyAssociativeLRU(TINY_MACHINE.llc),
+    )
+    assert pb.total_requests < row.total_requests

@@ -1,0 +1,121 @@
+"""Structural invariants of every kernel's memory trace.
+
+These pin the trace generators to the algorithms they model: the gather
+and scatter streams must contain exactly one access per edge, streaming
+structures exactly their size in lines, and totals must be consistent
+across kernels that process identical propagations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import EdgeList, build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.memsim import AccessMode, Stream
+from tests.kernels.conftest import TINY_MACHINE
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(2048, 6, seed=241))
+
+
+def chunks_of(graph, method, **kwargs):
+    return list(make_kernel(graph, method, TINY_MACHINE, **kwargs).trace(1))
+
+
+def test_pull_gather_has_one_access_per_edge(graph):
+    chunks = chunks_of(graph, "baseline")
+    gathers = [
+        c
+        for c in chunks
+        if c.mode is AccessMode.IRREGULAR and c.stream is Stream.VERTEX_CONTRIB
+    ]
+    assert sum(c.num_accesses for c in gathers) == graph.num_edges
+
+
+def test_push_scatter_has_one_access_per_edge(graph):
+    chunks = chunks_of(graph, "push")
+    scatters = [
+        c
+        for c in chunks
+        if c.mode is AccessMode.IRREGULAR and c.stream is Stream.VERTEX_SUMS
+    ]
+    assert sum(c.num_accesses for c in scatters) == graph.num_edges
+
+
+@pytest.mark.parametrize("method", ["pb", "dpb"])
+def test_pb_scatter_covers_every_propagation(graph, method):
+    chunks = chunks_of(graph, method)
+    scatters = [
+        c
+        for c in chunks
+        if c.mode is AccessMode.IRREGULAR and c.stream is Stream.VERTEX_SUMS
+    ]
+    assert sum(c.num_accesses for c in scatters) == graph.num_edges
+
+
+def test_cb_edge_stream_lines_match_edge_list_size(graph):
+    b = TINY_MACHINE.words_per_line
+    kernel = make_kernel(graph, "cb", TINY_MACHINE)
+    chunks = list(kernel.trace(1))
+    edge_lines = sum(
+        c.num_accesses for c in chunks if c.stream is Stream.EDGE_ADJ
+    )
+    # 2 words per edge, blocks are contiguous in one region: per-block
+    # boundaries can add at most one line each.
+    expected = 2 * graph.num_edges / b
+    assert expected <= edge_lines <= expected + kernel.num_blocks + 1
+
+
+@pytest.mark.parametrize("method", ["pb", "dpb"])
+def test_bin_writes_are_all_streaming(graph, method):
+    chunks = chunks_of(graph, method)
+    bin_writes = [c for c in chunks if c.stream is Stream.BIN_DATA and c.write]
+    assert bin_writes
+    assert all(c.streaming_store for c in bin_writes)
+    assert all(c.mode is AccessMode.SEQUENTIAL for c in bin_writes)
+
+
+def test_dpb_bin_writes_half_of_pb(graph):
+    pb_lines = sum(
+        c.num_accesses
+        for c in chunks_of(graph, "pb")
+        if c.stream is Stream.BIN_DATA and c.write
+    )
+    dpb_lines = sum(
+        c.num_accesses
+        for c in chunks_of(graph, "dpb")
+        if c.stream is Stream.BIN_DATA and c.write
+    )
+    assert dpb_lines == pytest.approx(pb_lines / 2, rel=0.1)
+
+
+def test_all_line_addresses_nonnegative(graph):
+    for method in ("baseline", "push", "cb", "pb", "dpb"):
+        for chunk in chunks_of(graph, method):
+            if chunk.num_accesses:
+                assert chunk.lines.min() >= 0, method
+
+
+@given(n=st.integers(2, 120), seed=st.integers(0, 30))
+@settings(max_examples=25, deadline=None)
+def test_property_gather_count_equals_edges(n, seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(0, 5 * n))
+    g = build_csr(
+        EdgeList(
+            n,
+            rng.integers(0, n, size=m).astype(np.int32),
+            rng.integers(0, n, size=m).astype(np.int32),
+        ),
+        dedup=False,
+    )
+    chunks = list(make_kernel(g, "baseline", TINY_MACHINE).trace(1))
+    gathers = sum(
+        c.num_accesses
+        for c in chunks
+        if c.mode is AccessMode.IRREGULAR and c.stream is Stream.VERTEX_CONTRIB
+    )
+    assert gathers == g.num_edges

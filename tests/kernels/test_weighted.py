@@ -1,0 +1,96 @@
+"""Tests for weighted PageRank."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeList, build_csr, uniform_random_graph
+from repro.kernels import pagerank
+from repro.kernels.weighted import weighted_out_strength, weighted_pagerank
+
+
+def weighted_graph(n=500, degree=6, seed=191):
+    rng = np.random.default_rng(seed)
+    el = uniform_random_graph(n, degree, seed=seed)
+    weights = rng.exponential(size=el.num_edges).astype(np.float32) + 0.01
+    return build_csr(
+        EdgeList(n, el.src, el.dst, weights=weights), dedup=True
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return weighted_graph()
+
+
+def test_out_strength(graph):
+    strength = weighted_out_strength(graph)
+    assert strength.shape == (graph.num_vertices,)
+    assert strength.sum() == pytest.approx(float(graph.weights.sum()), rel=1e-5)
+
+
+def test_out_strength_requires_weights():
+    g = build_csr(uniform_random_graph(100, 4, seed=192))
+    with pytest.raises(ValueError, match="weights"):
+        weighted_out_strength(g)
+
+
+def test_negative_weights_rejected():
+    el = EdgeList(3, [0, 1], [1, 2], weights=[1.0, -2.0])
+    g = build_csr(el, dedup=False)
+    with pytest.raises(ValueError, match="non-negative"):
+        weighted_pagerank(g)
+
+
+def test_methods_agree(graph):
+    pull = weighted_pagerank(graph, method="pull", tolerance=1e-7)
+    dpb = weighted_pagerank(graph, method="dpb", tolerance=1e-7)
+    assert pull.converged and dpb.converged
+    np.testing.assert_allclose(pull.scores, dpb.scores, rtol=1e-4, atol=1e-9)
+
+
+def test_matches_networkx_weighted(graph):
+    result = weighted_pagerank(graph, method="dpb", tolerance=1e-9)
+    G = nx.DiGraph()
+    G.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in zip(
+        graph.edge_sources().tolist(), graph.targets.tolist(), graph.weights.tolist()
+    ):
+        G.add_edge(u, v, weight=w)
+    expected = nx.pagerank(G, alpha=0.85, tol=1e-12, weight="weight")
+    for v in range(graph.num_vertices):
+        assert result.scores[v] == pytest.approx(expected[v], rel=3e-3, abs=1e-7)
+
+
+def test_uniform_weights_recover_unweighted(graph):
+    # Replace all weights by a constant: weighted == unweighted PageRank.
+    from repro.graphs import CSRGraph
+
+    uniform = CSRGraph(
+        graph.offsets,
+        graph.targets,
+        weights=np.ones(graph.num_edges, dtype=np.float32),
+        symmetric=graph.symmetric,
+    )
+    weighted = weighted_pagerank(uniform, tolerance=1e-9)
+    unweighted = pagerank(graph, method="pull", tolerance=1e-7)
+    np.testing.assert_allclose(
+        weighted.scores, unweighted.scores, rtol=1e-3, atol=1e-8
+    )
+
+
+def test_heavy_edge_attracts_mass():
+    # 0 -> 1 (tiny weight), 0 -> 2 (huge weight): vertex 2 must outrank 1.
+    el = EdgeList(
+        3, [0, 0, 1, 2], [1, 2, 0, 0], weights=[0.01, 10.0, 1.0, 1.0]
+    )
+    g = build_csr(el, dedup=False)
+    result = weighted_pagerank(g, tolerance=1e-9)
+    assert result.scores[2] > 3 * result.scores[1]
+
+
+def test_validation(graph):
+    with pytest.raises(ValueError, match="method"):
+        weighted_pagerank(graph, method="cb")
+    with pytest.raises(ValueError, match="damping"):
+        weighted_pagerank(graph, damping=0.0)

@@ -1,0 +1,175 @@
+"""Unit tests for the exact cache engines."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    CacheConfig,
+    FullyAssociativeLRU,
+    MemCounters,
+    SetAssociativeLRU,
+    Stream,
+    irregular_chunk,
+    sequential_chunk,
+    simulate,
+)
+
+
+def tiny_config(lines: int = 4) -> CacheConfig:
+    return CacheConfig(capacity_bytes=64 * lines, line_bytes=64)
+
+
+def test_config_geometry():
+    cfg = CacheConfig(capacity_bytes=1 << 20, line_bytes=64)
+    assert cfg.num_lines == 16384
+    assert cfg.words_per_line == 16
+    assert cfg.capacity_words == 262144
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="power of two"):
+        CacheConfig(capacity_bytes=1000)
+    with pytest.raises(ValueError, match="line_bytes cannot exceed"):
+        CacheConfig(capacity_bytes=64, line_bytes=128)
+    with pytest.raises(ValueError, match="divide"):
+        CacheConfig(capacity_bytes=256, line_bytes=64, ways=3)
+
+
+def test_sequential_read_counts_compulsory_only():
+    engine = FullyAssociativeLRU(tiny_config())
+    counters = simulate([sequential_chunk(np.arange(10), stream=Stream.EDGE_ADJ)], engine)
+    assert counters.total_reads == 10
+    assert counters.total_writes == 0
+    assert counters.reads[Stream.EDGE_ADJ] == 10
+
+
+def test_sequential_write_allocates_and_writes_back():
+    engine = FullyAssociativeLRU(tiny_config())
+    counters = simulate([sequential_chunk(np.arange(10), write=True)], engine)
+    assert counters.total_reads == 10  # write-allocate fills
+    assert counters.total_writes == 10  # eventual write-backs
+
+
+def test_streaming_store_skips_allocate_read():
+    engine = FullyAssociativeLRU(tiny_config())
+    counters = simulate(
+        [sequential_chunk(np.arange(10), write=True, streaming_store=True)], engine
+    )
+    assert counters.total_reads == 0
+    assert counters.total_writes == 10
+
+
+def test_sequential_does_not_pollute_cache():
+    engine = FullyAssociativeLRU(tiny_config(lines=2))
+    counters = MemCounters()
+    engine.process_chunk(irregular_chunk(np.array([100, 200])), counters)
+    engine.process_chunk(sequential_chunk(np.arange(50)), counters)
+    # The irregular lines must still be resident.
+    engine.process_chunk(irregular_chunk(np.array([100, 200])), counters)
+    assert counters.hits[Stream.OTHER] == 2
+
+
+def test_lru_eviction_order():
+    engine = FullyAssociativeLRU(tiny_config(lines=2))
+    counters = MemCounters()
+    engine.process_chunk(irregular_chunk(np.array([1, 2])), counters)
+    engine.process_chunk(irregular_chunk(np.array([1])), counters)  # refresh 1
+    engine.process_chunk(irregular_chunk(np.array([3])), counters)  # evicts 2
+    engine.process_chunk(irregular_chunk(np.array([1])), counters)  # hit
+    engine.process_chunk(irregular_chunk(np.array([2])), counters)  # miss
+    assert counters.reads[Stream.OTHER] == 4  # 1, 2, 3, 2
+    assert counters.hits[Stream.OTHER] == 2  # refresh of 1, then hit on 1
+
+
+def test_dirty_eviction_writes_back():
+    engine = FullyAssociativeLRU(tiny_config(lines=1))
+    counters = MemCounters()
+    engine.process_chunk(irregular_chunk(np.array([7]), write=True), counters)
+    engine.process_chunk(irregular_chunk(np.array([8])), counters)  # evicts dirty 7
+    assert counters.total_writes == 1
+    engine.flush(counters)
+    assert counters.total_writes == 1  # line 8 is clean
+
+
+def test_flush_writes_back_dirty_lines():
+    engine = FullyAssociativeLRU(tiny_config())
+    counters = simulate(
+        [irregular_chunk(np.array([1, 2, 3]), write=True)], engine, flush=True
+    )
+    assert counters.total_writes == 3
+
+
+def test_write_hit_marks_dirty():
+    engine = FullyAssociativeLRU(tiny_config(lines=2))
+    counters = MemCounters()
+    engine.process_chunk(irregular_chunk(np.array([5])), counters)  # clean fill
+    engine.process_chunk(irregular_chunk(np.array([5]), write=True), counters)  # dirty it
+    engine.flush(counters)
+    assert counters.total_writes == 1
+
+
+def test_capacity_one_thrashes():
+    engine = FullyAssociativeLRU(tiny_config(lines=1))
+    counters = simulate([irregular_chunk(np.array([1, 2, 1, 2]))], engine)
+    assert counters.total_reads == 4
+    assert counters.hits[Stream.OTHER] == 0
+
+
+def test_infinite_cache_compulsory_misses_only():
+    engine = FullyAssociativeLRU(tiny_config(lines=1024))
+    lines = np.array([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5])
+    counters = simulate([irregular_chunk(lines)], engine)
+    assert counters.total_reads == len(set(lines.tolist()))
+
+
+def test_consecutive_repeats_always_hit():
+    engine = FullyAssociativeLRU(tiny_config(lines=1))
+    counters = simulate([irregular_chunk(np.array([4, 4, 4, 4]))], engine)
+    assert counters.total_reads == 1
+    assert counters.hits[Stream.OTHER] == 3
+
+
+def test_occupancy_bounded_by_capacity():
+    engine = FullyAssociativeLRU(tiny_config(lines=4))
+    counters = MemCounters()
+    engine.process_chunk(irregular_chunk(np.arange(100)), counters)
+    assert engine.occupancy == 4
+
+
+def test_fully_associative_rejects_set_config():
+    with pytest.raises(ValueError, match="ways"):
+        FullyAssociativeLRU(CacheConfig(256, 64, ways=2))
+
+
+def test_set_associative_conflict_misses():
+    # 4 lines, 2 ways -> 2 sets; lines 0, 2, 4 all map to set 0.
+    cfg = CacheConfig(capacity_bytes=256, line_bytes=64, ways=2)
+    engine = SetAssociativeLRU(cfg)
+    counters = simulate([irregular_chunk(np.array([0, 2, 4, 0]))], engine)
+    # 0 evicted by 4 (set 0 holds 2 lines), so the final 0 misses again.
+    assert counters.total_reads == 4
+
+
+def test_set_associative_fully_assoc_when_one_set():
+    cfg = CacheConfig(capacity_bytes=256, line_bytes=64)  # ways=None -> all ways
+    engine = SetAssociativeLRU(cfg)
+    assert engine.config.num_sets == 1
+    counters = simulate([irregular_chunk(np.array([0, 4, 8, 0]))], engine)
+    assert counters.total_reads == 3
+    assert counters.hits[Stream.OTHER] == 1
+
+
+def test_phase_attribution():
+    engine = FullyAssociativeLRU(tiny_config())
+    counters = simulate(
+        [
+            sequential_chunk(np.arange(5), phase="binning"),
+            sequential_chunk(np.arange(100, 103), write=True,
+                             streaming_store=True, phase="binning"),
+            sequential_chunk(np.arange(200, 204), phase="accumulate"),
+        ],
+        engine,
+    )
+    assert counters.phase_reads["binning"] == 5
+    assert counters.phase_writes["binning"] == 3
+    assert counters.phase_reads["accumulate"] == 4

@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.memsim.counters`."""
+
+import pytest
+
+from repro.memsim import MemCounters, Stream
+
+
+def test_record_and_totals():
+    c = MemCounters()
+    c.record(Stream.EDGE_ADJ, reads=10, accesses=10)
+    c.record(Stream.VERTEX_CONTRIB, reads=30, writes=5, accesses=40, hits=10)
+    assert c.total_reads == 40
+    assert c.total_writes == 5
+    assert c.total_requests == 45
+
+
+def test_category_split():
+    c = MemCounters()
+    c.record(Stream.EDGE_INDEX, reads=2)
+    c.record(Stream.EDGE_ADJ, reads=8)
+    c.record(Stream.VERTEX_SUMS, reads=30, writes=4)
+    c.record(Stream.BIN_DATA, reads=5, writes=5)
+    assert c.category_reads("edge") == 10
+    assert c.category_reads("vertex") == 30
+    assert c.category_reads("bin") == 5
+    assert c.category_requests("vertex") == 34
+
+
+def test_vertex_read_fraction():
+    c = MemCounters()
+    assert c.vertex_read_fraction() == 0.0
+    c.record(Stream.EDGE_ADJ, reads=25)
+    c.record(Stream.VERTEX_CONTRIB, reads=75)
+    assert c.vertex_read_fraction() == pytest.approx(0.75)
+
+
+def test_requests_per_edge():
+    c = MemCounters()
+    c.record(Stream.EDGE_ADJ, reads=50, writes=10)
+    assert c.requests_per_edge(100) == pytest.approx(0.6)
+    with pytest.raises(ValueError):
+        c.requests_per_edge(0)
+
+
+def test_merge_accumulates_everything():
+    a = MemCounters()
+    a.record(Stream.EDGE_ADJ, reads=1, writes=2, hits=3, accesses=4, phase="p")
+    b = MemCounters()
+    b.record(Stream.EDGE_ADJ, reads=10, writes=20, hits=30, accesses=40, phase="p")
+    a.merge(b)
+    assert a.reads[Stream.EDGE_ADJ] == 11
+    assert a.writes[Stream.EDGE_ADJ] == 22
+    assert a.hits[Stream.EDGE_ADJ] == 33
+    assert a.accesses[Stream.EDGE_ADJ] == 44
+    assert a.phase_reads["p"] == 11
+    assert a.phase_writes["p"] == 22
+
+
+def test_as_dict_keys():
+    c = MemCounters()
+    c.record(Stream.VERTEX_SUMS, reads=3)
+    d = c.as_dict()
+    assert d["reads"] == 3.0
+    assert set(d) == {
+        "reads",
+        "writes",
+        "requests",
+        "edge_reads",
+        "vertex_reads",
+        "bin_reads",
+        "vertex_read_fraction",
+    }

@@ -1,0 +1,80 @@
+"""Unit tests for the vectorized direct-mapped engine."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    CacheConfig,
+    DirectMappedVectorized,
+    Stream,
+    irregular_chunk,
+    sequential_chunk,
+    simulate,
+)
+
+
+def make_engine(lines: int = 4) -> DirectMappedVectorized:
+    return DirectMappedVectorized(CacheConfig(64 * lines, 64))
+
+
+def test_rejects_multiway_config():
+    with pytest.raises(ValueError, match="ways=1"):
+        DirectMappedVectorized(CacheConfig(256, 64, ways=2))
+
+
+def test_sequential_chunks_still_analytic():
+    counters = simulate([sequential_chunk(np.arange(7))], make_engine())
+    assert counters.total_reads == 7
+
+
+def test_conflict_misses():
+    # 4 sets: lines 0 and 4 conflict.
+    counters = simulate([irregular_chunk(np.array([0, 4, 0, 4]))], make_engine(4))
+    assert counters.total_reads == 4
+    # Lines 0 and 1 do not conflict.
+    counters = simulate([irregular_chunk(np.array([0, 1, 0, 1]))], make_engine(4))
+    assert counters.total_reads == 2
+
+
+def test_dirty_writeback_on_conflict_and_flush():
+    engine = make_engine(4)
+    counters = simulate(
+        [
+            irregular_chunk(np.array([0]), write=True),
+            irregular_chunk(np.array([4])),  # evicts dirty 0
+            irregular_chunk(np.array([8]), write=True),  # evicts clean 4, dirty 8
+        ],
+        engine,
+    )
+    assert counters.total_writes == 2  # 0 on eviction, 8 at flush
+
+
+def test_stream_attribution():
+    chunks = [
+        irregular_chunk(np.array([0, 0]), stream=Stream.VERTEX_CONTRIB),
+        irregular_chunk(np.array([1]), write=True, stream=Stream.VERTEX_SUMS),
+    ]
+    counters = simulate(chunks, make_engine(4))
+    assert counters.reads[Stream.VERTEX_CONTRIB] == 1
+    assert counters.hits[Stream.VERTEX_CONTRIB] == 1
+    assert counters.reads[Stream.VERTEX_SUMS] == 1
+    assert counters.writes[Stream.VERTEX_SUMS] == 1
+
+
+def test_empty_trace():
+    counters = simulate([], make_engine())
+    assert counters.total_requests == 0
+
+
+def test_empty_chunk():
+    counters = simulate([irregular_chunk(np.array([], dtype=np.int64))], make_engine())
+    assert counters.total_requests == 0
+
+
+def test_cross_chunk_state_is_preserved():
+    """A line loaded in chunk 1 must still hit in chunk 2."""
+    counters = simulate(
+        [irregular_chunk(np.array([3])), irregular_chunk(np.array([3]))],
+        make_engine(4),
+    )
+    assert counters.total_reads == 1

@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.memsim.hierarchy`."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    CacheConfig,
+    FullyAssociativeLRU,
+    L1Model,
+    TwoLevel,
+    irregular_chunk,
+    sequential_chunk,
+    simulate,
+)
+
+
+def test_l1_model_hit_rate_capacity_cliff():
+    """A stream over few lines hits; over many lines it thrashes."""
+    l1 = L1Model(CacheConfig(capacity_bytes=64 * 8, line_bytes=64))
+    rng = np.random.default_rng(0)
+    few = rng.integers(0, 4, size=2000)
+    many = rng.integers(0, 1000, size=2000)
+    few_stats = l1.analyze(few)
+    many_stats = l1.analyze(many)
+    assert few_stats["misses"] <= 4
+    assert many_stats["misses"] > 1500
+    assert few_stats["hits"] + few_stats["misses"] == 2000
+
+
+def test_l1_model_empty_stream():
+    l1 = L1Model()
+    stats = l1.analyze(np.array([], dtype=np.int64))
+    assert stats == {"accesses": 0, "hits": 0, "misses": 0}
+
+
+def test_two_level_requires_smaller_l1():
+    llc = FullyAssociativeLRU(CacheConfig(1024, 64))
+    with pytest.raises(ValueError, match="smaller"):
+        TwoLevel(CacheConfig(4096, 64), llc)
+
+
+def test_two_level_absorbs_l1_hits():
+    llc = FullyAssociativeLRU(CacheConfig(4096, 64))
+    two = TwoLevel(CacheConfig(128, 64), llc)  # 2-line L1
+    counters = simulate([irregular_chunk(np.array([5, 5, 5, 5]))], two)
+    assert two.l1_hits == 3
+    assert two.l1_misses == 1
+    assert counters.total_reads == 1  # only the first access reached the LLC
+
+
+def test_two_level_llc_catches_l1_capacity_misses():
+    llc = FullyAssociativeLRU(CacheConfig(4096, 64))
+    two = TwoLevel(CacheConfig(128, 64), llc)  # 2-line L1, 64-line LLC
+    trace = [irregular_chunk(np.array([1, 2, 3, 1, 2, 3]))]
+    counters = simulate(trace, two)
+    # Each access misses the 2-line L1 (cycle of 3), but the second round
+    # hits in the LLC: DRAM reads = 3 compulsory only.
+    assert two.l1_misses == 6
+    assert counters.total_reads == 3
+
+
+def test_two_level_dirty_l1_eviction_reaches_llc_not_dram():
+    llc = FullyAssociativeLRU(CacheConfig(4096, 64))
+    two = TwoLevel(CacheConfig(128, 64), llc)
+    trace = [
+        irregular_chunk(np.array([1]), write=True),
+        irregular_chunk(np.array([2, 3])),  # evicts dirty 1 into LLC
+    ]
+    counters = simulate(trace, two)
+    # The dirty line ends up dirty in the LLC and is written back at flush.
+    assert counters.total_writes == 1
+
+
+def test_two_level_sequential_passthrough():
+    llc = FullyAssociativeLRU(CacheConfig(4096, 64))
+    two = TwoLevel(CacheConfig(128, 64), llc)
+    counters = simulate([sequential_chunk(np.arange(10))], two)
+    assert counters.total_reads == 10
+    assert two.l1_misses == 10

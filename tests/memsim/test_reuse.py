@@ -1,0 +1,63 @@
+"""Unit tests for reuse-distance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    miss_ratio_curve,
+    misses_for_capacity,
+    reuse_distance_histogram,
+)
+from repro.memsim.reuse import COLD
+
+
+def test_histogram_simple_sequence():
+    # a b a b: the re-references each see 1 distinct line in between.
+    hist = reuse_distance_histogram(np.array([0, 1, 0, 1]))
+    assert hist[COLD] == 2
+    assert hist[1] == 2
+
+
+def test_histogram_immediate_reuse():
+    hist = reuse_distance_histogram(np.array([7, 7, 7]))
+    assert hist[COLD] == 1
+    assert hist[0] == 2
+
+
+def test_histogram_empty():
+    assert reuse_distance_histogram(np.array([], dtype=np.int64)) == {}
+
+
+def test_misses_for_capacity():
+    hist = reuse_distance_histogram(np.array([0, 1, 2, 0, 1, 2]))
+    # Distances are all 2: capacity 3 holds everything after warmup.
+    assert misses_for_capacity(hist, 3) == 3
+    # Capacity 2 thrashes: every access misses.
+    assert misses_for_capacity(hist, 2) == 6
+    with pytest.raises(ValueError):
+        misses_for_capacity(hist, 0)
+
+
+def test_miss_ratio_curve_monotone():
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 64, size=2000)
+    curve = miss_ratio_curve(lines, [1, 4, 16, 64, 256])
+    values = list(curve.values())
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    # A cache holding every line yields compulsory misses only.
+    assert curve[256] == pytest.approx(len(set(lines.tolist())) / lines.size)
+
+
+def test_miss_ratio_curve_empty_trace():
+    assert miss_ratio_curve(np.array([], dtype=np.int64), [4]) == {4: 0.0}
+
+
+def test_curve_matches_uniform_theory():
+    """For uniform random accesses over N lines, LRU hit rate ~ C/N."""
+    rng = np.random.default_rng(1)
+    n_lines = 128
+    lines = rng.integers(0, n_lines, size=50_000)
+    curve = miss_ratio_curve(lines, [32, 64, 96])
+    for capacity in (32, 64, 96):
+        expected_miss = 1.0 - capacity / n_lines
+        assert curve[capacity] == pytest.approx(expected_miss, abs=0.05)

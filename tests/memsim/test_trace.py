@@ -1,0 +1,95 @@
+"""Unit tests for :mod:`repro.memsim.trace`."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import (
+    AddressSpace,
+    Stream,
+    collapse_consecutive,
+    irregular_chunk,
+    sequential_chunk,
+)
+
+
+def test_chunk_coerces_lines_to_int64():
+    chunk = irregular_chunk(np.array([1, 2, 3], dtype=np.int32))
+    assert chunk.lines.dtype == np.int64
+    assert chunk.num_accesses == 3
+
+
+def test_chunk_rejects_2d_lines():
+    with pytest.raises(ValueError, match="1-D"):
+        irregular_chunk(np.zeros((2, 2)))
+
+
+def test_streaming_store_requires_write():
+    with pytest.raises(ValueError, match="streaming_store"):
+        sequential_chunk(np.array([1]), write=False, streaming_store=True)
+    chunk = sequential_chunk(np.array([1]), write=True, streaming_store=True)
+    assert chunk.streaming_store
+
+
+def test_collapse_consecutive():
+    lines = np.array([5, 5, 5, 7, 7, 5, 9])
+    collapsed, removed = collapse_consecutive(lines)
+    np.testing.assert_array_equal(collapsed, [5, 7, 5, 9])
+    assert removed == 3
+
+
+def test_collapse_consecutive_trivial_cases():
+    collapsed, removed = collapse_consecutive(np.array([], dtype=np.int64))
+    assert collapsed.size == 0 and removed == 0
+    collapsed, removed = collapse_consecutive(np.array([3]))
+    assert collapsed.tolist() == [3] and removed == 0
+
+
+def test_address_space_alignment_and_disjointness():
+    space = AddressSpace(words_per_line=16)
+    a = space.allocate("a", 10)  # rounds up to one line
+    b = space.allocate("b", 33)
+    assert a.base_word % 16 == 0
+    assert b.base_word == 16  # a occupied exactly one line
+    assert a.num_lines == 1
+    assert b.num_lines == 3
+    # Regions never share a line.
+    assert set(a.sequential_lines()).isdisjoint(set(b.sequential_lines()))
+
+
+def test_address_space_rejects_duplicate_names():
+    space = AddressSpace()
+    space.allocate("x", 4)
+    with pytest.raises(ValueError, match="already allocated"):
+        space.allocate("x", 4)
+
+
+def test_region_line_of():
+    space = AddressSpace(words_per_line=4)
+    region = space.allocate("r", 16)
+    np.testing.assert_array_equal(region.line_of(np.array([0, 3, 4, 15])), [0, 0, 1, 3])
+
+
+def test_region_line_of_bounds_check():
+    space = AddressSpace(words_per_line=4)
+    region = space.allocate("r", 8)
+    with pytest.raises(IndexError):
+        region.line_of(np.array([8]))
+    with pytest.raises(IndexError):
+        region.line_of(np.array([-1]))
+
+
+def test_region_sequential_lines_subrange():
+    space = AddressSpace(words_per_line=4)
+    space.allocate("pad", 4)
+    region = space.allocate("r", 16)
+    # Words 5..11 of the region span lines 1..2 (region-relative).
+    lines = region.sequential_lines(start_word=5, num_words=7)
+    np.testing.assert_array_equal(lines, [region.base_line + 1, region.base_line + 2])
+    assert region.sequential_lines(0, 0).size == 0
+
+
+def test_total_words_tracks_aligned_allocation():
+    space = AddressSpace(words_per_line=16)
+    space.allocate("a", 1)
+    space.allocate("b", 17)
+    assert space.total_words == 16 + 32

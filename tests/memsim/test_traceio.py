@@ -1,0 +1,75 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.memsim import (
+    CacheConfig,
+    FullyAssociativeLRU,
+    Stream,
+    irregular_chunk,
+    sequential_chunk,
+    simulate,
+)
+from repro.memsim.traceio import load_trace, save_trace
+
+
+def test_round_trip_preserves_all_fields(tmp_path):
+    chunks = [
+        sequential_chunk(np.arange(5), stream=Stream.EDGE_ADJ, phase="a"),
+        irregular_chunk(np.array([9, 2, 9]), write=True,
+                        stream=Stream.VERTEX_SUMS, phase="b"),
+        sequential_chunk(np.arange(10, 13), write=True, streaming_store=True,
+                         stream=Stream.BIN_DATA, phase="a"),
+    ]
+    path = tmp_path / "t.npz"
+    count = save_trace(path, iter(chunks))
+    assert count == 3
+    loaded = load_trace(path)
+    assert len(loaded) == 3
+    for original, restored in zip(chunks, loaded):
+        np.testing.assert_array_equal(original.lines, restored.lines)
+        assert original.write == restored.write
+        assert original.stream == restored.stream
+        assert original.mode == restored.mode
+        assert original.streaming_store == restored.streaming_store
+        assert original.phase == restored.phase
+
+
+def test_empty_trace_round_trip(tmp_path):
+    path = tmp_path / "empty.npz"
+    assert save_trace(path, []) == 0
+    assert load_trace(path) == []
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "v.npz"
+    np.savez(path, format_version=np.int64(99))
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_replay_gives_identical_measurement(tmp_path):
+    """Saving a kernel trace and replaying it reproduces the counters —
+    the property that makes golden-trace regression tests possible."""
+    graph = build_csr(uniform_random_graph(2048, 6, seed=221))
+    kernel = make_kernel(graph, "dpb")
+    path = tmp_path / "dpb.npz"
+    save_trace(path, kernel.trace(1))
+    live = simulate(kernel.trace(1), FullyAssociativeLRU(kernel.machine.llc))
+    replayed = simulate(load_trace(path), FullyAssociativeLRU(kernel.machine.llc))
+    assert live.total_reads == replayed.total_reads
+    assert live.total_writes == replayed.total_writes
+    assert live.phase_reads == replayed.phase_reads
+
+
+def test_replay_against_different_cache(tmp_path):
+    """One saved trace, many cache configurations — without the kernel."""
+    graph = build_csr(uniform_random_graph(4096, 6, seed=222))
+    path = tmp_path / "base.npz"
+    save_trace(path, make_kernel(graph, "baseline").trace(1))
+    small = simulate(load_trace(path), FullyAssociativeLRU(CacheConfig(4 * 1024, 64)))
+    large = simulate(load_trace(path), FullyAssociativeLRU(CacheConfig(64 * 1024, 64)))
+    assert large.total_reads < small.total_reads

@@ -1,0 +1,155 @@
+"""Tests for the Section V communication models.
+
+The decisive tests here mirror the paper's own validation: the analytic
+line counts must agree with the cache simulator on uniform random graphs.
+"""
+
+import math
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.models import (
+    ModelParams,
+    SIMULATED_MACHINE,
+    detailed_cb_edgelist,
+    detailed_pb,
+    detailed_pull,
+    expected_touched_lines,
+    paper_cb_csr_reads,
+    paper_cb_edgelist_reads,
+    paper_pb_reads,
+    paper_pb_writes,
+    paper_pull_reads,
+    pb_beats_cb_blocks,
+    pb_beats_pull_line_size,
+)
+
+
+def params(n=65536, k=16.0, b=16, c=4096):
+    return ModelParams(n=n, k=k, b=b, c=c)
+
+
+def test_paper_pull_formula_components():
+    p = params()
+    # kn(1-c/n) + 3n/b + kn/b
+    expected = p.m * p.miss_rate + 3 * p.n / p.b + p.m / p.b
+    assert paper_pull_reads(p) == pytest.approx(expected)
+
+
+def test_miss_rate_clamped_for_cache_resident_graphs():
+    p = params(n=1024, c=4096)
+    assert p.miss_rate == 0.0
+    assert pb_beats_pull_line_size(p) == math.inf
+
+
+def test_paper_cb_formulas():
+    p = params()
+    assert paper_cb_csr_reads(p, r=32) == pytest.approx((16 + 96 + 1) * p.n / p.b)
+    assert paper_cb_edgelist_reads(p, r=32) == pytest.approx((32 + 32 + 1) * p.n / p.b)
+
+
+def test_edge_list_blocks_beat_csr_blocks_when_sparse():
+    """The paper's rule: edge-list storage wins when k < 2r."""
+    p = params(k=8.0)
+    r = 32  # k=8 < 2r=64
+    assert paper_cb_edgelist_reads(p, r) < paper_cb_csr_reads(p, r)
+    p_dense = params(k=100.0)
+    assert paper_cb_edgelist_reads(p_dense, r) > paper_cb_csr_reads(p_dense, r)
+
+
+def test_paper_pb_formulas():
+    p = params()
+    assert paper_pb_reads(p) == pytest.approx((3 + 3 / 16) * p.m / p.b)
+    dpb = paper_pb_writes(p, reuse_destinations=True)
+    pb = paper_pb_writes(p, reuse_destinations=False)
+    assert dpb == pytest.approx((1 + 1 / 16) * p.m / p.b)
+    assert pb - dpb == pytest.approx(p.m / p.b)  # destination re-writes
+
+
+def test_pb_beats_pull_crossover():
+    # b >= 3/(1-c/n): with c/n = 1/16, threshold ~3.2 words -> b=16 wins.
+    p = params()
+    assert pb_beats_pull_line_size(p) < p.b
+    assert paper_pb_reads(p) < paper_pull_reads(p)
+    # With a cache nearly as large as the graph the threshold explodes.
+    p_cached = params(n=4608, c=4096)
+    assert pb_beats_pull_line_size(p_cached) > p_cached.b
+
+
+def test_pb_beats_cb_crossover_consistent_with_formulas():
+    p = params()
+    r_threshold = pb_beats_cb_blocks(p)  # 2k + 2
+    r_low = int(r_threshold) - 4
+    r_high = int(r_threshold) + 4
+    # Compare total communication: reads + writes.
+    pb_total = paper_pb_reads(p) + paper_pb_writes(p)
+    cb_low = paper_cb_edgelist_reads(p, r_low) + p.n / p.b
+    cb_high = paper_cb_edgelist_reads(p, r_high) + p.n / p.b
+    assert cb_low < pb_total < cb_high
+
+
+def test_expected_touched_lines_limits():
+    assert expected_touched_lines(100, 0) == 0.0
+    assert expected_touched_lines(100, 10**6) == pytest.approx(100.0)
+    assert expected_touched_lines(0, 10) == 0.0
+    # One access touches exactly one line.
+    assert expected_touched_lines(100, 1) == pytest.approx(1.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ModelParams(n=0, k=1, b=16, c=16)
+    with pytest.raises(ValueError):
+        paper_cb_csr_reads(params(), r=0)
+
+
+# ----------------------------------------------------------------------
+# model vs simulator (the paper's Figure 3 style validation)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def urand_graph():
+    return build_csr(uniform_random_graph(32768, 8, seed=51))
+
+
+@pytest.fixture(scope="module")
+def urand_params(urand_graph):
+    m = SIMULATED_MACHINE
+    return ModelParams(
+        n=urand_graph.num_vertices,
+        k=urand_graph.average_degree,
+        b=m.words_per_line,
+        c=m.cache_words,
+    )
+
+
+def test_detailed_pull_matches_simulator(urand_graph, urand_params):
+    counters = make_kernel(urand_graph, "baseline").measure(1)
+    model = detailed_pull(urand_params)
+    assert counters.total_reads == pytest.approx(model["reads"], rel=0.02)
+    assert counters.total_writes == pytest.approx(model["writes"], rel=0.02)
+
+
+def test_detailed_cb_matches_simulator(urand_graph, urand_params):
+    kernel = make_kernel(urand_graph, "cb")
+    counters = kernel.measure(1)
+    model = detailed_cb_edgelist(urand_params, kernel.num_blocks)
+    assert counters.total_reads == pytest.approx(model["reads"], rel=0.02)
+    assert counters.total_writes == pytest.approx(model["writes"], rel=0.02)
+
+
+@pytest.mark.parametrize("method,reuse", [("pb", False), ("dpb", True)])
+def test_detailed_pb_matches_simulator(urand_graph, urand_params, method, reuse):
+    counters = make_kernel(urand_graph, method).measure(1)
+    model = detailed_pb(urand_params, reuse_destinations=reuse)
+    assert counters.total_reads == pytest.approx(model["reads"], rel=0.02)
+    assert counters.total_writes == pytest.approx(model["writes"], rel=0.02)
+
+
+def test_paper_model_close_to_simulator_leading_order(urand_graph, urand_params):
+    """The paper's own (coarser) pull model is within ~15% of measurement."""
+    counters = make_kernel(urand_graph, "baseline").measure(1)
+    assert counters.total_reads == pytest.approx(
+        paper_pull_reads(urand_params), rel=0.15
+    )

@@ -1,0 +1,71 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.memsim import MemCounters, Stream
+from repro.models.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+
+
+def counters_with(requests: int) -> MemCounters:
+    c = MemCounters()
+    c.record(Stream.EDGE_ADJ, reads=requests)
+    return c
+
+
+def test_energy_breakdown_adds_up():
+    model = EnergyModel(joules_per_line=1e-9, joules_per_instruction=1e-12)
+    out = model.energy(counters_with(1000), instructions=1e6)
+    assert out["dram"] == pytest.approx(1e-6)
+    assert out["core"] == pytest.approx(1e-6)
+    assert out["total"] == pytest.approx(2e-6)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EnergyModel(joules_per_line=0)
+    with pytest.raises(ValueError):
+        DEFAULT_ENERGY_MODEL.breakeven_instruction_ratio(0, 1)
+
+
+def test_breakeven_ratio_properties():
+    model = DEFAULT_ENERGY_MODEL
+    # No traffic reduction -> no instruction headroom.
+    assert model.breakeven_instruction_ratio(1.0, 7.0) == pytest.approx(1.0)
+    # More reduction -> more headroom; monotone.
+    r2 = model.breakeven_instruction_ratio(2.0, 7.0)
+    r4 = model.breakeven_instruction_ratio(4.0, 7.0)
+    assert 1.0 < r2 < r4
+
+
+def test_pb_instruction_blowup_is_under_breakeven():
+    """The paper's trade (4x instructions for ~3x traffic) saves energy."""
+    graph = build_csr(uniform_random_graph(32768, 8, seed=121))
+    base = make_kernel(graph, "baseline")
+    dpb = make_kernel(graph, "dpb")
+    base_counters = base.measure(1)
+    dpb_counters = dpb.measure(1)
+    model = DEFAULT_ENERGY_MODEL
+    reduction = base_counters.total_requests / dpb_counters.total_requests
+    blowup = dpb.instruction_count() / base.instruction_count()
+    headroom = model.breakeven_instruction_ratio(
+        reduction, base.instruction_count() / base_counters.total_requests
+    )
+    assert blowup < headroom
+    # And the direct computation agrees.
+    e_base = model.energy(base_counters, base.instruction_count())["total"]
+    e_dpb = model.energy(dpb_counters, dpb.instruction_count())["total"]
+    assert e_dpb < e_base
+
+
+def test_energy_loss_on_high_locality_graph():
+    from repro.graphs import load_graph
+
+    web = load_graph("web", scale=0.5)
+    base = make_kernel(web, "baseline")
+    dpb = make_kernel(web, "dpb")
+    model = DEFAULT_ENERGY_MODEL
+    e_base = model.energy(base.measure(1), base.instruction_count())["total"]
+    e_dpb = model.energy(dpb.measure(1), dpb.instruction_count())["total"]
+    assert e_dpb > e_base  # blocking wastes energy when locality is free

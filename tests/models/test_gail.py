@@ -1,0 +1,34 @@
+"""Tests for the GAIL metric helpers."""
+
+import pytest
+
+from repro.memsim import MemCounters, Stream
+from repro.models import GailMetrics, gail_metrics
+
+
+def make_counters(reads=100, writes=20):
+    c = MemCounters()
+    c.record(Stream.EDGE_ADJ, reads=reads, writes=writes)
+    return c
+
+
+def test_ratios():
+    m = gail_metrics(
+        num_edges=200, counters=make_counters(), instructions=1000.0, seconds=2.0
+    )
+    assert m.requests_per_edge == pytest.approx(0.6)
+    assert m.reads_per_edge == pytest.approx(0.5)
+    assert m.writes_per_edge == pytest.approx(0.1)
+    assert m.instructions_per_edge == pytest.approx(5.0)
+    assert m.seconds_per_edge == pytest.approx(0.01)
+    assert m.teps == pytest.approx(100.0)
+
+
+def test_zero_time_gives_infinite_teps():
+    m = GailMetrics(0, 0, 0, 0, 0.0)
+    assert m.teps == float("inf")
+
+
+def test_rejects_nonpositive_edges():
+    with pytest.raises(ValueError):
+        gail_metrics(0, make_counters(), 1.0, 1.0)

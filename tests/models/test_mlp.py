@@ -1,0 +1,97 @@
+"""Tests for the MLP-coupled bandwidth model (Table II's reads/s column)."""
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.kernels.priorwork import CSBStyle, LigraStyle
+from repro.memsim import MemCounters, Stream
+from repro.models import SIMULATED_MACHINE
+from repro.models.performance import (
+    bottleneck_time,
+    mlp_coupled_time,
+    mlp_effective_bandwidth,
+)
+
+
+def test_no_irregular_accesses_keeps_peak_bandwidth():
+    bw = mlp_effective_bandwidth(SIMULATED_MACHINE, instructions=1e9, irregular_accesses=0)
+    assert bw == SIMULATED_MACHINE.mem_bandwidth_requests
+
+
+def test_bandwidth_decreases_with_instruction_pressure():
+    low = mlp_effective_bandwidth(SIMULATED_MACHINE, 7.5e9, 1e9)
+    high = mlp_effective_bandwidth(SIMULATED_MACHINE, 30e9, 1e9)
+    assert high < low < SIMULATED_MACHINE.mem_bandwidth_requests
+
+
+def test_reproduces_table_ii_baseline_utilization():
+    """Baseline: 16.2 G instructions over 2 147 M gathers -> ~911 M reads/s."""
+    bw = mlp_effective_bandwidth(SIMULATED_MACHINE, 16.2e9, 2147.5e6)
+    assert bw == pytest.approx(911e6, rel=0.1)
+
+
+def test_reproduces_table_ii_csb_utilization():
+    """CSB: 58.4 G instructions -> ~608 M reads/s measured."""
+    bw = mlp_effective_bandwidth(SIMULATED_MACHINE, 58.4e9, 2147.5e6)
+    assert bw == pytest.approx(608e6, rel=0.15)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(32768, 8, seed=171))
+
+
+def test_coupled_time_slows_instruction_bloated_gather_codes(graph):
+    """CSB moves similar lines to the baseline but takes visibly longer
+    under the coupled model — unlike under the plain bottleneck model."""
+    base = make_kernel(graph, "baseline", SIMULATED_MACHINE)
+    csb = CSBStyle(graph, SIMULATED_MACHINE)
+    base_counters = base.measure(1)
+    csb_counters = csb.measure(1)
+    t_base = mlp_coupled_time(SIMULATED_MACHINE, base_counters, base.instruction_count())
+    t_csb = mlp_coupled_time(SIMULATED_MACHINE, csb_counters, csb.instruction_count())
+    assert t_csb.total > 1.4 * t_base.total
+
+
+def test_coupled_time_barely_affects_streaming_kernels(graph):
+    """DPB's traffic is nearly all sequential: the coupling is a no-op."""
+    dpb = make_kernel(graph, "dpb", SIMULATED_MACHINE)
+    counters = dpb.measure(1)
+    instructions = dpb.instruction_count()
+    plain = bottleneck_time(SIMULATED_MACHINE, counters.total_requests, instructions)
+    coupled = mlp_coupled_time(SIMULATED_MACHINE, counters, instructions).total
+    assert coupled == pytest.approx(plain, rel=0.1)
+    # Most of DPB's requests are indeed sequential.
+    assert counters.irregular_requests < 0.2 * counters.total_requests
+
+
+def test_pull_traffic_is_mostly_irregular(graph):
+    base = make_kernel(graph, "baseline", SIMULATED_MACHINE)
+    counters = base.measure(1)
+    assert counters.irregular_requests > 0.7 * counters.total_requests
+
+
+def test_ligra_keeps_high_utilization(graph):
+    """Ligra reads a lot but stays bandwidth-efficient (few instructions
+    per gather) — Table II's 877.8 M reads/s next to the baseline's 911."""
+    ligra = LigraStyle(graph, SIMULATED_MACHINE)
+    counters = ligra.measure(1)
+    bw = mlp_effective_bandwidth(
+        SIMULATED_MACHINE, ligra.instruction_count(), counters.irregular_accesses
+    )
+    base = make_kernel(graph, "baseline", SIMULATED_MACHINE)
+    base_bw = mlp_effective_bandwidth(
+        SIMULATED_MACHINE, base.instruction_count(), base.measure(1).irregular_accesses
+    )
+    assert bw > 0.9 * base_bw
+
+
+def test_merge_carries_irregular_counters():
+    a = MemCounters()
+    a.record(Stream.VERTEX_CONTRIB, reads=5, accesses=10, irregular=True)
+    b = MemCounters()
+    b.record(Stream.VERTEX_CONTRIB, reads=7, accesses=9, irregular=True)
+    a.merge(b)
+    assert a.irregular_requests == 12
+    assert a.irregular_accesses == 19

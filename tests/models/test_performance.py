@@ -1,0 +1,113 @@
+"""Tests for the bottleneck time model and machine specs."""
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import make_kernel
+from repro.memsim import CacheConfig
+from repro.models import (
+    IVY_BRIDGE_SERVER,
+    SIMULATED_MACHINE,
+    MachineSpec,
+    bottleneck_time,
+    kernel_time,
+    pb_phase_times,
+)
+
+
+def test_machine_geometry():
+    assert IVY_BRIDGE_SERVER.words_per_line == 16
+    assert SIMULATED_MACHINE.words_per_line == 16
+    assert SIMULATED_MACHINE.cache_words == 4096
+    # The scaled machine preserves the paper's b; c shrinks with the suite.
+    assert IVY_BRIDGE_SERVER.cache_words > 1000 * SIMULATED_MACHINE.cache_words / 2
+
+
+def test_expected_hit_rate():
+    m = SIMULATED_MACHINE
+    assert m.expected_hit_rate(m.cache_words) == 1.0
+    assert m.expected_hit_rate(4 * m.cache_words) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        m.expected_hit_rate(0)
+
+
+def test_bottleneck_time_memory_bound():
+    m = SIMULATED_MACHINE
+    # Huge traffic, trivial instructions -> time ~ requests/bandwidth.
+    t = bottleneck_time(m, requests=1e9, instructions=1.0)
+    assert t == pytest.approx(1e9 / m.mem_bandwidth_requests, rel=0.25)
+
+
+def test_bottleneck_time_instruction_bound():
+    m = SIMULATED_MACHINE
+    t = bottleneck_time(m, requests=1.0, instructions=1e12)
+    assert t == pytest.approx(1e12 / m.instr_rate, rel=0.25)
+
+
+def test_overlap_adds_fraction_of_smaller_term():
+    m = MachineSpec(
+        name="t",
+        llc=CacheConfig(16 * 1024, 64),
+        l1=CacheConfig(2 * 1024, 64),
+        mem_bandwidth_requests=1e9,
+        instr_rate=1e9,
+        overlap=0.5,
+    )
+    # Equal resource times of 1s each -> total 1.5s.
+    assert bottleneck_time(m, requests=1e9, instructions=1e9) == pytest.approx(1.5)
+
+
+def test_l1_misses_add_stall_time():
+    m = SIMULATED_MACHINE
+    without = bottleneck_time(m, 1.0, 1.0)
+    with_stalls = bottleneck_time(m, 1.0, 1.0, l1_misses=1e9)
+    assert with_stalls > without
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(uniform_random_graph(32768, 8, seed=61))
+
+
+def test_paper_bottleneck_story(graph):
+    """Baseline is memory-bound; PB is instruction-bound (Section VI)."""
+    base = make_kernel(graph, "baseline")
+    base_time = kernel_time(base, base.measure(1))
+    assert base_time.bottleneck == "memory"
+
+    pb = make_kernel(graph, "pb")
+    pb_time = kernel_time(pb, pb.measure(1))
+    assert pb_time.bottleneck == "instructions"
+
+
+def test_blocking_still_faster_despite_instructions(graph):
+    """Figure 4: DPB beats the baseline in modelled time on low-locality
+    input even though it executes ~4x the instructions."""
+    base = make_kernel(graph, "baseline")
+    dpb = make_kernel(graph, "dpb")
+    t_base = kernel_time(base, base.measure(1)).total
+    t_dpb = kernel_time(dpb, dpb.measure(1)).total
+    assert t_dpb < t_base
+
+
+def test_phase_times_cover_phases(graph):
+    kernel = make_kernel(graph, "dpb")
+    times = pb_phase_times(kernel, kernel.measure(1))
+    assert set(times) == {"binning", "accumulate", "apply"}
+    assert all(t > 0 for t in times.values())
+    # Apply is a small vector pass; the two main phases dominate.
+    assert times["apply"] < times["binning"] + times["accumulate"]
+
+
+def test_tiny_bins_slow_binning_via_l1(graph):
+    """Figure 10-11: too many bins -> insertion points thrash L1 ->
+    binning time rises while traffic stays flat."""
+    wide = make_kernel(graph, "dpb", bin_width=2048)
+    narrow = make_kernel(graph, "dpb", bin_width=32)  # 1024 bins >> L1 lines
+    t_wide = pb_phase_times(wide, wide.measure(1))["binning"]
+    t_narrow = pb_phase_times(narrow, narrow.measure(1))["binning"]
+    assert t_narrow > 1.2 * t_wide
+    # Communication, by contrast, barely moves (bin rounding only).
+    req_wide = wide.measure(1).total_requests
+    req_narrow = narrow.measure(1).total_requests
+    assert req_narrow < 1.2 * req_wide

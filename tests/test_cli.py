@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_suite_command(capsys):
+    code, out = run_cli(capsys, "suite", "--scale", "0.03")
+    assert code == 0
+    assert "urand" in out and "webrnd" in out
+    assert "Table I" in out
+
+
+def test_pagerank_command(capsys):
+    code, out = run_cli(
+        capsys, "pagerank", "--graph", "urand", "--scale", "0.03",
+        "--method", "dpb", "--top", "3",
+    )
+    assert code == 0
+    assert "method=dpb" in out
+    assert "top 3 vertices" in out
+
+
+def test_pagerank_auto(capsys):
+    code, out = run_cli(capsys, "pagerank", "--scale", "0.03", "--method", "auto")
+    assert code == 0
+    assert "iterations=" in out
+
+
+def test_measure_command(capsys):
+    code, out = run_cli(
+        capsys, "measure", "--graph", "web", "--scale", "0.05", "--method", "baseline"
+    )
+    assert code == 0
+    assert "DRAM reads" in out
+    assert "bottleneck" in out
+
+
+def test_compare_command(capsys):
+    code, out = run_cli(capsys, "compare", "--graph", "urand", "--scale", "0.05")
+    assert code == 0
+    for method in ("baseline", "cb", "pb", "dpb"):
+        assert method in out
+    assert "comm reduction" in out
+
+
+def test_model_command(capsys):
+    code, out = run_cli(capsys, "model", "--vertices", "131072", "--degree", "16")
+    assert code == 0
+    assert "predicted winner: dpb" in out
+
+
+def test_model_command_small_graph_prefers_pull(capsys):
+    code, out = run_cli(capsys, "model", "--vertices", "2048", "--degree", "16")
+    assert code == 0
+    assert "predicted winner: pull" in out
+
+
+def test_rejects_unknown_graph():
+    with pytest.raises(SystemExit):
+        main(["pagerank", "--graph", "nonexistent"])
+
+
+def test_rejects_unknown_method():
+    with pytest.raises(SystemExit):
+        main(["measure", "--method", "warp-speed"])
+
+
+def test_describe_command(capsys):
+    code, out = run_cli(capsys, "describe", "--graph", "web", "--scale", "0.1")
+    assert code == 0
+    assert "estimated gather hit rate" in out
+    assert "recommended method" in out
+
+
+def test_describe_flags_low_locality(capsys):
+    code, out = run_cli(capsys, "describe", "--graph", "webrnd", "--scale", "0.25")
+    assert code == 0
+    assert "low locality?" in out
+    assert "yes" in out

@@ -1,0 +1,107 @@
+"""Cross-module integration tests: the full pipeline, small scale.
+
+These tie the subsystems together the way a user (or the paper's
+evaluation) does: generate a suite graph, profile it, take the advice,
+measure all strategies, and verify the advice, models, and measurements
+tell one consistent story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_csr, load_graph, uniform_random_graph
+from repro.graphs.analysis import describe
+from repro.harness import run_experiment
+from repro.kernels import (
+    make_kernel,
+    pagerank,
+    pagerank_delta,
+    reference_pagerank,
+)
+from repro.models import (
+    ModelParams,
+    SIMULATED_MACHINE,
+    detailed_pb,
+    detailed_pull,
+)
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        ("urand", 0.25),  # large, sparse, low locality
+        ("web", 0.25),  # high locality layout
+    ],
+)
+def test_advice_is_near_optimal(case):
+    name, scale = case
+    graph = load_graph(name, scale=scale)
+    profile = describe(graph)
+    measured = {
+        method: run_experiment(graph, method).requests
+        for method in ("baseline", "cb", "dpb")
+    }
+    best = min(measured.values())
+    assert measured[profile.recommended_method] <= 1.10 * best
+
+
+def test_model_measurement_and_execution_agree():
+    """One graph, three views: the analytic model predicts the simulated
+    traffic; the simulated winner matches the model's; and every strategy
+    computes the same scores."""
+    graph = build_csr(uniform_random_graph(32768, 8, seed=201))
+    machine = SIMULATED_MACHINE
+    p = ModelParams(
+        n=graph.num_vertices,
+        k=graph.average_degree,
+        b=machine.words_per_line,
+        c=machine.cache_words,
+    )
+    pull_model = detailed_pull(p)
+    dpb_model = detailed_pb(p, reuse_destinations=True)
+
+    pull_measured = run_experiment(graph, "baseline")
+    dpb_measured = run_experiment(graph, "dpb")
+    assert pull_measured.reads == pytest.approx(pull_model["reads"], rel=0.03)
+    assert dpb_measured.reads == pytest.approx(dpb_model["reads"], rel=0.03)
+    # Model and measurement agree on the winner.
+    model_winner = "dpb" if sum(dpb_model.values()) < sum(pull_model.values()) else "pull"
+    measured_winner = "dpb" if dpb_measured.requests < pull_measured.requests else "pull"
+    assert model_winner == measured_winner == "dpb"
+
+    # And the executables agree with the oracle.
+    expected = reference_pagerank(graph, 2)
+    for method in ("baseline", "dpb"):
+        np.testing.assert_allclose(
+            make_kernel(graph, method).run(2), expected, rtol=2e-4, atol=1e-9
+        )
+
+
+def test_delta_and_power_iteration_converge_to_same_ranking():
+    graph = load_graph("twitter", scale=0.1)
+    power = pagerank(graph, method="auto", tolerance=1e-9, max_iterations=300)
+    delta = pagerank_delta(graph, tolerance=1e-8)
+    top_power = np.argsort(power.scores)[-10:]
+    top_delta = np.argsort(delta.scores)[-10:]
+    assert set(top_power.tolist()) == set(top_delta.tolist())
+
+
+def test_measurement_engine_consistency():
+    """flru and plru engines agree closely on the headline numbers."""
+    graph = build_csr(uniform_random_graph(16384, 8, seed=202))
+    kernel = make_kernel(graph, "baseline")
+    flru = kernel.measure(1, engine="flru")
+    plru = kernel.measure(1, engine="plru")
+    assert plru.total_reads == pytest.approx(flru.total_reads, rel=0.06)
+
+
+def test_suite_graph_round_trips_through_io(tmp_path):
+    from repro.graphs import load_npz, save_npz
+
+    graph = load_graph("cite", scale=0.05)
+    path = tmp_path / "cite.npz"
+    save_npz(path, graph)
+    loaded = load_npz(path)
+    a = run_experiment(graph, "dpb")
+    b = run_experiment(loaded, "dpb")
+    assert a.requests == b.requests

@@ -1,0 +1,151 @@
+"""Robustness and failure-injection tests across the library.
+
+A production library fails loudly and early on malformed inputs; these
+tests inject the failures a downstream user will eventually produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    EdgeList,
+    build_csr,
+    load_edge_list,
+    load_npz,
+    save_npz,
+    uniform_random_graph,
+)
+from repro.kernels import make_kernel, pagerank
+from repro.kernels.weighted import weighted_pagerank
+from repro.memsim import CacheConfig, FullyAssociativeLRU, simulate
+
+
+# ----------------------------------------------------------------------
+# corrupted / malformed files
+# ----------------------------------------------------------------------
+def test_truncated_npz_rejected(tmp_path):
+    g = build_csr(uniform_random_graph(100, 4, seed=1))
+    path = tmp_path / "g.npz"
+    save_npz(path, g)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(Exception):  # zipfile/numpy raise on corruption
+        load_npz(path)
+
+
+def test_wrong_version_npz_rejected(tmp_path):
+    path = tmp_path / "v.npz"
+    np.savez(
+        path,
+        format_version=np.int64(999),
+        offsets=np.array([0, 0], dtype=np.int64),
+        targets=np.array([], dtype=np.int32),
+        symmetric=np.bool_(False),
+    )
+    with pytest.raises(ValueError, match="version"):
+        load_npz(path)
+
+
+def test_npz_with_inconsistent_arrays_rejected(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(
+        path,
+        format_version=np.int64(1),
+        offsets=np.array([0, 5], dtype=np.int64),  # claims 5 edges
+        targets=np.array([0], dtype=np.int32),  # has 1
+        symmetric=np.bool_(False),
+    )
+    with pytest.raises(ValueError):
+        load_npz(path)
+
+
+def test_edge_list_with_too_many_columns(tmp_path):
+    path = tmp_path / "bad.el"
+    path.write_text("0 1 2.0 extra\n")
+    with pytest.raises(Exception):
+        load_edge_list(path)
+
+
+def test_edge_list_with_out_of_range_override(tmp_path):
+    path = tmp_path / "g.el"
+    path.write_text("0 9\n")
+    with pytest.raises(ValueError, match="vertex ids"):
+        load_edge_list(path, num_vertices=5)
+
+
+# ----------------------------------------------------------------------
+# numerically hostile inputs
+# ----------------------------------------------------------------------
+def test_nan_weights_rejected():
+    el = EdgeList(3, [0, 1], [1, 2], weights=[1.0, float("nan")])
+    g = build_csr(el, dedup=False)
+    with pytest.raises(ValueError, match="finite"):
+        weighted_pagerank(g)
+
+
+def test_inf_weights_rejected():
+    el = EdgeList(3, [0, 1], [1, 2], weights=[1.0, float("inf")])
+    g = build_csr(el, dedup=False)
+    with pytest.raises(ValueError, match="finite"):
+        weighted_pagerank(g)
+
+
+def test_pagerank_on_self_loop_only_graph():
+    # Builder drops self-loops by default -> edgeless graph, finite scores.
+    g = build_csr(EdgeList(4, [0, 1], [0, 1]))
+    assert g.num_edges == 0
+    result = pagerank(g, max_iterations=3)
+    assert np.isfinite(result.scores).all()
+
+
+def test_single_vertex_graph():
+    g = build_csr(EdgeList(1, [], []))
+    result = pagerank(g, max_iterations=2)
+    assert result.scores.shape == (1,)
+    assert np.isfinite(result.scores).all()
+
+
+# ----------------------------------------------------------------------
+# degenerate kernel parameters
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method,kwargs", [
+    ("pb", {"bin_width": 1}),
+    ("dpb", {"bin_width": 1}),
+    ("cb", {"block_width": 1}),
+])
+def test_width_one_blocking(method, kwargs):
+    """One vertex per bin/block: pathological but must stay correct."""
+    g = build_csr(uniform_random_graph(64, 4, seed=2))
+    from repro.kernels import reference_pagerank
+
+    expected = reference_pagerank(g, 2)
+    got = make_kernel(g, method, **kwargs).run(2)
+    np.testing.assert_allclose(got, expected, rtol=5e-4, atol=1e-9)
+
+
+def test_trace_of_edgeless_graph_simulates():
+    g = build_csr(EdgeList(16, [], []))
+    for method in ("baseline", "push", "cb", "pb", "dpb"):
+        kernel = make_kernel(g, method)
+        counters = simulate(
+            kernel.trace(1), FullyAssociativeLRU(CacheConfig(1024, 64))
+        )
+        assert counters.total_requests >= 0
+
+
+def test_star_graph_hub_dominates():
+    """Extreme skew: every vertex points at the hub."""
+    n = 256
+    g = build_csr(EdgeList(n, list(range(1, n)), [0] * (n - 1)))
+    result = pagerank(g, method="dpb", max_iterations=50, tolerance=1e-9)
+    assert int(np.argmax(result.scores)) == 0
+    # The hub dangles (GAP semantics drop its mass), but it still collects
+    # every leaf's contribution: two orders of magnitude above a leaf.
+    assert result.scores[0] > 50 * result.scores[1]
+
+
+def test_csr_rejects_float_offsets_gracefully():
+    # Floats coerce to int64; fractional data must not corrupt silently.
+    g = CSRGraph(offsets=np.array([0.0, 1.0]), targets=np.array([0]))
+    assert g.num_edges == 1

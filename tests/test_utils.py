@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.utils`."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer,
+    as_generator,
+    check_array_dtype,
+    check_nonnegative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    format_series,
+    format_table,
+    spawn_child,
+)
+
+
+def test_as_generator_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_generator(rng) is rng
+
+
+def test_as_generator_seed_determinism():
+    a = as_generator(5).integers(0, 100, 10)
+    b = as_generator(5).integers(0, 100, 10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_child_independent_streams():
+    parent1 = as_generator(1)
+    parent2 = as_generator(1)
+    c0 = spawn_child(parent1, 0)
+    c1 = spawn_child(parent2, 1)
+    assert c0.integers(0, 1 << 30) != c1.integers(0, 1 << 30)
+
+
+def test_check_positive():
+    check_positive("x", 1)
+    with pytest.raises(ValueError, match="x must be positive"):
+        check_positive("x", 0)
+
+
+def test_check_nonnegative():
+    check_nonnegative("x", 0)
+    with pytest.raises(ValueError):
+        check_nonnegative("x", -1)
+
+
+def test_check_power_of_two():
+    check_power_of_two("x", 64)
+    for bad in (0, -2, 3, 2.0):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", bad)
+
+
+def test_check_probability():
+    check_probability("p", 0.5)
+    with pytest.raises(ValueError):
+        check_probability("p", 1.5)
+
+
+def test_check_array_dtype():
+    check_array_dtype("a", np.zeros(3, dtype=np.int32), np.int32)
+    with pytest.raises(TypeError):
+        check_array_dtype("a", np.zeros(3, dtype=np.int64), np.int32)
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "1.500" in text
+    assert "20.00" in text
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_small_and_large_values():
+    text = format_table(["v"], [[1e-6], [12345.6], [0.0]])
+    assert "1.000e-06" in text
+    assert "12,345.6" in text
+
+
+def test_format_series():
+    text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [1.0, 2.0]})
+    assert "s1" in text and "s2" in text
+    assert text.splitlines()[-1].startswith("2")
+
+
+def test_format_series_rejects_length_mismatch():
+    with pytest.raises(ValueError, match="length"):
+        format_series("x", [1, 2], {"s": [0.1]})
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        sum(range(10000))
+    assert t.elapsed > 0
