@@ -7,6 +7,7 @@ overflow the LLC); the selected width balances time between the phases.
 
 from repro.harness import figure11_phase_breakdown
 from benchmarks.conftest import BIN_WIDTHS
+from benchmarks.emit_bench import emit_bench, figure_metrics
 
 
 def test_fig11_phase_breakdown(benchmark, urand_graph, report):
@@ -16,6 +17,11 @@ def test_fig11_phase_breakdown(benchmark, urand_graph, report):
         iterations=1,
     )
     report("fig11_phase_breakdown", fig.render())
+    emit_bench(
+        "fig11_phase_breakdown",
+        figure_metrics(fig),
+        meta={"source": "bench_fig11_phase_breakdown", "units": "modelled seconds"},
+    )
 
     binning = fig.series["binning"]
     accumulate = fig.series["accumulate"]

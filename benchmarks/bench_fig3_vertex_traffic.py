@@ -8,12 +8,19 @@ model's prediction tracks the measurement on the synthetic graphs.
 
 from repro.harness import figure3_vertex_traffic
 
+from benchmarks.emit_bench import emit_bench, figure_metrics
+
 
 def test_fig3_vertex_traffic(benchmark, suite_graphs, report):
     fig = benchmark.pedantic(
         lambda: figure3_vertex_traffic(suite_graphs), rounds=1, iterations=1
     )
     report("fig3_vertex_traffic", fig.render())
+    emit_bench(
+        "fig3_vertex_traffic",
+        figure_metrics(fig),
+        meta={"source": "bench_fig3_vertex_traffic", "units": "percent of reads"},
+    )
 
     measured = dict(zip(fig.x_values, fig.series["measured %"]))
     predicted = dict(zip(fig.x_values, fig.series["predicted %"]))

@@ -8,6 +8,8 @@ Shapes to reproduce: blocking speeds up every low-locality graph (paper:
 from repro.graphs import LOW_LOCALITY_NAMES
 from repro.harness import figure4_speedup
 
+from benchmarks.emit_bench import emit_bench, figure_metrics
+
 
 def test_fig4_speedup(benchmark, suite_graphs, suite_data, report):
     fig = benchmark.pedantic(
@@ -16,6 +18,11 @@ def test_fig4_speedup(benchmark, suite_graphs, suite_data, report):
         iterations=1,
     )
     report("fig4_speedup", fig.render())
+    emit_bench(
+        "fig4_speedup",
+        figure_metrics(fig),
+        meta={"source": "bench_fig4_speedup", "units": "speedup over baseline"},
+    )
 
     idx = {name: i for i, name in enumerate(fig.x_values)}
     dpb = fig.series["DPB"]

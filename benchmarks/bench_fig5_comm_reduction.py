@@ -9,6 +9,8 @@ because the baseline uses more of the available bandwidth.
 from repro.graphs import LOW_LOCALITY_NAMES
 from repro.harness import figure4_speedup, figure5_communication_reduction
 
+from benchmarks.emit_bench import emit_bench, figure_metrics
+
 
 def test_fig5_comm_reduction(benchmark, suite_graphs, suite_data, report):
     fig = benchmark.pedantic(
@@ -17,6 +19,11 @@ def test_fig5_comm_reduction(benchmark, suite_graphs, suite_data, report):
         iterations=1,
     )
     report("fig5_comm_reduction", fig.render())
+    emit_bench(
+        "fig5_comm_reduction",
+        figure_metrics(fig),
+        meta={"source": "bench_fig5_comm_reduction", "units": "traffic reduction over baseline"},
+    )
 
     idx = {name: i for i, name in enumerate(fig.x_values)}
     dpb = fig.series["DPB"]

@@ -11,10 +11,20 @@ Shapes to reproduce (paper Table III):
 from repro.graphs import LOW_LOCALITY_NAMES
 from repro.harness import table3
 
+from benchmarks.emit_bench import emit_bench, measurement_metrics
+
 
 def test_table3_detailed(benchmark, suite_graphs, report):
     result = benchmark.pedantic(lambda: table3(suite_graphs), rounds=1, iterations=1)
     report("table3_detailed", result.render())
+    metrics = {}
+    for key, m in result.measurements.items():
+        metrics.update(measurement_metrics(m, key))
+    emit_bench(
+        "table3_detailed",
+        metrics,
+        meta={"source": "bench_table3_detailed", "units": "cache lines / seconds"},
+    )
 
     for name in LOW_LOCALITY_NAMES:
         base = result.measurements[f"{name}/baseline"]

@@ -1,0 +1,100 @@
+"""Machine-readable benchmark emission: ``BENCH_<name>.json`` files.
+
+The text artifacts under ``results/`` are for humans; this module gives
+every ``bench_fig*`` / ``bench_table*`` script a one-call way to also emit
+its headline numbers as a schema-versioned JSON document at the repository
+root, in the shared metrics schema (``docs/metrics_schema.md``).  Those
+files are the cross-commit performance trajectory: successive runs of the
+same bench produce directly comparable documents.
+
+Shape of a bench document::
+
+    {
+      "schema_version": "1",
+      "kind": "bench",
+      "bench": "fig4_speedup",
+      "metrics": {"DPB/urand": 1.74, ...},   # flat name -> finite number
+      "meta": {"source": "bench_fig4_speedup"}
+    }
+
+Helpers flatten the harness result types: :func:`figure_metrics` turns a
+``FigureResult`` into ``{"<series>/<x>": value}`` entries and
+:func:`measurement_metrics` extracts a ``Measurement``'s traffic and
+modelled-time numbers under a prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import numbers
+import os
+
+from repro.obs import SCHEMA_VERSION
+
+__all__ = ["emit_bench", "figure_metrics", "measurement_metrics", "BENCH_PREFIX"]
+
+#: File-name prefix of emitted bench documents.
+BENCH_PREFIX = "BENCH_"
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def figure_metrics(fig, *, series: list[str] | None = None) -> dict[str, float]:
+    """Flatten a ``FigureResult`` into ``{"<series>/<x>": value}`` metrics."""
+    names = series if series is not None else sorted(fig.series)
+    metrics: dict[str, float] = {}
+    for name in names:
+        for x, value in zip(fig.x_values, fig.series[name]):
+            metrics[f"{name}/{x}"] = float(value)
+    return metrics
+
+
+def measurement_metrics(measurement, prefix: str) -> dict[str, float]:
+    """A ``Measurement``'s headline numbers under ``prefix/``."""
+    return {
+        f"{prefix}/reads": float(measurement.reads),
+        f"{prefix}/writes": float(measurement.writes),
+        f"{prefix}/requests": float(measurement.requests),
+        f"{prefix}/modelled_seconds": float(measurement.seconds),
+        f"{prefix}/instructions": float(measurement.instructions),
+    }
+
+
+def emit_bench(
+    bench: str,
+    metrics: dict[str, float],
+    *,
+    meta: dict[str, object] | None = None,
+    directory: str | None = None,
+) -> str:
+    """Write ``BENCH_<bench>.json`` and return its path.
+
+    ``metrics`` must be a flat mapping of names to finite numbers — the
+    comparable quantities of the bench.  ``meta`` carries free-form context
+    (source script, suite scale, units notes) and is never compared.
+    """
+    if not bench:
+        raise ValueError("bench name must be non-empty")
+    clean: dict[str, float] = {}
+    for name, value in metrics.items():
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            raise TypeError(f"metric {name!r} is not a number: {value!r}")
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"metric {name!r} is not finite: {value!r}")
+        clean[name] = value
+    if not clean:
+        raise ValueError("a bench document needs at least one metric")
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench",
+        "bench": bench,
+        "metrics": clean,
+        "meta": dict(meta or {}),
+    }
+    path = os.path.join(directory or _REPO_ROOT, f"{BENCH_PREFIX}{bench}.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

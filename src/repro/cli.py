@@ -8,16 +8,22 @@ A thin front end over the library for the common workflows:
   iteration's DRAM traffic and modelled time;
 * ``repro-pb compare --graph urand`` — all four strategies side by side;
 * ``repro-pb model --vertices 131072 --degree 16`` — query the Section V
-  analytic models for a planned workload.
+  analytic models for a planned workload;
+* ``repro-pb report before.json after.json`` — diff two run reports and
+  flag traffic/time regressions.
 
-Every subcommand prints an aligned text table to stdout.  The CLI only
-*reads* graphs it generates itself (deterministic under ``--seed``), so
-it is safe to run anywhere.
+Every subcommand prints an aligned text table to stdout; ``measure``,
+``pagerank`` and ``compare`` additionally emit machine-readable
+schema-versioned JSON run reports via ``--json`` / ``--report-dir``
+(schema: ``docs/metrics_schema.md``).  The CLI only *reads* graphs it
+generates itself (deterministic under ``--seed``), so it is safe to run
+anywhere.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -34,9 +40,22 @@ from repro.models import (
     paper_pb_writes,
     paper_pull_reads,
 )
+from repro.obs import (
+    Convergence,
+    GraphMeta,
+    RunConfig,
+    RunReport,
+    diff_report_sets,
+    load_reports,
+    recording,
+    report_from_measurement,
+    save_reports,
+)
 from repro.utils import format_table
 
 __all__ = ["main", "build_parser"]
+
+ENGINE_NAMES = ("flru", "set", "plru", "dmap")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,12 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.25)
         p.add_argument("--seed", type=int, default=42)
 
+    def add_report_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--json",
+            metavar="PATH",
+            help="write a machine-readable run report (docs/metrics_schema.md)",
+        )
+        p.add_argument(
+            "--report-dir",
+            metavar="DIR",
+            help="write one report file per run into DIR",
+        )
+
     p_pr = sub.add_parser("pagerank", help="compute PageRank on a suite graph")
     add_graph_args(p_pr)
     p_pr.add_argument("--method", choices=[*sorted(KERNELS), "auto"], default="auto")
     p_pr.add_argument("--tolerance", type=float, default=1e-6)
     p_pr.add_argument("--max-iterations", type=int, default=100)
     p_pr.add_argument("--top", type=int, default=5, help="print the top-N vertices")
+    add_report_args(p_pr)
 
     p_measure = sub.add_parser(
         "measure", help="simulate one iteration's memory traffic"
@@ -73,9 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument(
         "--method", choices=sorted(KERNELS), default="dpb"
     )
+    p_measure.add_argument("--engine", choices=ENGINE_NAMES, default="flru")
+    add_report_args(p_measure)
 
     p_compare = sub.add_parser("compare", help="all strategies on one graph")
     add_graph_args(p_compare)
+    p_compare.add_argument("--engine", choices=ENGINE_NAMES, default="flru")
+    add_report_args(p_compare)
 
     p_model = sub.add_parser("model", help="query the Section V analytic models")
     p_model.add_argument("--vertices", type=int, required=True)
@@ -86,7 +122,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_graph_args(p_describe)
 
+    p_report = sub.add_parser(
+        "report", help="diff two run-report files and flag regressions"
+    )
+    p_report.add_argument("before", help="report file of the reference run")
+    p_report.add_argument("after", help="report file of the candidate run")
+    p_report.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative growth on any metric that counts as a regression "
+        "(default 0.05 = 5%%)",
+    )
+
     return parser
+
+
+def _write_reports(args: argparse.Namespace, reports: list[RunReport]) -> None:
+    """Honour ``--json`` / ``--report-dir`` for the run(s) just performed."""
+    if args.json:
+        save_reports(reports, args.json)
+        print(f"\n[report written to {args.json}]")
+    if args.report_dir:
+        os.makedirs(args.report_dir, exist_ok=True)
+        for report in reports:
+            name = f"{report.kind}_{report.graph.name}_{report.config.method}.json"
+            path = os.path.join(args.report_dir, name)
+            report.save(path)
+            print(f"[report written to {path}]")
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -97,12 +160,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 def _cmd_pagerank(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
-    result = pagerank(
-        graph,
-        method=args.method,
-        tolerance=args.tolerance,
-        max_iterations=args.max_iterations,
-    )
+    with recording() as rec:
+        result = pagerank(
+            graph,
+            method=args.method,
+            tolerance=args.tolerance,
+            max_iterations=args.max_iterations,
+        )
     status = "converged" if result.converged else "iteration cap reached"
     print(
         f"{args.graph}: n={graph.num_vertices} m={graph.num_edges} "
@@ -111,12 +175,36 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
     top = np.argsort(result.scores)[::-1][: max(args.top, 0)]
     rows = [[int(v), float(result.scores[v])] for v in top]
     print(format_table(["vertex", "score"], rows, title=f"top {len(rows)} vertices"))
+    report = RunReport(
+        kind="pagerank",
+        graph=GraphMeta(
+            name=args.graph,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            scale=args.scale,
+            seed=args.seed,
+        ),
+        config=RunConfig(
+            method=result.method,
+            num_iterations=result.iterations,
+            options={"requested_method": args.method},
+        ),
+        convergence=Convergence(
+            iterations=result.iterations,
+            converged=result.converged,
+            tolerance=args.tolerance,
+            deltas=result.deltas,
+        ),
+        wall_spans=rec.as_dict(),
+    )
+    _write_reports(args, [report])
     return 0
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
-    m = run_experiment(graph, args.method, graph_name=args.graph)
+    with recording() as rec:
+        m = run_experiment(graph, args.method, graph_name=args.graph, engine=args.engine)
     rows = [
         ["DRAM reads (lines)", m.reads],
         ["DRAM writes (lines)", m.writes],
@@ -132,15 +220,34 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             title=f"{args.method} on {args.graph} (one iteration, simulated)",
         )
     )
+    report = report_from_measurement(
+        m,
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+        wall_spans=rec.as_dict(),
+    )
+    _write_reports(args, [report])
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
     rows = []
+    reports = []
     baseline = None
     for method in ("baseline", "cb", "pb", "dpb"):
-        m = run_experiment(graph, method, graph_name=args.graph)
+        with recording() as rec:
+            m = run_experiment(graph, method, graph_name=args.graph, engine=args.engine)
+        reports.append(
+            report_from_measurement(
+                m,
+                scale=args.scale,
+                seed=args.seed,
+                engine=args.engine,
+                wall_spans=rec.as_dict(),
+            )
+        )
         if baseline is None:
             baseline = m
         rows.append(
@@ -161,6 +268,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             f"(n={graph.num_vertices}, m={graph.num_edges})",
         )
     )
+    _write_reports(args, reports)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        before = load_reports(args.before)
+        after = load_reports(args.after)
+    except (OSError, ValueError) as exc:
+        print(f"repro-pb report: error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_report_sets(before, after, threshold=args.threshold)
+    rows = [
+        [
+            d.key,
+            d.metric,
+            f"{d.before:g}",
+            f"{d.after:g}",
+            f"{d.ratio:.3f}",
+            d.status,
+        ]
+        for d in diff.deltas
+    ]
+    print(
+        format_table(
+            ["run", "metric", "before", "after", "after/before", "status"],
+            rows,
+            title=f"report diff (threshold {args.threshold:.0%})",
+        )
+    )
+    for key in diff.unmatched_before:
+        print(f"warning: {key} present only in {args.before}")
+    for key in diff.unmatched_after:
+        print(f"warning: {key} present only in {args.after}")
+    if not diff.deltas:
+        print("warning: no comparable runs between the two files")
+    regressions = diff.regressions
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}:")
+        for d in regressions:
+            print(f"  {d.key} {d.metric}: {d.before:g} -> {d.after:g} (x{d.ratio:.3f})")
+        return 1
+    print("\nno regressions")
     return 0
 
 
@@ -223,6 +373,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "model": _cmd_model,
     "describe": _cmd_describe,
+    "report": _cmd_report,
 }
 
 

@@ -14,9 +14,11 @@ from repro.graphs.csr import CSRGraph
 from repro.kernels.base import PageRankKernel
 from repro.kernels.pagerank import make_kernel
 from repro.memsim.counters import MemCounters
+from repro.memsim.hierarchy import L1Model
 from repro.models.gail import GailMetrics, gail_metrics
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
-from repro.models.performance import TimeBreakdown, kernel_time
+from repro.models.performance import TimeBreakdown, kernel_time, pb_phase_times
+from repro.obs.spans import span
 
 __all__ = ["Measurement", "run_experiment", "measure_kernel"]
 
@@ -33,6 +35,9 @@ class Measurement:
     counters: MemCounters
     time: TimeBreakdown
     instructions: float
+    #: Modelled per-phase seconds (Figure 11), for kernels with a per-phase
+    #: instruction model (PB/DPB); ``None`` for single-model kernels.
+    phase_seconds: dict[str, float] | None = None
 
     @property
     def reads(self) -> int:
@@ -77,7 +82,18 @@ def measure_kernel(
 ) -> Measurement:
     """Measure an already-constructed kernel."""
     counters = kernel.measure(num_iterations, engine=engine)
-    time = kernel_time(kernel, counters, num_iterations)
+    with span("time_model"):
+        l1_misses = None
+        layout = getattr(kernel, "layout", None)
+        if layout is not None:
+            stats = L1Model(kernel.machine.l1).analyze(layout.edge_bin_ids())
+            l1_misses = stats["misses"] * num_iterations
+        time = kernel_time(kernel, counters, num_iterations, l1_misses=l1_misses)
+        phase_seconds = None
+        if hasattr(kernel, "phase_instruction_counts"):
+            phase_seconds = pb_phase_times(
+                kernel, counters, num_iterations, l1_misses=l1_misses
+            )
     return Measurement(
         graph_name=graph_name,
         method=kernel.name,
@@ -87,6 +103,7 @@ def measure_kernel(
         counters=counters,
         time=time,
         instructions=kernel.instruction_count(num_iterations),
+        phase_seconds=phase_seconds,
     )
 
 
@@ -101,10 +118,12 @@ def run_experiment(
     **kernel_kwargs,
 ) -> Measurement:
     """Construct the kernel for ``method`` and measure it."""
-    kernel = make_kernel(graph, method, machine, **kernel_kwargs)
-    return measure_kernel(
-        kernel,
-        graph_name=graph_name,
-        num_iterations=num_iterations,
-        engine=engine,
-    )
+    with span("experiment"):
+        with span("make_kernel"):
+            kernel = make_kernel(graph, method, machine, **kernel_kwargs)
+        return measure_kernel(
+            kernel,
+            graph_name=graph_name,
+            num_iterations=num_iterations,
+            engine=engine,
+        )

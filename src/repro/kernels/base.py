@@ -33,6 +33,7 @@ from repro.memsim.cache import simulate
 from repro.memsim.counters import MemCounters
 from repro.memsim.trace import TraceChunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
 
 __all__ = [
     "DAMPING",
@@ -180,9 +181,10 @@ class PageRankKernel(abc.ABC):
         """
         from repro.memsim import make_engine  # local import: avoid cycle at import time
 
-        return simulate(
-            self.trace(num_iterations), make_engine(engine, self.machine.llc)
-        )
+        with span(f"measure[{self.name}]"):
+            return simulate(
+                self.trace(num_iterations), make_engine(engine, self.machine.llc)
+            )
 
     # ------------------------------------------------------------------
     # shared helpers for subclasses

@@ -39,6 +39,7 @@ from repro.kernels.layout import (
 from repro.memsim.trace import sequential_chunk
 from repro.memsim.trace import Stream, TraceChunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
 
 __all__ = ["CacheBlockedPageRank"]
 
@@ -91,18 +92,21 @@ class CacheBlockedPageRank(PageRankKernel):
         n = self.graph.num_vertices
         sums = np.zeros(n, dtype=np.float64)
         for _ in range(num_iterations):
-            contributions = compute_contributions(scores, self._out_degrees)
-            sums[:] = 0.0
-            for block in self.partition.blocks:
-                if block.num_edges == 0:
-                    continue
-                width = block.dst_stop - block.dst_start
-                sums[block.dst_start : block.dst_stop] += np.bincount(
-                    block.dst - block.dst_start,
-                    weights=contributions[block.src].astype(np.float64),
-                    minlength=width,
-                )
-            scores = apply_damping(sums.astype(np.float32), n, damping)
+            with span("contrib"):
+                contributions = compute_contributions(scores, self._out_degrees)
+            with span("blocks"):
+                sums[:] = 0.0
+                for block in self.partition.blocks:
+                    if block.num_edges == 0:
+                        continue
+                    width = block.dst_stop - block.dst_start
+                    sums[block.dst_start : block.dst_stop] += np.bincount(
+                        block.dst - block.dst_start,
+                        weights=contributions[block.src].astype(np.float64),
+                        minlength=width,
+                    )
+            with span("apply"):
+                scores = apply_damping(sums.astype(np.float32), n, damping)
         return scores
 
     def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:

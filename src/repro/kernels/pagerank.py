@@ -54,12 +54,16 @@ class PageRankResult:
         Whether the L1 delta fell below the tolerance before ``max_iterations``.
     method:
         Name of the strategy that actually ran (after "auto" resolution).
+    deltas:
+        L1 score change after each iteration — the convergence history
+        recorded in run reports (:mod:`repro.obs.report`).
     """
 
     scores: np.ndarray
     iterations: int
     converged: bool
     method: str
+    deltas: tuple[float, ...] = ()
 
 
 def select_method(graph: CSRGraph, machine: MachineSpec = SIMULATED_MACHINE) -> str:
@@ -142,9 +146,11 @@ def pagerank(
     scores = init_scores(graph.num_vertices)
     converged = False
     iterations = 0
+    deltas: list[float] = []
     for iterations in range(1, max_iterations + 1):
         new_scores = kernel.run(1, scores=scores, damping=damping)
         delta = score_delta(new_scores, scores)
+        deltas.append(delta)
         scores = new_scores
         if delta < tolerance:
             converged = True
@@ -154,4 +160,5 @@ def pagerank(
         iterations=iterations,
         converged=converged,
         method=kernel.name,
+        deltas=tuple(deltas),
     )

@@ -48,6 +48,7 @@ from repro.kernels.layout import (
 )
 from repro.memsim.trace import Region, Stream, TraceChunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
 
 __all__ = ["PropagationBlockingPageRank", "DeterministicPBPageRank"]
 
@@ -113,25 +114,28 @@ class PropagationBlockingPageRank(PageRankKernel):
         layout = self.layout
         sums = np.zeros(n, dtype=np.float64)
         for _ in range(num_iterations):
-            contributions = compute_contributions(scores, self._out_degrees)
-            # Binning phase: propagations in bin-major order.  The stable
-            # permutation plays the role of the bins' insertion points.
-            binned_contribs = np.repeat(contributions, self._out_degrees)[
-                layout.order
-            ].astype(np.float64)
+            with span("binning"):
+                contributions = compute_contributions(scores, self._out_degrees)
+                # Binning phase: propagations in bin-major order.  The stable
+                # permutation plays the role of the bins' insertion points.
+                binned_contribs = np.repeat(contributions, self._out_degrees)[
+                    layout.order
+                ].astype(np.float64)
             # Accumulate phase: drain one bin (one sums slice) at a time.
-            sums[:] = 0.0
-            for b in range(layout.num_bins):
-                lo, hi = int(layout.bounds[b]), int(layout.bounds[b + 1])
-                if lo == hi:
-                    continue
-                start, stop = layout.bin_slice(b)
-                sums[start:stop] += np.bincount(
-                    layout.sorted_dst[lo:hi] - start,
-                    weights=binned_contribs[lo:hi],
-                    minlength=stop - start,
-                )
-            scores = apply_damping(sums.astype(np.float32), n, damping)
+            with span("accumulate"):
+                sums[:] = 0.0
+                for b in range(layout.num_bins):
+                    lo, hi = int(layout.bounds[b]), int(layout.bounds[b + 1])
+                    if lo == hi:
+                        continue
+                    start, stop = layout.bin_slice(b)
+                    sums[start:stop] += np.bincount(
+                        layout.sorted_dst[lo:hi] - start,
+                        weights=binned_contribs[lo:hi],
+                        minlength=stop - start,
+                    )
+            with span("apply"):
+                scores = apply_damping(sums.astype(np.float32), n, damping)
         return scores
 
     # ------------------------------------------------------------------

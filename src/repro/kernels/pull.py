@@ -36,6 +36,7 @@ from repro.kernels.layout import (
 )
 from repro.memsim.trace import Stream, TraceChunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
 
 __all__ = ["PullPageRank", "segment_sums"]
 
@@ -92,10 +93,12 @@ class PullPageRank(PageRankKernel):
         n = self.graph.num_vertices
         t = self._transpose
         for _ in range(num_iterations):
-            contributions = compute_contributions(scores, self._out_degrees)
-            incoming = contributions[t.targets]
-            sums = segment_sums(incoming, t.offsets, n)
-            scores = apply_damping(sums, n, damping)
+            with span("contrib"):
+                contributions = compute_contributions(scores, self._out_degrees)
+            with span("gather"):
+                incoming = contributions[t.targets]
+                sums = segment_sums(incoming, t.offsets, n)
+                scores = apply_damping(sums, n, damping)
         return scores
 
     def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:

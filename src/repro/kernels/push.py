@@ -37,6 +37,7 @@ from repro.kernels.layout import (
 )
 from repro.memsim.trace import Stream, TraceChunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
 
 __all__ = ["PushPageRank"]
 
@@ -68,12 +69,14 @@ class PushPageRank(PageRankKernel):
         n = graph.num_vertices
         degrees = self._out_degrees
         for _ in range(num_iterations):
-            contributions = compute_contributions(scores, degrees)
-            per_edge = np.repeat(contributions, degrees)
-            sums = np.bincount(
-                graph.targets, weights=per_edge.astype(np.float64), minlength=n
-            ).astype(np.float32)
-            scores = apply_damping(sums, n, damping)
+            with span("scatter"):
+                contributions = compute_contributions(scores, degrees)
+                per_edge = np.repeat(contributions, degrees)
+                sums = np.bincount(
+                    graph.targets, weights=per_edge.astype(np.float64), minlength=n
+                ).astype(np.float32)
+            with span("apply"):
+                scores = apply_damping(sums, n, damping)
         return scores
 
     def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:

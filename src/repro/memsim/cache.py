@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.memsim.counters import MemCounters
 from repro.memsim.trace import AccessMode, Stream, TraceChunk, collapse_consecutive
+from repro.obs.spans import span
 from repro.utils.validation import check_positive, check_power_of_two
 
 __all__ = [
@@ -290,8 +291,9 @@ def simulate(
     """
     if counters is None:
         counters = MemCounters()
-    for chunk in trace:
-        engine.process_chunk(chunk, counters)
-    if flush:
-        engine.flush(counters)
+    with span(f"simulate[{type(engine).__name__}]"):
+        for chunk in trace:
+            engine.process_chunk(chunk, counters)
+        if flush:
+            engine.flush(counters)
     return counters

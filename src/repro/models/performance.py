@@ -151,17 +151,27 @@ def mlp_coupled_time(
     return TimeBreakdown(total=total, memory_bound=t_mem, instruction_bound=t_instr)
 
 
-def pb_phase_times(kernel, counters: MemCounters, num_iterations: int = 1) -> dict[str, float]:
+def pb_phase_times(
+    kernel,
+    counters: MemCounters,
+    num_iterations: int = 1,
+    *,
+    l1_misses: float | None = None,
+) -> dict[str, float]:
     """Per-phase modelled times for a PB/DPB kernel (Figure 11).
 
     Splits the kernel's traffic (by phase label) and instructions (by the
     kernel's phase instruction model), charges binning its L1 insertion
-    stalls, and applies the bottleneck model per phase.
+    stalls, and applies the bottleneck model per phase.  ``l1_misses``
+    (total, already scaled by iterations) skips the bin-stream L1 analysis
+    when the caller has it — it is an O(m) simulation worth sharing.
     """
     machine = kernel.machine
     instr = kernel.phase_instruction_counts(num_iterations)
-    stats = L1Model(machine.l1).analyze(kernel.layout.edge_bin_ids())
-    l1_by_phase = {"binning": stats["misses"] * num_iterations}
+    if l1_misses is None:
+        stats = L1Model(machine.l1).analyze(kernel.layout.edge_bin_ids())
+        l1_misses = stats["misses"] * num_iterations
+    l1_by_phase = {"binning": l1_misses}
     times = {}
     for phase in ("binning", "accumulate", "apply"):
         requests = counters.phase_reads.get(phase, 0) + counters.phase_writes.get(

@@ -1,0 +1,80 @@
+"""Observability layer: spans, schema-versioned run reports, regression diffs.
+
+The reproduction's counterpart to the paper's measurement apparatus
+(Section VI): where :mod:`repro.memsim` stands in for the PCM hardware
+counters, :mod:`repro.obs` is the *recording* substrate around them —
+
+* :mod:`repro.obs.spans` — nestable, thread-safe wall-clock spans with
+  near-zero overhead when disabled, wired into the kernels, the cache
+  simulator, and the experiment harness;
+* :mod:`repro.obs.report` — :class:`RunReport`, the schema-versioned JSON
+  record of one run (graph, config, per-stream/per-phase DRAM counters,
+  modelled + wall time, convergence history), round-trippable and
+  documented field by field in ``docs/metrics_schema.md``;
+* :mod:`repro.obs.diff` — report comparison with a relative-threshold
+  regression gate, exposed as ``repro-pb report``.
+
+This package deliberately imports nothing from the rest of :mod:`repro`
+(report builders take measurements duck-typed), so any layer — kernels,
+memsim, harness — can instrument itself without import cycles.
+"""
+
+from repro.obs.spans import (
+    PATH_SEPARATOR,
+    SpanRecorder,
+    SpanStats,
+    current_recorder,
+    disable,
+    enable,
+    is_enabled,
+    recording,
+    span,
+)
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    Convergence,
+    CounterSummary,
+    GraphMeta,
+    RunConfig,
+    RunReport,
+    TimeSummary,
+    counter_summary,
+    load_reports,
+    report_from_measurement,
+    save_reports,
+)
+from repro.obs.diff import (
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    ReportDiff,
+    diff_report_sets,
+    diff_reports,
+)
+
+__all__ = [
+    "PATH_SEPARATOR",
+    "SpanRecorder",
+    "SpanStats",
+    "current_recorder",
+    "disable",
+    "enable",
+    "is_enabled",
+    "recording",
+    "span",
+    "SCHEMA_VERSION",
+    "Convergence",
+    "CounterSummary",
+    "GraphMeta",
+    "RunConfig",
+    "RunReport",
+    "TimeSummary",
+    "counter_summary",
+    "load_reports",
+    "report_from_measurement",
+    "save_reports",
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "ReportDiff",
+    "diff_report_sets",
+    "diff_reports",
+]

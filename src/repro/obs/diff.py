@@ -1,0 +1,133 @@
+"""Report diffing: the regression gate behind ``repro-pb report``.
+
+Given two report files (typically the same experiment run at two commits),
+pair their reports by ``graph/method`` key and compare the lower-is-better
+headline metrics — DRAM reads, writes, total requests, requests/edge, and
+modelled seconds.  A metric *regresses* when the new value exceeds the old
+by more than the relative threshold; the CLI turns any regression into a
+nonzero exit code so perf PRs can gate on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.report import RunReport
+
+__all__ = ["MetricDelta", "ReportDiff", "diff_reports", "diff_report_sets"]
+
+#: Default relative tolerance: 5% growth on any metric flags a regression.
+DEFAULT_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two reports (lower is better)."""
+
+    key: str  #: report pairing key, "graph/method"
+    metric: str
+    before: float
+    after: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """``after / before`` (1.0 when both are zero)."""
+        if self.before == 0:
+            return 1.0 if self.after == 0 else float("inf")
+        return self.after / self.before
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.threshold
+
+    @property
+    def improved(self) -> bool:
+        return self.ratio < 1.0 - self.threshold
+
+    @property
+    def status(self) -> str:
+        if self.regressed:
+            return "REGRESSED"
+        if self.improved:
+            return "improved"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """All metric comparisons for one pair of report files."""
+
+    deltas: list[MetricDelta]
+    unmatched_before: list[str]
+    unmatched_after: list[str]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _metrics(report: RunReport) -> dict[str, float]:
+    """The comparable lower-is-better metrics a report exposes."""
+    metrics: dict[str, float] = {}
+    if report.counters is not None:
+        metrics["total_reads"] = float(report.counters.total_reads)
+        metrics["total_writes"] = float(report.counters.total_writes)
+        metrics["total_requests"] = float(report.counters.total_requests)
+        metrics["requests_per_edge"] = report.counters.requests_per_edge
+    if report.time is not None:
+        metrics["modelled_seconds"] = report.time.modelled_seconds
+    if report.convergence is not None:
+        metrics["iterations"] = float(report.convergence.iterations)
+    return metrics
+
+
+def diff_reports(
+    before: RunReport,
+    after: RunReport,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[MetricDelta]:
+    """Compare one report pair; only metrics present on both sides count."""
+    key = after.key()
+    before_metrics = _metrics(before)
+    after_metrics = _metrics(after)
+    return [
+        MetricDelta(
+            key=key,
+            metric=name,
+            before=before_metrics[name],
+            after=after_metrics[name],
+            threshold=threshold,
+        )
+        for name in before_metrics
+        if name in after_metrics
+    ]
+
+
+def diff_report_sets(
+    before: list[RunReport],
+    after: list[RunReport],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> ReportDiff:
+    """Pair two report lists by key and diff every matched pair."""
+    before_by_key = {report.key(): report for report in before}
+    after_by_key = {report.key(): report for report in after}
+    deltas: list[MetricDelta] = []
+    for key in before_by_key:
+        if key in after_by_key:
+            deltas.extend(
+                diff_reports(
+                    before_by_key[key], after_by_key[key], threshold=threshold
+                )
+            )
+    return ReportDiff(
+        deltas=deltas,
+        unmatched_before=sorted(set(before_by_key) - set(after_by_key)),
+        unmatched_after=sorted(set(after_by_key) - set(before_by_key)),
+    )

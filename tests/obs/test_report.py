@@ -1,0 +1,164 @@
+"""RunReport construction, JSON round-tripping, and report diffing."""
+
+import pytest
+
+from repro.graphs import load_graph
+from repro.harness import run_experiment
+from repro.obs import (
+    SCHEMA_VERSION,
+    Convergence,
+    GraphMeta,
+    RunConfig,
+    RunReport,
+    diff_report_sets,
+    diff_reports,
+    load_reports,
+    recording,
+    report_from_measurement,
+    save_reports,
+)
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    graph = load_graph("urand", scale=0.03, seed=42)
+    return run_experiment(graph, "dpb", graph_name="urand")
+
+
+@pytest.fixture(scope="module")
+def report(measurement):
+    return report_from_measurement(measurement, scale=0.03, seed=42)
+
+
+def test_report_mirrors_measurement(report, measurement):
+    assert report.kind == "measure"
+    assert report.schema_version == SCHEMA_VERSION
+    assert report.counters.total_reads == measurement.reads
+    assert report.counters.total_writes == measurement.writes
+    assert report.counters.total_requests == measurement.requests
+    assert report.time.modelled_seconds == measurement.seconds
+    assert report.time.bottleneck == measurement.time.bottleneck
+    assert report.instructions == measurement.instructions
+    assert report.graph.num_edges == measurement.num_edges
+
+
+def test_totals_equal_breakdown_sums(report):
+    c = report.counters
+    assert sum(c.reads_by_stream.values()) == c.total_reads
+    assert sum(c.writes_by_stream.values()) == c.total_writes
+    assert sum(c.reads_by_phase.values()) == c.total_reads
+    assert sum(c.writes_by_phase.values()) == c.total_writes
+
+
+def test_dpb_report_has_phase_breakdown(report):
+    assert report.time.phase_seconds is not None
+    assert set(report.time.phase_seconds) == {"binning", "accumulate", "apply"}
+    assert set(report.counters.reads_by_phase) == {"binning", "accumulate", "apply"}
+
+
+def test_json_round_trip_is_exact(report):
+    restored = RunReport.from_json(report.to_json())
+    assert restored == report
+    assert restored.to_dict() == report.to_dict()
+
+
+def test_round_trip_with_spans_and_convergence():
+    with recording() as rec:
+        from repro.kernels import pagerank
+
+        graph = load_graph("urand", scale=0.03, seed=42)
+        result = pagerank(graph, method="dpb", max_iterations=4)
+    original = RunReport(
+        kind="pagerank",
+        graph=GraphMeta("urand", graph.num_vertices, graph.num_edges, 0.03, 42),
+        config=RunConfig(method="dpb", num_iterations=result.iterations),
+        convergence=Convergence(
+            iterations=result.iterations,
+            converged=result.converged,
+            tolerance=1e-6,
+            deltas=result.deltas,
+        ),
+        wall_spans=rec.as_dict(),
+    )
+    restored = RunReport.from_json(original.to_json())
+    assert restored == original
+    assert restored.convergence.deltas == result.deltas
+    assert restored.wall_spans["binning"]["count"] == result.iterations
+
+
+def test_save_load_single_and_set(report, tmp_path):
+    single = tmp_path / "single.json"
+    save_reports([report], str(single))
+    assert load_reports(str(single)) == [report]
+
+    other = RunReport(
+        kind="measure",
+        graph=GraphMeta("kron", 10, 20),
+        config=RunConfig(method="pb"),
+    )
+    multi = tmp_path / "multi.json"
+    save_reports([report, other], str(multi))
+    loaded = load_reports(str(multi))
+    assert loaded == [report, other]
+
+
+def test_unknown_schema_major_is_rejected(report):
+    data = report.to_dict()
+    data["schema_version"] = "999"
+    with pytest.raises(ValueError, match="schema version"):
+        RunReport.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+def _with_reads(report: RunReport, factor: float) -> RunReport:
+    data = report.to_dict()
+    data["counters"]["total_reads"] = int(data["counters"]["total_reads"] * factor)
+    return RunReport.from_dict(data)
+
+
+def test_identical_reports_have_no_regressions(report):
+    deltas = diff_reports(report, report, threshold=0.05)
+    assert deltas, "comparable metrics must exist"
+    assert all(d.status == "ok" for d in deltas)
+
+
+def test_grown_reads_flag_a_regression(report):
+    worse = _with_reads(report, 1.5)
+    deltas = diff_reports(report, worse, threshold=0.05)
+    regressed = {d.metric for d in deltas if d.regressed}
+    assert regressed == {"total_reads"}
+    (delta,) = [d for d in deltas if d.metric == "total_reads"]
+    assert delta.ratio == pytest.approx(1.5, rel=1e-3)
+    assert delta.status == "REGRESSED"
+
+
+def test_shrunk_reads_count_as_improvement(report):
+    better = _with_reads(report, 0.5)
+    deltas = diff_reports(report, better, threshold=0.05)
+    assert not any(d.regressed for d in deltas)
+    assert any(d.improved and d.metric == "total_reads" for d in deltas)
+
+
+def test_threshold_tolerates_small_growth(report):
+    slightly_worse = _with_reads(report, 1.03)
+    assert not any(
+        d.regressed for d in diff_reports(report, slightly_worse, threshold=0.05)
+    )
+    assert any(
+        d.regressed for d in diff_reports(report, slightly_worse, threshold=0.01)
+    )
+
+
+def test_report_sets_pair_by_key_and_track_unmatched(report):
+    other = RunReport(
+        kind="measure",
+        graph=GraphMeta("kron", 10, 20),
+        config=RunConfig(method="pb"),
+    )
+    diff = diff_report_sets([report, other], [report], threshold=0.05)
+    assert diff.ok
+    assert diff.unmatched_before == ["kron/pb"]
+    assert diff.unmatched_after == []
+    assert {d.key for d in diff.deltas} == {"urand/dpb"}

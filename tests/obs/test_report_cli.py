@@ -1,0 +1,141 @@
+"""CLI report emission (``--json`` / ``--report-dir``) and ``repro-pb report``."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import SCHEMA_VERSION, RunReport, load_reports
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+@pytest.fixture()
+def measure_report(capsys, tmp_path):
+    path = tmp_path / "out.json"
+    code, out = run_cli(
+        capsys,
+        "measure", "--graph", "urand", "--scale", "0.03", "--method", "dpb",
+        "--json", str(path),
+    )
+    assert code == 0
+    return path, out
+
+
+def test_measure_json_matches_text_table(measure_report):
+    path, out = measure_report
+    report = RunReport.load(str(path))
+    assert report.schema_version == SCHEMA_VERSION
+    assert report.kind == "measure"
+    assert report.config.method == "dpb"
+    # The text table and the report must show the same counters.
+    reads = int(re.search(r"DRAM reads \(lines\)\s+([\d,]+)", out).group(1).replace(",", ""))
+    writes = int(re.search(r"DRAM writes \(lines\)\s+([\d,]+)", out).group(1).replace(",", ""))
+    assert report.counters.total_reads == reads
+    assert report.counters.total_writes == writes
+    # ... and totals must equal the per-stream sums (the PCM invariant).
+    assert sum(report.counters.reads_by_stream.values()) == reads
+    assert sum(report.counters.writes_by_stream.values()) == writes
+    # Wall-clock spans were recorded during the run.
+    assert any(path.startswith("experiment") for path in report.wall_spans)
+
+
+def test_report_self_diff_is_clean(capsys, measure_report):
+    path, _ = measure_report
+    code, out = run_cli(capsys, "report", str(path), str(path))
+    assert code == 0
+    assert "no regressions" in out
+    assert "REGRESSED" not in out
+
+
+def test_report_detects_regression(capsys, measure_report, tmp_path):
+    path, _ = measure_report
+    data = json.loads(path.read_text())
+    data["counters"]["total_requests"] = int(data["counters"]["total_requests"] * 1.3)
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(data))
+    code, out = run_cli(capsys, "report", str(path), str(bad))
+    assert code == 1
+    assert "REGRESSED" in out
+    assert "total_requests" in out
+
+
+def test_report_threshold_is_respected(capsys, measure_report, tmp_path):
+    path, _ = measure_report
+    data = json.loads(path.read_text())
+    data["counters"]["total_requests"] = int(data["counters"]["total_requests"] * 1.3)
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(data))
+    code, _ = run_cli(capsys, "report", str(path), str(bad), "--threshold", "0.5")
+    assert code == 0
+
+
+def test_compare_emits_report_set_and_per_run_files(capsys, tmp_path):
+    set_path = tmp_path / "cmp.json"
+    report_dir = tmp_path / "reports"
+    code, _ = run_cli(
+        capsys,
+        "compare", "--graph", "urand", "--scale", "0.03",
+        "--json", str(set_path), "--report-dir", str(report_dir),
+    )
+    assert code == 0
+    document = json.loads(set_path.read_text())
+    assert document["kind"] == "report_set"
+    reports = load_reports(str(set_path))
+    assert [r.config.method for r in reports] == ["baseline", "cb", "pb", "dpb"]
+    names = sorted(p.name for p in report_dir.iterdir())
+    assert names == [
+        "measure_urand_baseline.json",
+        "measure_urand_cb.json",
+        "measure_urand_dpb.json",
+        "measure_urand_pb.json",
+    ]
+    # Self-diff of a whole set is clean too.
+    code, out = run_cli(capsys, "report", str(set_path), str(set_path))
+    assert code == 0
+    assert "no regressions" in out
+
+
+def test_pagerank_json_records_convergence(capsys, tmp_path):
+    path = tmp_path / "pr.json"
+    code, _ = run_cli(
+        capsys,
+        "pagerank", "--graph", "urand", "--scale", "0.03", "--method", "dpb",
+        "--json", str(path),
+    )
+    assert code == 0
+    report = RunReport.load(str(path))
+    assert report.kind == "pagerank"
+    assert report.counters is None and report.time is None
+    conv = report.convergence
+    assert conv is not None and conv.converged
+    assert len(conv.deltas) == conv.iterations == report.config.num_iterations
+    # Deltas shrink monotonically for this well-behaved graph.
+    assert all(a > b for a, b in zip(conv.deltas, conv.deltas[1:]))
+    # Executable kernel phases were span-recorded once per iteration.
+    assert report.wall_spans["binning"]["count"] == conv.iterations
+
+
+def test_report_warns_on_disjoint_files(capsys, tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    code, _ = run_cli(
+        capsys,
+        "measure", "--graph", "urand", "--scale", "0.03", "--method", "baseline",
+        "--json", str(a),
+    )
+    assert code == 0
+    code, _ = run_cli(
+        capsys,
+        "measure", "--graph", "urand", "--scale", "0.03", "--method", "pb",
+        "--json", str(b),
+    )
+    assert code == 0
+    code, out = run_cli(capsys, "report", str(a), str(b))
+    assert code == 0  # nothing comparable, but nothing regressed
+    assert "no comparable runs" in out

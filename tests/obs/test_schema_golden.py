@@ -1,0 +1,73 @@
+"""Golden-file schema pin.
+
+``data/golden_report.json`` is a committed report for a fixed
+configuration (urand, scale 0.03, seed 42, dpb, flru).  This test
+regenerates that exact run and compares structurally: any change to the
+report shape, field names, integer counter values, or the schema version
+shows up here and forces a deliberate schema-version bump (see
+``docs/metrics_schema.md``).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.graphs import load_graph
+from repro.harness import run_experiment
+from repro.obs import SCHEMA_VERSION, RunReport, report_from_measurement
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_report.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def regenerated():
+    graph = load_graph("urand", scale=0.03, seed=42)
+    m = run_experiment(graph, "dpb", graph_name="urand", engine="flru")
+    report = report_from_measurement(m, scale=0.03, seed=42, engine="flru")
+    return report.to_dict()
+
+
+def _assert_same_structure(expected, actual, path="$"):
+    assert type(expected) is type(actual), f"{path}: type changed"
+    if isinstance(expected, dict):
+        assert sorted(expected) == sorted(actual), f"{path}: key set changed"
+        for key in expected:
+            _assert_same_structure(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-9), f"{path}: value drifted"
+    else:
+        # ints, strings, bools, None — must match exactly
+        assert expected == actual, f"{path}: value changed"
+
+
+def test_golden_pins_current_schema_version(golden):
+    assert golden["schema_version"] == SCHEMA_VERSION
+
+
+def test_golden_report_still_loads(golden):
+    report = RunReport.from_dict(golden)
+    assert report.to_dict() == golden
+
+
+def test_regenerated_report_matches_golden(golden, regenerated):
+    _assert_same_structure(golden, regenerated)
+
+
+def test_golden_counters_are_internally_consistent(golden):
+    c = golden["counters"]
+    assert sum(c["reads_by_stream"].values()) == c["total_reads"]
+    assert sum(c["writes_by_stream"].values()) == c["total_writes"]
+    assert sum(c["reads_by_phase"].values()) == c["total_reads"]
+    assert sum(c["writes_by_phase"].values()) == c["total_writes"]
+    assert c["total_requests"] == c["total_reads"] + c["total_writes"]
+    assert math.isclose(
+        c["requests_per_edge"],
+        c["total_requests"] / golden["graph"]["num_edges"],
+    )

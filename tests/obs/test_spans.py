@@ -1,0 +1,155 @@
+"""Span API: nesting, enable/disable semantics, thread safety, overhead."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import spans
+from repro.obs.spans import (
+    SpanRecorder,
+    current_recorder,
+    disable,
+    enable,
+    is_enabled,
+    recording,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder_state():
+    """Never leak an enabled recorder into (or out of) a test."""
+    disable()
+    yield
+    disable()
+
+
+def test_disabled_span_is_shared_noop_singleton():
+    assert not is_enabled()
+    s1 = span("anything")
+    s2 = span("something else")
+    assert s1 is s2  # no allocation on the disabled path
+    with s1:
+        pass  # no-op, no error
+
+
+def test_disabled_spans_record_nothing():
+    rec = SpanRecorder()
+    with span("ghost"):
+        pass
+    assert rec.as_dict() == {}
+
+
+def test_enable_disable_roundtrip():
+    rec = enable()
+    assert is_enabled()
+    assert current_recorder() is rec
+    disable()
+    assert not is_enabled()
+    assert current_recorder() is None
+
+
+def test_nesting_builds_slash_paths():
+    with recording() as rec:
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        with span("outer"):
+            pass
+    stats = rec.as_dict()
+    assert set(stats) == {"outer", "outer/inner"}
+    assert stats["outer"]["count"] == 2
+    assert stats["outer/inner"]["count"] == 2
+    assert stats["outer"]["seconds"] >= stats["outer/inner"]["seconds"]
+
+
+def test_span_records_elapsed_time():
+    with recording() as rec:
+        with span("sleep"):
+            time.sleep(0.01)
+    assert rec.stats("sleep").seconds >= 0.005
+
+
+def test_span_pops_stack_on_exception():
+    with recording() as rec:
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        with span("after"):
+            pass
+    stats = rec.as_dict()
+    # Both spans completed (recorded) despite the exception, and the
+    # stack unwound: "after" is a root path, not nested under "outer".
+    assert set(stats) == {"outer", "outer/failing", "after"}
+
+
+def test_recording_scopes_nest_and_restore():
+    with recording() as outer_rec:
+        with span("outer_only"):
+            pass
+        with recording() as inner_rec:
+            with span("inner_only"):
+                pass
+        assert current_recorder() is outer_rec
+        with span("outer_again"):
+            pass
+    assert current_recorder() is None
+    assert set(outer_rec.as_dict()) == {"outer_only", "outer_again"}
+    assert set(inner_rec.as_dict()) == {"inner_only"}
+
+
+def test_threads_nest_independently():
+    """Each thread has its own stack; the recorder aggregates across them."""
+    barrier = threading.Barrier(2)
+
+    def work(name):
+        barrier.wait()
+        for _ in range(50):
+            with span(name):
+                with span("child"):
+                    pass
+
+    with recording() as rec:
+        threads = [
+            threading.Thread(target=work, args=(f"worker{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    stats = rec.as_dict()
+    # No cross-thread path pollution: every child is under its own worker.
+    assert stats["worker0"]["count"] == 50
+    assert stats["worker1"]["count"] == 50
+    assert stats["worker0/child"]["count"] == 50
+    assert stats["worker1/child"]["count"] == 50
+    assert "child" not in stats
+
+
+def test_disabled_overhead_is_tiny():
+    """The disabled fast path must stay cheap enough for hot loops.
+
+    100k disabled span() calls in well under a second is a loose bound —
+    the point is to catch an accidental allocation/clock regression on
+    the disabled path, not to benchmark precisely.
+    """
+    assert not is_enabled()
+    start = time.perf_counter()
+    for _ in range(100_000):
+        with span("hot"):
+            pass
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0
+
+
+def test_module_state_is_importable_consistently():
+    # The module-level helpers and the module agree about state.
+    rec = enable(SpanRecorder())
+    try:
+        assert spans.current_recorder() is rec
+    finally:
+        disable()
