@@ -9,6 +9,7 @@ insensitive because its layout already provides the locality.
 from repro.harness import figure9_bin_width_communication
 
 from benchmarks.conftest import BIN_WIDTHS
+from benchmarks.emit_bench import emit_bench, figure_metrics
 
 
 def test_fig9_binwidth_comm(benchmark, half_suite_graphs, binwidth_sweep_data, report):
@@ -20,6 +21,14 @@ def test_fig9_binwidth_comm(benchmark, half_suite_graphs, binwidth_sweep_data, r
         iterations=1,
     )
     report("fig9_binwidth_comm", fig.render())
+    emit_bench(
+        "fig9_binwidth_comm",
+        figure_metrics(fig),
+        meta={
+            "source": "bench_fig9_binwidth_comm",
+            "units": "DRAM requests per edge",
+        },
+    )
 
     for name, series in fig.series.items():
         small = series[:6]  # slices comfortably inside the LLC

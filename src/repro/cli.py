@@ -10,12 +10,17 @@ A thin front end over the library for the common workflows:
 * ``repro-pb model --vertices 131072 --degree 16`` — query the Section V
   analytic models for a planned workload;
 * ``repro-pb report before.json after.json`` — diff two run reports and
-  flag traffic/time regressions.
+  flag traffic/time regressions;
+* ``repro-pb report --drift run.json`` — check the embedded
+  model-vs-simulation drift records against a threshold.
 
 Every subcommand prints an aligned text table to stdout; ``measure``,
 ``pagerank`` and ``compare`` additionally emit machine-readable
 schema-versioned JSON run reports via ``--json`` / ``--report-dir``
-(schema: ``docs/metrics_schema.md``).  The CLI only *reads* graphs it
+(schema: ``docs/metrics_schema.md``), a Chrome-trace/Perfetto event
+timeline via ``--trace out.json``, and (``measure``/``compare``)
+histogram/series metrics in the report via ``--metrics``.  ``-v``/``-q``
+control logging on every subcommand.  The CLI only *reads* graphs it
 generates itself (deterministic under ``--seed``), so it is safe to run
 anywhere.
 """
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import ExitStack
 
 import numpy as np
 
@@ -41,15 +47,20 @@ from repro.models import (
     paper_pull_reads,
 )
 from repro.obs import (
+    DEFAULT_DRIFT_THRESHOLD,
     Convergence,
+    DriftSummary,
     GraphMeta,
     RunConfig,
     RunReport,
+    collecting,
+    configure_logging,
     diff_report_sets,
     load_reports,
     recording,
     report_from_measurement,
     save_reports,
+    tracing,
 )
 from repro.utils import format_table
 
@@ -67,9 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
             "(Beamer, Asanović, Patterson — IPDPS 2017)"
         ),
     )
+    # Logging flags are a parent parser so they work on every subcommand
+    # (``repro-pb measure -v ...``).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging (-v progress, -vv debug)",
+    )
+    common.add_argument(
+        "-q", "--quiet", action="count", default=0, help="errors only"
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_suite = sub.add_parser("suite", help="regenerate the Table I graph suite")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p_suite = add_parser("suite", help="regenerate the Table I graph suite")
     p_suite.add_argument("--scale", type=float, default=1.0)
     p_suite.add_argument("--seed", type=int, default=42)
 
@@ -89,44 +117,71 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="write one report file per run into DIR",
         )
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            help="record a Chrome-trace/Perfetto event timeline to PATH",
+        )
 
-    p_pr = sub.add_parser("pagerank", help="compute PageRank on a suite graph")
+    p_pr = add_parser("pagerank", help="compute PageRank on a suite graph")
     add_graph_args(p_pr)
-    p_pr.add_argument("--method", choices=[*sorted(KERNELS), "auto"], default="auto")
+    p_pr.add_argument(
+        "--method",
+        "--strategy",
+        choices=[*sorted(KERNELS), "auto"],
+        default="auto",
+    )
     p_pr.add_argument("--tolerance", type=float, default=1e-6)
     p_pr.add_argument("--max-iterations", type=int, default=100)
     p_pr.add_argument("--top", type=int, default=5, help="print the top-N vertices")
     add_report_args(p_pr)
 
-    p_measure = sub.add_parser(
+    def add_metrics_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="collect histogram/series metrics into the report "
+            "(reuse distance, bin occupancy, per-iteration miss rate)",
+        )
+
+    p_measure = add_parser(
         "measure", help="simulate one iteration's memory traffic"
     )
     add_graph_args(p_measure)
     p_measure.add_argument(
-        "--method", choices=sorted(KERNELS), default="dpb"
+        "--method", "--strategy", choices=sorted(KERNELS), default="dpb"
     )
     p_measure.add_argument("--engine", choices=ENGINE_NAMES, default="flru")
+    p_measure.add_argument("--iterations", type=int, default=1)
     add_report_args(p_measure)
+    add_metrics_arg(p_measure)
 
-    p_compare = sub.add_parser("compare", help="all strategies on one graph")
+    p_compare = add_parser("compare", help="all strategies on one graph")
     add_graph_args(p_compare)
     p_compare.add_argument("--engine", choices=ENGINE_NAMES, default="flru")
     add_report_args(p_compare)
+    add_metrics_arg(p_compare)
 
-    p_model = sub.add_parser("model", help="query the Section V analytic models")
+    p_model = add_parser("model", help="query the Section V analytic models")
     p_model.add_argument("--vertices", type=int, required=True)
     p_model.add_argument("--degree", type=float, required=True)
 
-    p_describe = sub.add_parser(
+    p_describe = add_parser(
         "describe", help="characterize a graph and recommend a strategy"
     )
     add_graph_args(p_describe)
 
-    p_report = sub.add_parser(
-        "report", help="diff two run-report files and flag regressions"
+    p_report = add_parser(
+        "report",
+        help="diff run-report files and flag regressions or model drift",
     )
-    p_report.add_argument("before", help="report file of the reference run")
-    p_report.add_argument("after", help="report file of the candidate run")
+    p_report.add_argument(
+        "reports",
+        nargs="+",
+        metavar="REPORT",
+        help="report files: before and after for a diff, any number "
+        "with --drift",
+    )
     p_report.add_argument(
         "--threshold",
         type=float,
@@ -134,8 +189,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative growth on any metric that counts as a regression "
         "(default 0.05 = 5%%)",
     )
+    p_report.add_argument(
+        "--drift",
+        action="store_true",
+        help="check embedded model-vs-simulation drift records instead of "
+        "diffing two runs",
+    )
+    p_report.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=DEFAULT_DRIFT_THRESHOLD,
+        help="relative model/simulation divergence that counts as drift "
+        f"(default {DEFAULT_DRIFT_THRESHOLD:g})",
+    )
 
     return parser
+
+
+def _save_trace(args: argparse.Namespace, tracer) -> None:
+    """Honour ``--trace`` for the run(s) just performed."""
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"[trace written to {args.trace}]")
 
 
 def _write_reports(args: argparse.Namespace, reports: list[RunReport]) -> None:
@@ -160,7 +235,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 def _cmd_pagerank(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
-    with recording() as rec:
+    with ExitStack() as stack:
+        rec = stack.enter_context(recording())
+        tracer = stack.enter_context(tracing()) if args.trace else None
         result = pagerank(
             graph,
             method=args.method,
@@ -198,13 +275,28 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
         wall_spans=rec.as_dict(),
     )
     _write_reports(args, [report])
+    _save_trace(args, tracer)
     return 0
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
-    with recording() as rec:
-        m = run_experiment(graph, args.method, graph_name=args.graph, engine=args.engine)
+    with ExitStack() as stack:
+        rec = stack.enter_context(recording())
+        tracer = stack.enter_context(tracing()) if args.trace else None
+        registry = stack.enter_context(collecting()) if args.metrics else None
+        m = run_experiment(
+            graph,
+            args.method,
+            graph_name=args.graph,
+            engine=args.engine,
+            num_iterations=args.iterations,
+        )
+        if tracer is not None:
+            # A short executable solver pass so the trace also carries the
+            # solver-side counter tracks (residual, active vertices) next
+            # to the simulator's DRAM/miss-rate/drift tracks.
+            pagerank(graph, method=args.method, max_iterations=5, tolerance=0.0)
     rows = [
         ["DRAM reads (lines)", m.reads],
         ["DRAM writes (lines)", m.writes],
@@ -213,11 +305,13 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         ["modelled time (ms)", round(m.seconds * 1e3, 4)],
         ["bottleneck", m.time.bottleneck],
     ]
+    iter_word = "iteration" if args.iterations == 1 else "iterations"
     print(
         format_table(
             ["metric", "value"],
             rows,
-            title=f"{args.method} on {args.graph} (one iteration, simulated)",
+            title=f"{args.method} on {args.graph} "
+            f"({args.iterations} {iter_word}, simulated)",
         )
     )
     report = report_from_measurement(
@@ -226,8 +320,10 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         wall_spans=rec.as_dict(),
+        metrics=registry.as_dict() if registry is not None else None,
     )
     _write_reports(args, [report])
+    _save_trace(args, tracer)
     return 0
 
 
@@ -236,30 +332,41 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     reports = []
     baseline = None
-    for method in ("baseline", "cb", "pb", "dpb"):
-        with recording() as rec:
-            m = run_experiment(graph, method, graph_name=args.graph, engine=args.engine)
-        reports.append(
-            report_from_measurement(
-                m,
-                scale=args.scale,
-                seed=args.seed,
-                engine=args.engine,
-                wall_spans=rec.as_dict(),
+    with ExitStack() as trace_stack:
+        # One tracer spans all four runs (one shared timeline); metrics
+        # registries are per run so each report carries its own.
+        tracer = trace_stack.enter_context(tracing()) if args.trace else None
+        for method in ("baseline", "cb", "pb", "dpb"):
+            with ExitStack() as stack:
+                rec = stack.enter_context(recording())
+                registry = (
+                    stack.enter_context(collecting()) if args.metrics else None
+                )
+                m = run_experiment(
+                    graph, method, graph_name=args.graph, engine=args.engine
+                )
+            reports.append(
+                report_from_measurement(
+                    m,
+                    scale=args.scale,
+                    seed=args.seed,
+                    engine=args.engine,
+                    wall_spans=rec.as_dict(),
+                    metrics=registry.as_dict() if registry is not None else None,
+                )
             )
-        )
-        if baseline is None:
-            baseline = m
-        rows.append(
-            [
-                method,
-                m.reads,
-                m.writes,
-                round(m.gail().requests_per_edge, 3),
-                round(m.communication_reduction_over(baseline), 2),
-                round(m.speedup_over(baseline), 2),
-            ]
-        )
+            if baseline is None:
+                baseline = m
+            rows.append(
+                [
+                    method,
+                    m.reads,
+                    m.writes,
+                    round(m.gail().requests_per_edge, 3),
+                    round(m.communication_reduction_over(baseline), 2),
+                    round(m.speedup_over(baseline), 2),
+                ]
+            )
     print(
         format_table(
             ["method", "reads", "writes", "req/edge", "comm reduction", "speedup"],
@@ -269,13 +376,78 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     )
     _write_reports(args, reports)
+    _save_trace(args, tracer)
+    return 0
+
+
+def _report_drift(args: argparse.Namespace) -> int:
+    """``repro-pb report --drift``: check embedded model-drift records."""
+    rows = []
+    flagged = []
+    checked = 0
+    for path in args.reports:
+        try:
+            reports = load_reports(path)
+        except (OSError, ValueError) as exc:
+            print(f"repro-pb report: error: {exc}", file=sys.stderr)
+            return 2
+        for report in reports:
+            key = f"{report.graph.name}/{report.config.method}"
+            if report.drift is None:
+                print(f"warning: {key} ({path}) carries no drift records")
+                continue
+            summary = DriftSummary.from_dict(report.drift)
+            checked += 1
+            for record in summary.records:
+                over = record.exceeds(args.drift_threshold)
+                rows.append(
+                    [
+                        key,
+                        record.name,
+                        f"{record.simulated:g}",
+                        f"{record.modelled:g}",
+                        f"{record.delta:+.4f}",
+                        "DRIFT" if over else "ok",
+                    ]
+                )
+                if over:
+                    flagged.append((key, record))
+    print(
+        format_table(
+            ["run", "metric", "simulated", "modelled", "delta", "status"],
+            rows,
+            title=f"model drift (threshold {args.drift_threshold:g})",
+        )
+    )
+    if flagged:
+        print(f"\n{len(flagged)} drift record(s) beyond {args.drift_threshold:g}:")
+        for key, record in flagged:
+            print(
+                f"  {key} {record.name}: simulated {record.simulated:g} vs "
+                f"modelled {record.modelled:g} (delta {record.delta:+.4f})"
+            )
+        return 1
+    if checked == 0:
+        print("\nwarning: no drift records found in the given report(s)")
+        return 0
+    print(f"\nno model drift across {checked} run(s)")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.drift:
+        return _report_drift(args)
+    if len(args.reports) != 2:
+        print(
+            "repro-pb report: error: a diff needs exactly two report files "
+            "(before, after); use --drift for per-file drift checks",
+            file=sys.stderr,
+        )
+        return 2
+    before_path, after_path = args.reports
     try:
-        before = load_reports(args.before)
-        after = load_reports(args.after)
+        before = load_reports(before_path)
+        after = load_reports(after_path)
     except (OSError, ValueError) as exc:
         print(f"repro-pb report: error: {exc}", file=sys.stderr)
         return 2
@@ -299,9 +471,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     )
     for key in diff.unmatched_before:
-        print(f"warning: {key} present only in {args.before}")
+        print(f"warning: {key} present only in {before_path}")
     for key in diff.unmatched_after:
-        print(f"warning: {key} present only in {args.after}")
+        print(f"warning: {key} present only in {after_path}")
     if not diff.deltas:
         print("warning: no comparable runs between the two files")
     regressions = diff.regressions
@@ -380,6 +552,7 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     return _COMMANDS[args.command](args)
 
 

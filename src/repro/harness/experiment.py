@@ -4,6 +4,12 @@ A :class:`Measurement` bundles everything a paper table/figure row needs:
 simulated DRAM traffic, the modelled execution time with its bottleneck,
 instruction counts, and the GAIL per-edge ratios.  This is the unit the
 table and figure generators compose.
+
+Every simulation-backed measurement also evaluates the Section V analytic
+communication model against the simulated counters (:func:`evaluate_drift`)
+and carries the resulting :class:`~repro.obs.drift.DriftSummary` — the
+standing check that the reproduction's two independent accounts of memory
+traffic still agree.
 """
 
 from __future__ import annotations
@@ -18,9 +24,11 @@ from repro.memsim.hierarchy import L1Model
 from repro.models.gail import GailMetrics, gail_metrics
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.models.performance import TimeBreakdown, kernel_time, pb_phase_times
+from repro.obs.drift import DriftSummary
 from repro.obs.spans import span
+from repro.obs.trace import counter_sample, current_tracer
 
-__all__ = ["Measurement", "run_experiment", "measure_kernel"]
+__all__ = ["Measurement", "run_experiment", "measure_kernel", "evaluate_drift"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,9 @@ class Measurement:
     #: Modelled per-phase seconds (Figure 11), for kernels with a per-phase
     #: instruction model (PB/DPB); ``None`` for single-model kernels.
     phase_seconds: dict[str, float] | None = None
+    #: Section V analytic model vs. these counters; ``None`` for kernels
+    #: without a communication model (push).
+    drift: DriftSummary | None = None
 
     @property
     def reads(self) -> int:
@@ -73,6 +84,74 @@ class Measurement:
         return baseline.requests / self.requests if self.requests else float("inf")
 
 
+def evaluate_drift(
+    kernel: PageRankKernel, counters: MemCounters, num_iterations: int = 1
+) -> DriftSummary | None:
+    """Evaluate the Section V model against simulated counters.
+
+    Returns one :class:`DriftSummary` with a record per modelled phase's
+    reads plus the run totals, or ``None`` when the kernel has no analytic
+    model (push) or the graph is degenerate.  Reads attribute cleanly to
+    phases (fills are charged at access time); write-backs do not (they
+    land wherever eviction happens, including the final flush), so writes
+    are compared only in total.
+    """
+    from repro.models.communication import (
+        ModelParams,
+        detailed_cb_edgelist,
+        detailed_pb,
+        detailed_pull,
+        phase_reads,
+    )
+
+    graph = kernel.graph
+    if graph.num_edges == 0:
+        return None
+    machine = kernel.machine
+    params = ModelParams(
+        n=graph.num_vertices,
+        k=graph.average_degree,
+        b=machine.words_per_line,
+        c=machine.cache_words,
+    )
+    method = kernel.name
+    if method in ("baseline", "pull"):
+        model_name = "detailed_pull"
+        totals = detailed_pull(params)
+        phases = phase_reads(method, params)
+    elif method == "cb":
+        model_name = "detailed_cb_edgelist"
+        r = kernel.num_blocks
+        totals = detailed_cb_edgelist(params, r)
+        phases = phase_reads(method, params, r=r)
+    elif method in ("pb", "dpb"):
+        model_name = "detailed_pb"
+        totals = detailed_pb(
+            params, reuse_destinations=kernel.reuses_destinations
+        )
+        phases = phase_reads(method, params)
+    else:
+        return None
+
+    summary = DriftSummary(model=model_name)
+    scale = float(num_iterations)
+    for phase, modelled in phases.items():
+        summary.add(
+            f"reads/{phase}",
+            float(counters.phase_reads.get(phase, 0)),
+            modelled * scale,
+        )
+    # Total reads from the phase decomposition (it refines the detailed
+    # totals with compulsory-fill terms); writes from the detailed model.
+    summary.add(
+        "total_reads", float(counters.total_reads), sum(phases.values()) * scale
+    )
+    summary.add(
+        "total_writes", float(counters.total_writes), totals["writes"] * scale
+    )
+    return summary
+
+
 def measure_kernel(
     kernel: PageRankKernel,
     *,
@@ -82,6 +161,13 @@ def measure_kernel(
 ) -> Measurement:
     """Measure an already-constructed kernel."""
     counters = kernel.measure(num_iterations, engine=engine)
+    with span("drift_model"):
+        drift = evaluate_drift(kernel, counters, num_iterations)
+        if drift is not None and current_tracer() is not None:
+            counter_sample(
+                f"model_drift[{kernel.name}]",
+                {record.name: record.delta for record in drift.records},
+            )
     with span("time_model"):
         l1_misses = None
         layout = getattr(kernel, "layout", None)
@@ -104,6 +190,7 @@ def measure_kernel(
         time=time,
         instructions=kernel.instruction_count(num_iterations),
         phase_seconds=phase_seconds,
+        drift=drift,
     )
 
 

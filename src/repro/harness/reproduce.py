@@ -21,7 +21,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 
 from repro.graphs import load_graph, load_suite
 from repro.harness.figures import (
@@ -38,6 +37,10 @@ from repro.harness.figures import (
     suite_measurements,
 )
 from repro.harness.tables import table1, table2, table3
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+
+log = get_logger("harness.reproduce")
 
 ARTIFACTS = (
     "table1",
@@ -67,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true", help="quarter-scale suite, coarser sweeps"
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging (-v progress, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0, help="errors only"
+    )
     return parser
 
 
@@ -80,15 +93,19 @@ def _sizes_for(scale: float) -> list[int]:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # The reproduction driver's whole job is progress + artifacts, so its
+    # default verbosity is INFO; -q silences it for scripted use.
+    configure_logging(args.verbose - args.quiet + 1)
     scale = 0.25 if args.quick else args.scale
     os.makedirs(args.output, exist_ok=True)
     wanted = set(args.only or ARTIFACTS)
+    log.info("regenerating %d artifact(s) at scale %g", len(wanted), scale)
 
     def emit(name: str, text: str) -> None:
         path = os.path.join(args.output, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
-        print(f"[{time.strftime('%H:%M:%S')}] wrote {path}")
+        log.info("wrote %s", path)
 
     suite_needed = wanted & {"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6"}
     graphs = load_suite(seed=args.seed, scale=scale) if suite_needed else {}
@@ -146,7 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
         urand = load_graph("urand", seed=args.seed, scale=scale)
         emit("fig11_phase_breakdown", figure11_phase_breakdown(urand, widths).render())
-    print("done.")
+    log.info("done.")
     return 0
 
 

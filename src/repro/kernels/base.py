@@ -131,6 +131,8 @@ class PageRankKernel(abc.ABC):
 
     #: Short identifier used in tables ("baseline", "cb", "pb", "dpb", ...).
     name: str = "abstract"
+    #: Phase labels this kernel's trace/run emit, in execution order.
+    phases: tuple[str, ...] = ()
     instruction_model: InstructionModel = InstructionModel(0.0, 0.0)
 
     def __init__(
@@ -178,13 +180,69 @@ class PageRankKernel(abc.ABC):
 
         Returns the DRAM traffic counters — the reproduction of the paper's
         performance-counter measurement of one (or more) iterations.
+
+        When a metrics registry (:mod:`repro.obs.metrics`) is active, the
+        trace is simulated iteration by iteration so per-iteration series
+        (miss rate, DRAM requests) can be recorded, and the kernel
+        publishes its structural distributions via :meth:`publish_metrics`.
+        Totals are identical either way: the trace generator is
+        deterministic, so ``n`` one-iteration traces through one persistent
+        engine equal one ``n``-iteration trace.
         """
         from repro.memsim import make_engine  # local import: avoid cycle at import time
+        from repro.obs.metrics import current_registry
 
         with span(f"measure[{self.name}]"):
-            return simulate(
-                self.trace(num_iterations), make_engine(engine, self.machine.llc)
-            )
+            registry = current_registry()
+            if registry is None:
+                return simulate(
+                    self.trace(num_iterations), make_engine(engine, self.machine.llc)
+                )
+            return self._measure_instrumented(num_iterations, engine, registry)
+
+    def _measure_instrumented(
+        self, num_iterations: int, engine: str, registry
+    ) -> MemCounters:
+        """Per-iteration measurement loop behind an active metrics registry.
+
+        Note: the ``dmap`` engine buffers all irregular accesses until its
+        flush, so its per-iteration series are degenerate (all traffic
+        lands on the final flush); the exact LRU engines resolve accesses
+        in order and give meaningful series.
+        """
+        from repro.memsim import make_engine
+
+        eng = make_engine(engine, self.machine.llc)
+        counters = MemCounters()
+        miss_series = registry.series(f"miss_rate/{self.name}")
+        request_series = registry.series(f"dram_requests/{self.name}")
+        prev_hits = prev_accesses = prev_requests = 0
+        for _ in range(num_iterations):
+            simulate(self.trace(1), eng, flush=False, counters=counters)
+            hits = counters.total_hits
+            accesses = counters.total_accesses
+            requests = counters.total_requests
+            delta_accesses = accesses - prev_accesses
+            if delta_accesses:
+                miss_series.append(
+                    1.0 - (hits - prev_hits) / delta_accesses
+                )
+            else:
+                miss_series.append(0.0)
+            request_series.append(requests - prev_requests)
+            prev_hits, prev_accesses, prev_requests = hits, accesses, requests
+        eng.flush(counters)
+        self.publish_metrics(registry)
+        return counters
+
+    def publish_metrics(self, registry) -> None:
+        """Publish this kernel's structural distributions into ``registry``.
+
+        Called once per instrumented measurement.  The base implementation
+        publishes nothing; kernels with interesting layout distributions
+        (bin occupancy for PB/DPB, block occupancy for CB, in-degree for
+        the pull baseline) override this.
+        """
 
     # ------------------------------------------------------------------
     # shared helpers for subclasses

@@ -56,6 +56,7 @@ class CacheBlockedPageRank(PageRankKernel):
     """
 
     name = "cb"
+    phases = ("contrib", "blocks", "apply")
     instruction_model = InstructionModel(per_edge=8.0, per_vertex=20.0)
 
     def __init__(
@@ -108,6 +109,12 @@ class CacheBlockedPageRank(PageRankKernel):
             with span("apply"):
                 scores = apply_damping(sums.astype(np.float32), n, damping)
         return scores
+
+    def publish_metrics(self, registry) -> None:
+        """Edges per destination block — how evenly the 1-D partition fills."""
+        histogram = registry.histogram(f"block_occupancy/{self.name}")
+        for block in self.partition.blocks:
+            histogram.observe(block.num_edges)
 
     def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
         graph = self.graph

@@ -25,6 +25,8 @@ from repro.kernels.propagation_blocking import (
 from repro.kernels.pull import PullPageRank
 from repro.kernels.push import PushPageRank
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
+from repro.obs.trace import counter_sample, current_tracer
 
 __all__ = ["KERNELS", "PageRankResult", "make_kernel", "select_method", "pagerank"]
 
@@ -147,10 +149,20 @@ def pagerank(
     converged = False
     iterations = 0
     deltas: list[float] = []
+    tracer = current_tracer()
     for iterations in range(1, max_iterations + 1):
-        new_scores = kernel.run(1, scores=scores, damping=damping)
-        delta = score_delta(new_scores, scores)
+        with span(f"iteration[{kernel.name}]"):
+            new_scores = kernel.run(1, scores=scores, damping=damping)
+            delta = score_delta(new_scores, scores)
         deltas.append(delta)
+        if tracer is not None:
+            # Solver counter tracks: the L1 residual and how many vertex
+            # scores still moved this iteration.
+            counter_sample("residual", {"residual": delta})
+            counter_sample(
+                "active_vertices",
+                {"active": int(np.count_nonzero(new_scores != scores))},
+            )
         scores = new_scores
         if delta < tolerance:
             converged = True

@@ -68,6 +68,7 @@ class PropagationBlockingPageRank(PageRankKernel):
     """
 
     name = "pb"
+    phases = ("binning", "accumulate", "apply")
     instruction_model = InstructionModel(per_edge=34.0, per_vertex=25.0)
     #: Split of the per-edge instruction cost between the two phases; the
     #: per-vertex work (contribution compute, apply pass) is charged to
@@ -150,6 +151,13 @@ class PropagationBlockingPageRank(PageRankKernel):
             words = max(self.words_per_pair * count, 1)
             regions.append(regions_builder(f"bin_{b}", words))
         return regions
+
+    def publish_metrics(self, registry) -> None:
+        """Propagations per bin — the balance the bin-width sweep trades on."""
+        layout = self.layout
+        histogram = registry.histogram(f"bin_occupancy/{self.name}")
+        for b in range(layout.num_bins):
+            histogram.observe(layout.bin_count(b))
 
     def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
         graph = self.graph

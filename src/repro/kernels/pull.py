@@ -71,6 +71,7 @@ class PullPageRank(PageRankKernel):
     """
 
     name = "baseline"
+    phases = ("contrib", "gather")
     instruction_model = InstructionModel(per_edge=7.0, per_vertex=12.0)
 
     def __init__(
@@ -100,6 +101,13 @@ class PullPageRank(PageRankKernel):
                 sums = segment_sums(incoming, t.offsets, n)
                 scores = apply_damping(sums, n, damping)
         return scores
+
+    def publish_metrics(self, registry) -> None:
+        """In-degree distribution — how skewed the gather workload is."""
+        degrees = np.diff(self._in_offsets)
+        histogram = registry.histogram(f"in_degree/{self.name}")
+        for value, count in zip(*np.unique(degrees, return_counts=True)):
+            histogram.observe(int(value), int(count))
 
     def trace(self, num_iterations: int = 1) -> Iterator[TraceChunk]:
         graph = self.graph

@@ -50,6 +50,7 @@ class PushPageRank(PageRankKernel):
     """
 
     name = "push"
+    phases = ("scatter", "apply")
     instruction_model = InstructionModel(per_edge=8.0, per_vertex=16.0)
 
     def __init__(

@@ -32,7 +32,9 @@ from dataclasses import dataclass
 
 from repro.memsim.counters import MemCounters
 from repro.memsim.trace import AccessMode, Stream, TraceChunk, collapse_consecutive
+from repro.obs.metrics import current_registry
 from repro.obs.spans import span
+from repro.obs.trace import current_tracer
 from repro.utils.validation import check_positive, check_power_of_two
 
 __all__ = [
@@ -277,6 +279,12 @@ class SetAssociativeLRU(_EngineBase):
         return sum(len(cache) for cache in self._sets)
 
 
+#: Max irregular line accesses retained per stream for reuse-distance
+#: histograms — bounds the instrumented path's memory on huge traces
+#: (the Bennett–Kruskal pass is O(n log n) in this sample size).
+REUSE_SAMPLE_CAP = 1 << 18
+
+
 def simulate(
     trace,
     engine: _EngineBase,
@@ -288,12 +296,68 @@ def simulate(
 
     ``flush=True`` writes back dirty lines at the end, charging the final
     write-backs the hardware would eventually perform.
+
+    When a trace recorder (:mod:`repro.obs.trace`) or a metrics registry
+    (:mod:`repro.obs.metrics`) is active, a slower instrumented loop runs
+    instead: per-phase spans, per-stream DRAM counter tracks, a running
+    miss-rate track, and reuse-distance histograms per irregular stream.
+    With neither installed the plain loop below is untouched.
     """
     if counters is None:
         counters = MemCounters()
+    tracer = current_tracer()
+    registry = current_registry()
     with span(f"simulate[{type(engine).__name__}]"):
-        for chunk in trace:
-            engine.process_chunk(chunk, counters)
+        if tracer is None and registry is None:
+            for chunk in trace:
+                engine.process_chunk(chunk, counters)
+        else:
+            _simulate_instrumented(trace, engine, counters, tracer, registry)
         if flush:
             engine.flush(counters)
     return counters
+
+
+def _simulate_instrumented(trace, engine, counters, tracer, registry) -> None:
+    """The observability-enabled simulation loop (see :func:`simulate`)."""
+    reuse_lines: dict[Stream, list[int]] | None = (
+        {} if registry is not None else None
+    )
+    phase_span = None
+    current_phase: str | None = None
+    try:
+        for chunk in trace:
+            if chunk.phase != current_phase:
+                if phase_span is not None:
+                    phase_span.__exit__(None, None, None)
+                current_phase = chunk.phase
+                phase_span = span(f"phase[{current_phase or 'unphased'}]")
+                phase_span.__enter__()
+            if reuse_lines is not None and chunk.mode is AccessMode.IRREGULAR:
+                sample = reuse_lines.setdefault(chunk.stream, [])
+                room = REUSE_SAMPLE_CAP - len(sample)
+                if room > 0:
+                    sample.extend(chunk.lines[:room].tolist())
+            engine.process_chunk(chunk, counters)
+            if tracer is not None:
+                stream = chunk.stream
+                tracer.counter(
+                    f"dram[{stream.value}]",
+                    {
+                        "reads": counters.reads[stream],
+                        "writes": counters.writes[stream],
+                    },
+                )
+                tracer.counter("miss_rate", {"miss_rate": counters.miss_rate()})
+    finally:
+        if phase_span is not None:
+            phase_span.__exit__(None, None, None)
+    if reuse_lines:
+        from repro.memsim.reuse import log2_bucketed, reuse_distance_histogram
+
+        with span("reuse_histograms"):
+            for stream, sample in reuse_lines.items():
+                histogram = registry.histogram(f"reuse_distance/{stream.value}")
+                buckets = log2_bucketed(reuse_distance_histogram(sample))
+                for label, count in buckets.items():
+                    histogram.observe_label(label, count)

@@ -117,6 +117,35 @@ class MemCounters:
         """Reads + writes — total memory requests (GAIL's communication)."""
         return self.total_reads + self.total_writes
 
+    @property
+    def total_hits(self) -> int:
+        """Cache hits across all streams (SEQUENTIAL accesses never hit)."""
+        return sum(self.hits.values())
+
+    @property
+    def total_accesses(self) -> int:
+        """Cache accesses across all streams, sequential and irregular."""
+        return sum(self.accesses.values())
+
+    def miss_rate(self) -> float:
+        """Fraction of all cache accesses served from DRAM.
+
+        Includes SEQUENTIAL streaming accesses (which always miss by
+        construction), so this tracks overall DRAM pressure; use
+        :meth:`irregular_miss_rate` for the data-dependent accesses whose
+        hit rate the cache actually determines.
+        """
+        accesses = self.total_accesses
+        if accesses == 0:
+            return 0.0
+        return 1.0 - self.total_hits / accesses
+
+    def irregular_miss_rate(self) -> float:
+        """Fraction of IRREGULAR accesses that caused a DRAM transfer."""
+        if self.irregular_accesses == 0:
+            return 0.0
+        return self.irregular_requests / self.irregular_accesses
+
     def category_reads(self, category: str) -> int:
         """DRAM reads for one coarse category ("edge", "vertex", "bin")."""
         return sum(

@@ -30,6 +30,7 @@ import numpy as np
 from repro.memsim.cache import CacheConfig, _EngineBase
 from repro.memsim.counters import MemCounters
 from repro.memsim.trace import TraceChunk
+from repro.obs.spans import span
 
 __all__ = ["DirectMappedVectorized"]
 
@@ -57,6 +58,10 @@ class DirectMappedVectorized(_EngineBase):
         chunks, self._pending = self._pending, []
         if not chunks:
             return
+        with span("fastcache_resolve"):
+            self._resolve(chunks, counters)
+
+    def _resolve(self, chunks: list[TraceChunk], counters: MemCounters) -> None:
         lines = np.concatenate([c.lines for c in chunks])
         if lines.size == 0:
             return

@@ -18,7 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["reuse_distance_histogram", "misses_for_capacity", "miss_ratio_curve"]
+from repro.obs.metrics import bucket_label
+
+__all__ = [
+    "reuse_distance_histogram",
+    "misses_for_capacity",
+    "miss_ratio_curve",
+    "log2_bucketed",
+]
 
 COLD = -1  #: histogram key for first-touch (compulsory) accesses
 
@@ -73,6 +80,23 @@ def reuse_distance_histogram(lines: np.ndarray) -> dict[int, int]:
         fenwick.add(t, 1)
         last_seen[line] = t
     return histogram
+
+
+def log2_bucketed(histogram: dict[int, int]) -> dict[str, int]:
+    """Collapse an exact ``{distance: count}`` histogram into log2 buckets.
+
+    First-touch accesses (:data:`COLD`) map to the ``"cold"`` bucket; the
+    result uses :func:`repro.obs.metrics.bucket_label` labels so it can be
+    merged into a report :class:`~repro.obs.metrics.Histogram` directly.
+    A cache of ``C`` lines hits every bucket strictly below ``C`` and
+    misses every bucket at/above it, up to one straddling bucket — so the
+    compressed form still reads as a miss-ratio curve.
+    """
+    out: dict[str, int] = {}
+    for distance, count in histogram.items():
+        label = "cold" if distance == COLD else bucket_label(distance)
+        out[label] = out.get(label, 0) + count
+    return out
 
 
 def misses_for_capacity(histogram: dict[int, int], capacity_lines: int) -> int:

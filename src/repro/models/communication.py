@@ -45,6 +45,10 @@ __all__ = [
     "detailed_cb_edgelist",
     "detailed_pb",
     "expected_touched_lines",
+    "phase_reads",
+    "pull_phase_reads",
+    "cb_edgelist_phase_reads",
+    "pb_phase_reads",
 ]
 
 
@@ -201,3 +205,78 @@ def detailed_pb(p: ModelParams, *, reuse_destinations: bool) -> dict[str, float]
         + nv  # scores write-backs
     )
     return {"reads": reads, "writes": writes}
+
+
+# ----------------------------------------------------------------------
+# per-phase read decompositions (the drift monitor's resolution)
+# ----------------------------------------------------------------------
+# Reads attribute cleanly to phases because every DRAM fill is charged at
+# access time; write-backs do not (a line dirtied in one phase may be
+# evicted in a later one or at the final flush), so the drift monitor
+# compares reads per phase and writes only in total.
+
+
+def pull_phase_reads(p: ModelParams) -> dict[str, float]:
+    """Pull reads split into its contrib and gather phases.
+
+    The gather term refines :func:`detailed_pull` with the compulsory
+    fills of the contributions array: sequential writes bypass the cache,
+    so even when the vertex data fits (miss rate 0) the first gather to
+    each line must fill it.  The coverage expectation interpolates between
+    that regime and the steady-state ``(1 - c/n) m`` term.
+    """
+    nv = p.n / p.b
+    gather_fills = p.miss_rate * p.m + (1.0 - p.miss_rate) * expected_touched_lines(
+        nv, p.m
+    )
+    return {
+        "contrib": 3.0 * nv,  # scores + degrees + contributions allocate
+        "gather": gather_fills + p.m / p.b + 3.0 * nv,  # + index, scores allocate
+    }
+
+
+def cb_edgelist_phase_reads(p: ModelParams, r: int) -> dict[str, float]:
+    """Edge-list CB reads split into contrib, blocks, and apply phases."""
+    check_positive("r", r)
+    nv = p.n / p.b
+    contrib_lines = r * expected_touched_lines(nv, p.m / r)
+    return {
+        "contrib": 3.0 * nv,
+        "blocks": 2.0 * p.m / p.b + contrib_lines + nv,  # edge lists + scans + sums fills
+        "apply": 2.0 * nv,
+    }
+
+
+def pb_phase_reads(p: ModelParams) -> dict[str, float]:
+    """PB/DPB reads split into binning, accumulate, and apply phases.
+
+    Identical for both variants: PB's accumulate streams ``2m/b`` lines of
+    (contribution, destination) pairs, DPB streams ``m/b`` of contributions
+    plus ``m/b`` of pre-stored destination indices.
+    """
+    nv = p.n / p.b
+    return {
+        "binning": p.m / p.b + 4.0 * nv,  # adjacency + index + scores + degrees
+        "accumulate": 2.0 * p.m / p.b + nv,  # bin data + sums fills
+        "apply": 2.0 * nv,
+    }
+
+
+def phase_reads(
+    method: str, p: ModelParams, *, r: int | None = None
+) -> dict[str, float] | None:
+    """Per-phase read model for a kernel name, or ``None`` if unmodelled.
+
+    ``r`` (the block count) is required for ``"cb"``; the push kernel has
+    no Section V model, so it returns ``None`` and the drift monitor skips
+    it.
+    """
+    if method in ("baseline", "pull"):
+        return pull_phase_reads(p)
+    if method == "cb":
+        if r is None:
+            raise ValueError("cb phase model requires the block count r")
+        return cb_edgelist_phase_reads(p, r)
+    if method in ("pb", "dpb"):
+        return pb_phase_reads(p)
+    return None

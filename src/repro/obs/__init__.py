@@ -7,10 +7,24 @@ counters, :mod:`repro.obs` is the *recording* substrate around them —
 * :mod:`repro.obs.spans` — nestable, thread-safe wall-clock spans with
   near-zero overhead when disabled, wired into the kernels, the cache
   simulator, and the experiment harness;
+* :mod:`repro.obs.trace` — opt-in event backend for the span API: every
+  completed span becomes a timestamped duration event, instrumented code
+  publishes counter samples (DRAM transfers, miss rate, residual, drift),
+  and the whole timeline exports as Chrome-trace/Perfetto JSON
+  (``--trace out.json``);
+* :mod:`repro.obs.metrics` — histogram/time-series registry that memsim
+  and the kernels publish distributions into (reuse distances, bin
+  occupancy, per-iteration miss rate), serialized into reports;
+* :mod:`repro.obs.drift` — records of the Section V analytic model
+  evaluated against the simulation, with a threshold gate
+  (``repro-pb report --drift``);
+* :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy behind
+  the CLI's ``-v``/``-q`` flags;
 * :mod:`repro.obs.report` — :class:`RunReport`, the schema-versioned JSON
   record of one run (graph, config, per-stream/per-phase DRAM counters,
-  modelled + wall time, convergence history), round-trippable and
-  documented field by field in ``docs/metrics_schema.md``;
+  modelled + wall time, convergence history, metrics, drift),
+  round-trippable and documented field by field in
+  ``docs/metrics_schema.md``;
 * :mod:`repro.obs.diff` — report comparison with a relative-threshold
   regression gate, exposed as ``repro-pb report``.
 
@@ -30,6 +44,26 @@ from repro.obs.spans import (
     recording,
     span,
 )
+from repro.obs.trace import (
+    TraceRecorder,
+    counter_sample,
+    current_tracer,
+    tracing,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    Series,
+    collecting,
+    current_registry,
+)
+from repro.obs.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftRecord,
+    DriftSummary,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
 from repro.obs.report import (
     SCHEMA_VERSION,
     Convergence,
@@ -61,6 +95,20 @@ __all__ = [
     "is_enabled",
     "recording",
     "span",
+    "TraceRecorder",
+    "counter_sample",
+    "current_tracer",
+    "tracing",
+    "Histogram",
+    "MetricsRegistry",
+    "Series",
+    "collecting",
+    "current_registry",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DriftRecord",
+    "DriftSummary",
+    "configure_logging",
+    "get_logger",
     "SCHEMA_VERSION",
     "Convergence",
     "CounterSummary",

@@ -1,0 +1,216 @@
+"""Histogram and time-series metrics for the memory pipeline.
+
+Counters (:mod:`repro.memsim.counters`) answer "how much traffic, total";
+the metrics registry answers the *distribution* questions behind the
+paper's Section VI analysis — how reuse distances spread per stream (why
+the baseline gathers miss), how destinations pack into bins (why the
+accumulate phase hits), how the miss rate settles across iterations:
+
+    with collecting() as registry:
+        run_experiment(graph, "dpb")
+    registry.as_dict()   # serialized into RunReport.metrics
+
+Two instrument kinds, both chosen for bounded size regardless of run
+length:
+
+* :class:`Histogram` — power-of-two bucketed counts plus free-form
+  labelled buckets (e.g. ``"cold"`` for first-touch reuse distances);
+* :class:`Series` — an append-only list of samples, used for
+  per-iteration values where the length is the iteration count.
+
+Producers (memsim, kernels) publish through :func:`current_registry`,
+which returns ``None`` when collection is off — the same one-global-read
+disabled fast path as :func:`repro.obs.spans.span`.  This module imports
+nothing from the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "collecting",
+    "current_registry",
+    "bucket_label",
+]
+
+
+def bucket_label(value: int) -> str:
+    """Power-of-two bucket label covering ``value``.
+
+    ``0`` and ``1`` get exact buckets; larger values land in
+    ``[2^k, 2^(k+1))`` half-open ranges, so distributions spanning many
+    decades (reuse distances, bin occupancies) stay a handful of buckets.
+    """
+    if value < 0:
+        raise ValueError(f"histogram values must be >= 0, got {value}")
+    if value <= 1:
+        return str(value)
+    low = 1 << (value.bit_length() - 1)
+    return f"[{low},{2 * low})"
+
+
+def _bucket_sort_key(label: str) -> tuple[int, int]:
+    """Numeric buckets in range order, labelled buckets after, by name."""
+    if label.startswith("["):
+        return (0, int(label[1:].split(",", 1)[0]))
+    if label.isdigit():
+        return (0, int(label))
+    return (1, 0)
+
+
+class Histogram:
+    """Bucketed counts: power-of-two value buckets + labelled buckets."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def observe(self, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``value`` to its log2 bucket."""
+        self.observe_label(bucket_label(value), count)
+
+    def observe_label(self, label: str, count: int = 1) -> None:
+        """Add ``count`` occurrences to the free-form bucket ``label``."""
+        with self._lock:
+            self._counts[label] = self._counts.get(label, 0) + count
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready ``{bucket: count}``, buckets in value order."""
+        with self._lock:
+            items = list(self._counts.items())
+        return dict(sorted(items, key=lambda kv: (_bucket_sort_key(kv[0]), kv[0])))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "Histogram":
+        hist = cls()
+        for label, count in data.items():
+            hist.observe_label(label, count)
+        return hist
+
+
+class Series:
+    """Append-only sample list (one value per iteration, typically)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: list[float] = []
+
+    def append(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._values)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def as_dict(self) -> list[float]:
+        return self.values()
+
+    @classmethod
+    def from_dict(cls, data: list[float]) -> "Series":
+        series = cls()
+        for value in data:
+            series.append(value)
+        return series
+
+
+class MetricsRegistry:
+    """Named histograms and series, created on first use.
+
+    Producer code does not declare instruments up front; it asks for them
+    by name (``registry.histogram("reuse_distance/vertex_sums")``) and the
+    registry creates them on demand.  Names are free-form but the
+    conventions in ``docs/metrics_schema.md`` keep reports comparable.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, Series] = {}
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            return hist
+
+    def series(self, name: str) -> Series:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = Series()
+            return series
+
+    def histogram_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._histograms)
+
+    def series_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot: ``{"histograms": {...}, "series": {...}}``."""
+        with self._lock:
+            histograms = dict(self._histograms)
+            series = dict(self._series)
+        return {
+            "histograms": {name: histograms[name].as_dict() for name in sorted(histograms)},
+            "series": {name: series[name].as_dict() for name in sorted(series)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, counts in data.get("histograms", {}).items():
+            registry._histograms[name] = Histogram.from_dict(counts)
+        for name, values in data.get("series", {}).items():
+            registry._series[name] = Series.from_dict(values)
+        return registry
+
+
+# ----------------------------------------------------------------------
+# global registry (the producer-side hook)
+# ----------------------------------------------------------------------
+_registry: MetricsRegistry | None = None
+
+
+def current_registry() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when collection is off."""
+    return _registry
+
+
+class collecting:
+    """Context manager scoping an active :class:`MetricsRegistry`.
+
+    Restores the previously active registry (or none) on exit, so scopes
+    nest like :class:`repro.obs.spans.recording`.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        global _registry
+        self._previous = _registry
+        _registry = self._registry
+        return self._registry
+
+    def __exit__(self, *exc: object) -> None:
+        global _registry
+        _registry = self._previous
+        return None

@@ -34,8 +34,14 @@ __all__ = [
 ]
 
 #: Version of the report JSON schema (``docs/metrics_schema.md`` is the
-#: authoritative description).  Bump on any field or unit change.
-SCHEMA_VERSION = "1"
+#: authoritative description).  Bump on any field or unit change: minor
+#: for additive changes (older readers of the same major still load the
+#: file), major for anything incompatible.
+#:
+#: 1.1 added the optional ``metrics`` (histograms/series from
+#: :mod:`repro.obs.metrics`) and ``drift`` (model-vs-simulated records
+#: from :mod:`repro.obs.drift`) sections.
+SCHEMA_VERSION = "1.1"
 
 
 @dataclass(frozen=True)
@@ -218,6 +224,12 @@ class RunReport:
     (convergence populated); absent sections are ``None``.
     ``wall_spans`` holds the host wall-clock span aggregation of
     :mod:`repro.obs.spans` when recording was active during the run.
+
+    Since schema 1.1, ``metrics`` optionally holds a serialized
+    :class:`repro.obs.metrics.MetricsRegistry` snapshot (histograms +
+    series collected during the run) and ``drift`` a serialized
+    :class:`repro.obs.drift.DriftSummary` (analytic-model-vs-simulation
+    records); both are ``None`` when not collected.
     """
 
     graph: GraphMeta
@@ -228,6 +240,8 @@ class RunReport:
     instructions: float | None = None
     convergence: Convergence | None = None
     wall_spans: dict[str, dict[str, float]] = field(default_factory=dict)
+    metrics: dict[str, Any] | None = None
+    drift: dict[str, Any] | None = None
     schema_version: str = SCHEMA_VERSION
 
     def key(self) -> str:
@@ -250,6 +264,8 @@ class RunReport:
             "wall_spans": {
                 path: dict(stats) for path, stats in self.wall_spans.items()
             },
+            "metrics": self.metrics,
+            "drift": self.drift,
         }
 
     @classmethod
@@ -281,6 +297,9 @@ class RunReport:
                 path: {k: float(v) if k == "seconds" else int(v) for k, v in stats.items()}
                 for path, stats in data.get("wall_spans", {}).items()
             },
+            # 1.0 reports predate these sections; absent means not collected.
+            metrics=data.get("metrics"),
+            drift=data.get("drift"),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -342,9 +361,17 @@ def report_from_measurement(
     engine: str = "flru",
     options: dict[str, Any] | None = None,
     wall_spans: dict[str, dict[str, float]] | None = None,
+    metrics: dict[str, Any] | None = None,
 ) -> RunReport:
-    """Build a ``kind="measure"`` report from a harness ``Measurement``."""
+    """Build a ``kind="measure"`` report from a harness ``Measurement``.
+
+    ``metrics`` takes an already-serialized registry snapshot
+    (``MetricsRegistry.as_dict()``); the drift section is read off the
+    measurement itself (``measurement.drift``, a ``DriftSummary`` or
+    ``None``) since the harness computes it alongside the counters.
+    """
     time = measurement.time
+    drift = getattr(measurement, "drift", None)
     return RunReport(
         kind="measure",
         graph=GraphMeta(
@@ -372,6 +399,8 @@ def report_from_measurement(
         ),
         instructions=float(measurement.instructions),
         wall_spans=dict(wall_spans or {}),
+        metrics=metrics,
+        drift=drift.to_dict() if drift is not None else None,
     )
 
 

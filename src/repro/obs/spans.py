@@ -27,7 +27,12 @@ Design constraints (why this is not just :class:`repro.utils.timing.Timer`):
 
 Spans aggregate by path (count + total seconds) rather than logging every
 event: experiment runs enter the same phase once per iteration and per bin,
-and an event log would dwarf the measurement it describes.
+and an event log would dwarf the measurement it describes.  When an event
+log *is* wanted, an **event sink** (see :mod:`repro.obs.trace`) can be
+installed alongside or instead of the aggregate recorder; each completed
+span then additionally reports its full path and begin/end timestamps to
+the sink.  With neither installed, :func:`span` still returns the shared
+no-op object without touching the clock.
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ __all__ = [
     "is_enabled",
     "current_recorder",
     "recording",
+    "set_event_sink",
+    "current_event_sink",
 ]
 
 #: Separator between nested span names in an aggregated path.
@@ -100,9 +107,13 @@ class SpanRecorder:
 
 
 # ----------------------------------------------------------------------
-# global recorder + thread-local nesting state
+# global recorder + event sink + thread-local nesting state
 # ----------------------------------------------------------------------
 _recorder: SpanRecorder | None = None
+#: Optional event backend (duck-typed: ``record_span(path, start, end)``).
+#: Kept here rather than in :mod:`repro.obs.trace` so the disabled check
+#: in :func:`span` stays two module-global reads with no imports.
+_event_sink = None
 _local = threading.local()
 
 
@@ -124,11 +135,12 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """A live span: pushes its path on the thread's stack while entered."""
 
-    __slots__ = ("_name", "_recorder", "_path", "_start")
+    __slots__ = ("_name", "_recorder", "_sink", "_path", "_start")
 
-    def __init__(self, name: str, recorder: SpanRecorder) -> None:
+    def __init__(self, name: str, recorder: SpanRecorder | None, sink) -> None:
         self._name = name
         self._recorder = recorder
+        self._sink = sink
 
     def __enter__(self) -> "_Span":
         stack = getattr(_local, "stack", None)
@@ -143,9 +155,12 @@ class _Span:
         return self
 
     def __exit__(self, *exc: object) -> None:
-        elapsed = time.perf_counter() - self._start
+        end = time.perf_counter()
         _local.stack.pop()
-        self._recorder.record(self._path, elapsed)
+        if self._recorder is not None:
+            self._recorder.record(self._path, end - self._start)
+        if self._sink is not None:
+            self._sink.record_span(self._path, self._start, end)
         return None
 
     @property
@@ -162,9 +177,10 @@ def span(name: str):
     to leave in the cache-simulation loop and kernel phases permanently.
     """
     recorder = _recorder
-    if recorder is None:
+    sink = _event_sink
+    if recorder is None and sink is None:
         return _NULL_SPAN
-    return _Span(name, recorder)
+    return _Span(name, recorder, sink)
 
 
 def enable(recorder: SpanRecorder | None = None) -> SpanRecorder:
@@ -188,6 +204,23 @@ def is_enabled() -> bool:
 
 def current_recorder() -> SpanRecorder | None:
     return _recorder
+
+
+def set_event_sink(sink) -> None:
+    """Install (or with ``None``, remove) the span event sink.
+
+    The sink receives ``record_span(path, start, end)`` for every span
+    completed anywhere in the process; ``start``/``end`` come from
+    ``time.perf_counter``.  :class:`repro.obs.trace.tracing` manages this
+    for the common case.
+    """
+    global _event_sink
+    _event_sink = sink
+
+
+def current_event_sink():
+    """The installed span event sink, or ``None``."""
+    return _event_sink
 
 
 class recording:

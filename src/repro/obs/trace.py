@@ -1,0 +1,189 @@
+"""Event-level tracing: Chrome-trace/Perfetto export of spans and counters.
+
+:mod:`repro.obs.spans` aggregates by path (count + seconds) because the
+steady-state cost of a *log* would dwarf the measurement.  But aggregates
+cannot show *when* things happen: whether binning traffic bursts at the
+start of an iteration, how the miss rate evolves as the cache warms, or
+where the solver spends its time relative to the simulator.  This module
+is the opt-in event backend for exactly those questions:
+
+* every completed span additionally records a **duration event** (begin
+  timestamp + duration, per thread);
+* instrumented code publishes **counter samples** (named tracks of
+  timestamped values: per-stream DRAM transfers, miss rate, solver
+  residual, model drift) via :func:`counter_sample`;
+* the whole recording exports as Chrome-trace JSON (the ``traceEvents``
+  array format) loadable in ``chrome://tracing``, Perfetto, or Speedscope.
+
+Recording is scoped exactly like span recording::
+
+    from repro.obs.trace import tracing
+
+    with tracing() as tracer:
+        run_experiment(graph, "dpb")
+    tracer.save("trace.json")
+
+When no tracer is installed, :func:`current_tracer` returns ``None`` and
+:func:`counter_sample` is a no-op after one global read — instrumentation
+stays resident in hot paths at no measurable cost (the same contract as
+the disabled :func:`~repro.obs.spans.span` fast path).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.obs import spans as _spans
+
+__all__ = [
+    "TraceRecorder",
+    "tracing",
+    "current_tracer",
+    "counter_sample",
+    "TRACE_PROCESS_NAME",
+]
+
+#: Process name announced in the trace metadata (one simulated process).
+TRACE_PROCESS_NAME = "repro-pb"
+
+
+class TraceRecorder:
+    """Thread-safe event log exporting to Chrome-trace JSON.
+
+    Two event kinds are recorded:
+
+    * **duration events** — one per completed span, with the span's full
+      nested path, wall-clock begin time, and duration;
+    * **counter samples** — ``(track, {series: value})`` points on a
+      shared timeline, rendered by trace viewers as counter tracks.
+
+    Timestamps are microseconds relative to the recorder's creation, from
+    the same ``perf_counter`` clock the spans use, so duration events and
+    counter samples line up on one timeline.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._origin = time.perf_counter()
+        self._events: list[dict] = []
+        self._tids: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording (called from instrumented code)
+    # ------------------------------------------------------------------
+    def _tid(self) -> int:
+        """Stable small integer for the calling thread (0 = first seen)."""
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids[ident] = len(self._tids)
+        return tid
+
+    def record_span(self, path: str, start: float, end: float) -> None:
+        """Log one completed span as a complete ("X") duration event."""
+        name = path.rsplit(_spans.PATH_SEPARATOR, 1)[-1]
+        event = {
+            "name": name,
+            "cat": "span",
+            "ph": "X",
+            "ts": (start - self._origin) * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": 0,
+            "args": {"path": path},
+        }
+        with self._lock:
+            event["tid"] = self._tid()
+            self._events.append(event)
+
+    def counter(self, track: str, values: dict[str, float]) -> None:
+        """Log one sample on counter track ``track``.
+
+        ``values`` maps series names to numbers; viewers stack multiple
+        series of one track (e.g. ``{"reads": r, "writes": w}``).
+        """
+        event = {
+            "name": track,
+            "cat": "counter",
+            "ph": "C",
+            "ts": (time.perf_counter() - self._origin) * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": {k: float(v) for k, v in values.items()},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict]:
+        """Snapshot of all recorded events, in timestamp order."""
+        with self._lock:
+            return sorted(self._events, key=lambda e: e["ts"])
+
+    def counter_tracks(self) -> list[str]:
+        """Names of all counter tracks sampled at least once, sorted."""
+        with self._lock:
+            return sorted({e["name"] for e in self._events if e["ph"] == "C"})
+
+    def to_chrome(self) -> dict:
+        """The Chrome-trace JSON object (``traceEvents`` array format)."""
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": TRACE_PROCESS_NAME},
+            }
+        ]
+        return {
+            "traceEvents": metadata + self.events(),
+            "displayTimeUnit": "ms",
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+# ----------------------------------------------------------------------
+# global tracer (the event sink the span machinery notifies)
+# ----------------------------------------------------------------------
+def current_tracer() -> TraceRecorder | None:
+    """The active tracer, or ``None`` — the one-read disabled fast path."""
+    sink = _spans.current_event_sink()
+    return sink if isinstance(sink, TraceRecorder) else None
+
+
+def counter_sample(track: str, values: dict[str, float]) -> None:
+    """Publish one counter sample if tracing is active; no-op otherwise."""
+    tracer = _spans.current_event_sink()
+    if tracer is not None:
+        tracer.counter(track, values)
+
+
+class tracing:
+    """Context manager scoping an active :class:`TraceRecorder`.
+
+    Restores the previously installed sink (or none) on exit, so scopes
+    nest like :class:`repro.obs.spans.recording`.
+    """
+
+    def __init__(self, tracer: TraceRecorder | None = None) -> None:
+        self._tracer = tracer if tracer is not None else TraceRecorder()
+        self._previous: TraceRecorder | None = None
+
+    def __enter__(self) -> TraceRecorder:
+        self._previous = _spans.current_event_sink()
+        _spans.set_event_sink(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc: object) -> None:
+        _spans.set_event_sink(self._previous)
+        return None

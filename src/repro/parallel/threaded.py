@@ -33,6 +33,7 @@ from repro.kernels.base import DAMPING, apply_damping, compute_contributions
 from repro.kernels.propagation_blocking import DeterministicPBPageRank
 from repro.memsim.trace import Region
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.obs.spans import span
 from repro.parallel.scheduling import edge_balanced_ranges
 from repro.utils.validation import check_positive
 
@@ -118,35 +119,43 @@ class ThreadedDPBPageRank(DeterministicPBPageRank):
                 contributions = compute_contributions(scores, degrees)
 
                 # ---- binning phase: one task per thread, no atomics ----
+                # Worker-side spans nest under the worker thread's own
+                # (initially empty) span stack, not the caller's — each
+                # thread's nesting is independent by design.
                 def bin_range(state):
-                    start, stop = state["vertex_range"]
-                    local_deg = degrees[start:stop]
-                    per_edge = np.repeat(contributions[start:stop], local_deg)
-                    return per_edge[state["order"]].astype(np.float64)
+                    with span("binning_task"):
+                        start, stop = state["vertex_range"]
+                        local_deg = degrees[start:stop]
+                        per_edge = np.repeat(contributions[start:stop], local_deg)
+                        return per_edge[state["order"]].astype(np.float64)
 
-                binned = list(pool.map(bin_range, self._thread_state))
+                with span("binning"):
+                    binned = list(pool.map(bin_range, self._thread_state))
 
                 # ---- accumulate phase: one task per bin, disjoint slices ----
                 sums = np.zeros(n, dtype=np.float64)
 
                 def accumulate_bin(b):
-                    slice_start, slice_stop = layout.bin_slice(b)
-                    width = slice_stop - slice_start
-                    acc = np.zeros(width, dtype=np.float64)
-                    for state, values in zip(self._thread_state, binned):
-                        lo = int(state["bounds"][b])
-                        hi = int(state["bounds"][b + 1])
-                        if lo == hi:
-                            continue
-                        acc += np.bincount(
-                            state["sorted_dst"][lo:hi] - slice_start,
-                            weights=values[lo:hi],
-                            minlength=width,
-                        )
-                    sums[slice_start:slice_stop] = acc
+                    with span("accumulate_task"):
+                        slice_start, slice_stop = layout.bin_slice(b)
+                        width = slice_stop - slice_start
+                        acc = np.zeros(width, dtype=np.float64)
+                        for state, values in zip(self._thread_state, binned):
+                            lo = int(state["bounds"][b])
+                            hi = int(state["bounds"][b + 1])
+                            if lo == hi:
+                                continue
+                            acc += np.bincount(
+                                state["sorted_dst"][lo:hi] - slice_start,
+                                weights=values[lo:hi],
+                                minlength=width,
+                            )
+                        sums[slice_start:slice_stop] = acc
 
-                list(pool.map(accumulate_bin, range(num_bins)))
-                scores = apply_damping(sums.astype(np.float32), n, damping)
+                with span("accumulate"):
+                    list(pool.map(accumulate_bin, range(num_bins)))
+                with span("apply"):
+                    scores = apply_damping(sums.astype(np.float32), n, damping)
         return scores
 
     # ------------------------------------------------------------------

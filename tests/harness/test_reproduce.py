@@ -36,8 +36,11 @@ def test_subset_run_writes_files(tmp_path, capsys):
     assert (tmp_path / "fig3_vertex_traffic.txt").exists()
     # No other artifacts were produced.
     assert len(list(tmp_path.iterdir())) == 2
-    out = capsys.readouterr().out
-    assert "wrote" in out and "done." in out
+    # Progress goes through the repro logger to stderr, not print/stdout.
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "wrote" in captured.err and "done." in captured.err
+    assert "repro.harness.reproduce" in captured.err
 
 
 def test_fig7_quick(tmp_path, capsys):

@@ -1,0 +1,22 @@
+"""Regenerate ``data/golden_trace_shape.json`` after instrumentation changes.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.obs.regen_golden_trace
+"""
+
+import json
+
+from tests.obs.test_trace import GOLDEN_SHAPE, golden_run, trace_shape
+
+
+def main() -> None:
+    shape = trace_shape(golden_run())
+    with open(GOLDEN_SHAPE, "w") as handle:
+        json.dump(shape, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_SHAPE}")
+
+
+if __name__ == "__main__":
+    main()

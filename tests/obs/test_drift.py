@@ -1,0 +1,146 @@
+"""Model-drift records: delta derivation, round-trips, CLI flagging."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import load_graph
+from repro.harness import run_experiment
+from repro.obs.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftRecord,
+    DriftSummary,
+)
+
+
+# ----------------------------------------------------------------------
+# record semantics
+# ----------------------------------------------------------------------
+def test_delta_is_relative_to_model():
+    record = DriftRecord(name="total_reads", simulated=110.0, modelled=100.0)
+    assert record.delta == pytest.approx(0.1)
+    record = DriftRecord(name="total_reads", simulated=90.0, modelled=100.0)
+    assert record.delta == pytest.approx(-0.1)
+
+
+def test_delta_degenerate_model():
+    assert DriftRecord(name="x", simulated=0.0, modelled=0.0).delta == 0.0
+    assert DriftRecord(name="x", simulated=5.0, modelled=0.0).delta == 1.0
+    assert DriftRecord(name="x", simulated=-5.0, modelled=0.0).delta == -1.0
+
+
+def test_exceeds_compares_magnitude():
+    record = DriftRecord(name="x", simulated=70.0, modelled=100.0)
+    assert record.exceeds(0.25)
+    assert not record.exceeds(0.35)
+
+
+def test_record_round_trip_rederives_delta():
+    record = DriftRecord(name="x", simulated=130.0, modelled=100.0)
+    data = record.to_dict()
+    assert data["delta"] == pytest.approx(0.3)
+    # A tampered stored delta is ignored: delta is derived, not trusted.
+    data["delta"] = 0.0
+    restored = DriftRecord.from_dict(data)
+    assert restored.delta == pytest.approx(0.3)
+
+
+def test_summary_flags_worst_first():
+    summary = DriftSummary(model="detailed_pb")
+    summary.add("a", 100.0, 100.0)
+    summary.add("b", 200.0, 100.0)
+    summary.add("c", 60.0, 100.0)
+    assert summary.max_abs_delta() == pytest.approx(1.0)
+    flagged = summary.flagged(DEFAULT_DRIFT_THRESHOLD)
+    assert [record.name for record in flagged] == ["b", "c"]
+    restored = DriftSummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+    assert restored.model == "detailed_pb"
+    assert [r.name for r in restored.records] == ["a", "b", "c"]
+    assert restored.max_abs_delta() == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# drift evaluated on real measurements
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", ["baseline", "cb", "pb", "dpb"])
+def test_clean_run_is_within_threshold(method):
+    graph = load_graph("urand", scale=0.03, seed=42)
+    m = run_experiment(graph, method, graph_name="urand")
+    assert m.drift is not None
+    assert m.drift.max_abs_delta() < DEFAULT_DRIFT_THRESHOLD
+    assert not m.drift.flagged(DEFAULT_DRIFT_THRESHOLD)
+    names = {record.name for record in m.drift.records}
+    assert "total_reads" in names and "total_writes" in names
+    assert any(name.startswith("reads/") for name in names)
+
+
+def test_push_has_no_model_hence_no_drift():
+    graph = load_graph("urand", scale=0.03, seed=42)
+    m = run_experiment(graph, "push", graph_name="urand")
+    assert m.drift is None
+
+
+# ----------------------------------------------------------------------
+# CLI: ``repro-pb report --drift``
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def drift_report(capsys, tmp_path):
+    path = tmp_path / "run.json"
+    code = main(
+        [
+            "measure", "--graph", "urand", "--scale", "0.03",
+            "--method", "dpb", "--json", str(path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    return path
+
+
+def test_report_drift_clean_run_passes(capsys, drift_report):
+    code = main(["report", "--drift", str(drift_report)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no model drift" in out
+    assert "DRIFT" not in out
+
+
+def test_report_drift_flags_injected_divergence(capsys, drift_report, tmp_path):
+    data = json.loads(drift_report.read_text())
+    record = data["drift"]["records"][0]
+    record["simulated"] = record["modelled"] * 2.0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(data))
+    code = main(["report", "--drift", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DRIFT" in out
+    assert record["name"] in out
+
+
+def test_report_drift_threshold_is_respected(capsys, drift_report, tmp_path):
+    data = json.loads(drift_report.read_text())
+    record = data["drift"]["records"][0]
+    record["simulated"] = record["modelled"] * 1.5
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(data))
+    code = main(["report", "--drift", str(bad), "--drift-threshold", "0.6"])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_report_drift_warns_on_reports_without_drift(capsys, tmp_path):
+    path = tmp_path / "pr.json"
+    code = main(
+        [
+            "pagerank", "--graph", "urand", "--scale", "0.03",
+            "--method", "dpb", "--json", str(path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    code = main(["report", "--drift", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no drift records" in out

@@ -1,0 +1,122 @@
+"""Histogram/series metrics: bucketing, round-trips, registry scoping."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    Series,
+    bucket_label,
+    collecting,
+    current_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry_state():
+    assert current_registry() is None
+    yield
+    assert current_registry() is None
+
+
+# ----------------------------------------------------------------------
+# bucketing
+# ----------------------------------------------------------------------
+def test_bucket_label_small_values_are_exact():
+    assert bucket_label(0) == "0"
+    assert bucket_label(1) == "1"
+
+
+def test_bucket_label_power_of_two_ranges():
+    assert bucket_label(2) == "[2,4)"
+    assert bucket_label(3) == "[2,4)"
+    assert bucket_label(4) == "[4,8)"
+    assert bucket_label(7) == "[4,8)"
+    assert bucket_label(8) == "[8,16)"
+    assert bucket_label(1023) == "[512,1024)"
+    assert bucket_label(1024) == "[1024,2048)"
+
+
+def test_bucket_label_rejects_negative():
+    with pytest.raises(ValueError):
+        bucket_label(-1)
+
+
+# ----------------------------------------------------------------------
+# histogram
+# ----------------------------------------------------------------------
+def test_histogram_observe_buckets_and_totals():
+    h = Histogram()
+    for value in (0, 1, 2, 3, 900):
+        h.observe(value)
+    h.observe(3, count=5)
+    assert h.total() == 10
+    assert h.as_dict() == {"0": 1, "1": 1, "[2,4)": 7, "[512,1024)": 1}
+
+
+def test_histogram_free_form_labels_sort_after_buckets():
+    h = Histogram()
+    h.observe_label("cold", count=3)
+    h.observe(2)
+    h.observe(0)
+    # Numeric buckets in magnitude order first, free-form labels last.
+    assert list(h.as_dict()) == ["0", "[2,4)", "cold"]
+
+
+def test_histogram_round_trip():
+    h = Histogram()
+    h.observe_label("cold", count=2)
+    for value in (1, 5, 5, 70000):
+        h.observe(value)
+    data = h.as_dict()
+    restored = Histogram.from_dict(json.loads(json.dumps(data)))
+    assert restored.as_dict() == data
+    assert restored.total() == h.total()
+
+
+# ----------------------------------------------------------------------
+# series
+# ----------------------------------------------------------------------
+def test_series_round_trip_preserves_order():
+    s = Series()
+    for value in (0.3, 0.21, 0.205):
+        s.append(value)
+    assert len(s) == 3
+    restored = Series.from_dict(json.loads(json.dumps(s.as_dict())))
+    assert restored.values() == [0.3, 0.21, 0.205]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_identity():
+    registry = MetricsRegistry()
+    assert registry.histogram("a") is registry.histogram("a")
+    assert registry.series("b") is registry.series("b")
+    assert registry.histogram_names() == ["a"]
+    assert registry.series_names() == ["b"]
+
+
+def test_registry_round_trip():
+    registry = MetricsRegistry()
+    registry.histogram("reuse_distance/vertex_sums").observe(17)
+    registry.histogram("reuse_distance/vertex_sums").observe_label("cold")
+    registry.series("miss_rate/dpb").append(0.22)
+    registry.series("miss_rate/dpb").append(0.21)
+    data = registry.as_dict()
+    assert set(data) == {"histograms", "series"}
+    restored = MetricsRegistry.from_dict(json.loads(json.dumps(data)))
+    assert restored.as_dict() == data
+
+
+def test_collecting_scopes_nest_and_restore():
+    with collecting() as outer:
+        assert current_registry() is outer
+        with collecting() as inner:
+            assert current_registry() is inner
+            inner.series("x").append(1.0)
+        assert current_registry() is outer
+    assert outer.series_names() == []
+    assert inner.series("x").values() == [1.0]

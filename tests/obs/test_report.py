@@ -83,7 +83,11 @@ def test_round_trip_with_spans_and_convergence():
     restored = RunReport.from_json(original.to_json())
     assert restored == original
     assert restored.convergence.deltas == result.deltas
-    assert restored.wall_spans["binning"]["count"] == result.iterations
+    # Kernel phases nest under the solver's per-iteration span.
+    assert restored.wall_spans["iteration[dpb]"]["count"] == result.iterations
+    assert (
+        restored.wall_spans["iteration[dpb]/binning"]["count"] == result.iterations
+    )
 
 
 def test_save_load_single_and_set(report, tmp_path):

@@ -117,8 +117,94 @@ def test_pagerank_json_records_convergence(capsys, tmp_path):
     assert len(conv.deltas) == conv.iterations == report.config.num_iterations
     # Deltas shrink monotonically for this well-behaved graph.
     assert all(a > b for a, b in zip(conv.deltas, conv.deltas[1:]))
-    # Executable kernel phases were span-recorded once per iteration.
-    assert report.wall_spans["binning"]["count"] == conv.iterations
+    # Executable kernel phases were span-recorded once per iteration,
+    # nested under the solver's per-iteration span.
+    assert report.wall_spans["iteration[dpb]/binning"]["count"] == conv.iterations
+
+
+def test_measure_trace_emits_chrome_trace(capsys, tmp_path):
+    """Acceptance: ``measure --strategy dpb --trace t.json`` works."""
+    trace_path = tmp_path / "t.json"
+    code, out = run_cli(
+        capsys,
+        "measure", "--graph", "urand", "--scale", "0.03",
+        "--strategy", "dpb",  # --strategy is an alias for --method
+        "--trace", str(trace_path),
+    )
+    assert code == 0
+    assert f"[trace written to {trace_path}]" in out
+    doc = json.loads(trace_path.read_text())
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    # Kernel-phase duration events are present...
+    paths = {e["args"]["path"] for e in events if e.get("ph") == "X"}
+    assert any("phase[binning]" in p for p in paths)
+    assert any("phase[accumulate]" in p for p in paths)
+    # ... along with at least three counter tracks, including the
+    # solver-side residual track from the bundled solver pass.
+    tracks = {e["name"] for e in events if e.get("ph") == "C"}
+    assert len(tracks) >= 3
+    assert "residual" in tracks and "miss_rate" in tracks
+
+
+def test_measure_metrics_embedded_in_report(capsys, tmp_path):
+    path = tmp_path / "out.json"
+    code, _ = run_cli(
+        capsys,
+        "measure", "--graph", "urand", "--scale", "0.03", "--method", "dpb",
+        "--metrics", "--json", str(path),
+    )
+    assert code == 0
+    report = RunReport.load(str(path))
+    assert report.metrics is not None
+    histograms = report.metrics["histograms"]
+    series = report.metrics["series"]
+    assert "bin_occupancy/dpb" in histograms
+    assert any(name.startswith("reuse_distance/") for name in histograms)
+    assert "miss_rate/dpb" in series and len(series["miss_rate/dpb"]) == 1
+
+
+def test_measure_without_metrics_leaves_field_null(measure_report):
+    path, _ = measure_report
+    report = RunReport.load(str(path))
+    assert report.metrics is None
+
+
+def test_measure_iterations_grows_series(capsys, tmp_path):
+    path = tmp_path / "out.json"
+    code, _ = run_cli(
+        capsys,
+        "measure", "--graph", "urand", "--scale", "0.03", "--method", "dpb",
+        "--iterations", "3", "--metrics", "--json", str(path),
+    )
+    assert code == 0
+    report = RunReport.load(str(path))
+    assert len(report.metrics["series"]["miss_rate/dpb"]) == 3
+
+
+def test_compare_trace_spans_all_methods(capsys, tmp_path):
+    trace_path = tmp_path / "cmp_trace.json"
+    code, _ = run_cli(
+        capsys,
+        "compare", "--graph", "urand", "--scale", "0.03",
+        "--trace", str(trace_path),
+    )
+    assert code == 0
+    doc = json.loads(trace_path.read_text())
+    tracks = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "C"}
+    # One shared timeline carries every strategy's drift track.
+    for method in ("baseline", "cb", "pb", "dpb"):
+        assert f"model_drift[{method}]" in tracks
+
+
+def test_verbosity_flags_parse_on_subcommands():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["measure", "-vv"])
+    assert args.verbose == 2 and args.quiet == 0
+    args = build_parser().parse_args(["report", "-q", "a.json", "b.json"])
+    assert args.quiet == 1
+    assert args.reports == ["a.json", "b.json"]
 
 
 def test_report_warns_on_disjoint_files(capsys, tmp_path):

@@ -202,3 +202,29 @@ def test_threaded_trace_overhead_is_bin_tails(random_graph):
 def test_threaded_rejects_bad_thread_count(random_graph):
     with pytest.raises(ValueError):
         ThreadedDPBPageRank(random_graph, num_threads=0)
+
+
+def test_threaded_spans_nest_per_thread(random_graph):
+    """Phase spans nest under the caller; worker-task spans stand alone.
+
+    Each worker thread has its own span stack, so ``binning_task`` /
+    ``accumulate_task`` record as root paths (one per task), never nested
+    under the caller's ``binning``/``accumulate`` phase spans — the same
+    thread-independence contract as :mod:`repro.obs.spans`.
+    """
+    from repro.obs.spans import recording
+
+    num_threads = 4
+    iterations = 2
+    kernel = ThreadedDPBPageRank(random_graph, num_threads=num_threads)
+    with recording() as rec:
+        kernel.run(iterations)
+    stats = rec.as_dict()
+    for phase in ("binning", "accumulate", "apply"):
+        assert stats[phase]["count"] == iterations
+    assert stats["binning_task"]["count"] == num_threads * iterations
+    assert stats["accumulate_task"]["count"] == kernel.layout.num_bins * iterations
+    # No cross-thread nesting: the worker tasks never attach to the
+    # caller's phase paths.
+    assert "binning/binning_task" not in stats
+    assert "accumulate/accumulate_task" not in stats
