@@ -1,17 +1,38 @@
-"""Ablation — cache-model sensitivity of the headline result.
+"""Ablation — cache-model sensitivity of the headline result, plus the
+engine speed bench.
 
 DESIGN.md's substitution argument rests on the LLC model: this bench
-re-measures baseline vs DPB on urand under three replacement models
-(fully-associative LRU, 16-way set-associative LRU, direct-mapped) and
+re-measures baseline vs DPB on urand under the replacement models
+(fully-associative LRU — both the per-access oracle and the vectorized
+stack-distance engine — 16-way set-associative LRU, direct-mapped) and
 shows the communication-reduction conclusion is insensitive to the choice.
+
+``test_engine_speed`` times the exact engines head to head on a
+gather-heavy irregular workload (the regime the vectorized engine exists
+for: uniform gathers over an address space far larger than the LLC) and
+emits ``BENCH_engine_speed.json`` with accesses/sec per engine.  Set
+``REPRO_ENGINE_BENCH_ACCESSES`` to shrink the workload on slow machines.
 """
 
+import os
+from time import perf_counter
+
+import numpy as np
 import pytest
 
 from repro.kernels import make_kernel
-from repro.memsim import CacheConfig, SetAssociativeLRU, simulate
+from repro.memsim import (
+    CacheConfig,
+    SetAssociativeLRU,
+    Stream,
+    irregular_chunk,
+    make_engine,
+    simulate,
+)
 from repro.models import SIMULATED_MACHINE
 from repro.utils import format_table
+
+from benchmarks.emit_bench import emit_bench
 
 
 def measure(graph, method, engine_name):
@@ -30,7 +51,9 @@ def measure(graph, method, engine_name):
     return kernel.measure(1, engine=engine_name)
 
 
-@pytest.mark.parametrize("engine_name", ["flru", "set16", "plru16", "dmap"])
+@pytest.mark.parametrize(
+    "engine_name", ["flru", "stackdist", "set16", "plru16", "dmap"]
+)
 def test_ablation_engine(benchmark, urand_graph, report, engine_name):
     def run_pair():
         base = measure(urand_graph, "baseline", engine_name)
@@ -49,3 +72,68 @@ def test_ablation_engine(benchmark, urand_graph, report, engine_name):
     )
     # The headline reduction holds under every replacement model.
     assert reduction > 1.8
+
+
+def test_engine_speed(report):
+    """Exact engines head to head on a gather-heavy workload.
+
+    Uniform gathers over 2^22 lines against a 256-line cache: nearly every
+    access misses and the oracle's dict churns far beyond any hardware
+    cache, which is exactly where per-access Python costs the most and the
+    vectorized engine's batched sort pays off.  Counters must stay
+    bit-identical while wall-clock drops >= 10x.
+    """
+    num_accesses = int(os.environ.get("REPRO_ENGINE_BENCH_ACCESSES", str(1 << 24)))
+    space_lines = 1 << 22
+    capacity_lines = 256
+    config = CacheConfig(capacity_bytes=64 * capacity_lines, line_bytes=64)
+    rng = np.random.default_rng(1234)
+    lines = rng.integers(0, space_lines, size=num_accesses)
+
+    timings: dict[str, float] = {}
+    counter_dicts: dict[str, dict] = {}
+    for name in ("flru", "stackdist", "dmap"):
+        trace = [irregular_chunk(lines, stream=Stream.VERTEX_CONTRIB)]
+        engine = make_engine(name, config)
+        start = perf_counter()
+        counters = simulate(trace, engine)
+        timings[name] = perf_counter() - start
+        counter_dicts[name] = counters.as_dict()
+
+    # Zero counter drift between the oracle and the vectorized exact engine
+    # (dmap is approximate and exempt).
+    assert counter_dicts["stackdist"] == counter_dicts["flru"]
+    speedup = timings["flru"] / timings["stackdist"]
+
+    rows = [
+        [name, round(seconds, 3), round(num_accesses / seconds / 1e6, 1)]
+        for name, seconds in timings.items()
+    ]
+    report(
+        "engine_speed",
+        format_table(
+            ["engine", "seconds", "Macc/s"],
+            rows,
+            title=f"Exact-engine speed, {num_accesses} gather accesses "
+            f"(space {space_lines} lines, cache {capacity_lines} lines); "
+            f"stackdist speedup over flru: {speedup:.1f}x",
+        ),
+    )
+    emit_bench(
+        "engine_speed",
+        {
+            **{
+                f"{name}/accesses_per_sec": num_accesses / seconds
+                for name, seconds in timings.items()
+            },
+            "stackdist/speedup_over_flru": speedup,
+        },
+        meta={
+            "source": "bench_ablation_engine",
+            "accesses": num_accesses,
+            "space_lines": space_lines,
+            "capacity_lines": capacity_lines,
+            "units": "accesses per second; speedup is flru_s / stackdist_s",
+        },
+    )
+    assert speedup >= 10.0

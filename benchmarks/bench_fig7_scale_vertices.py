@@ -9,12 +9,16 @@ LLC; the vertex-to-cache ratios covered are the same).
 
 from repro.harness import figure7_scaling_vertices
 
+from benchmarks.conftest import BENCH_WORKERS
+
 SIZES = [4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288]
 
 
 def test_fig7_scale_vertices(benchmark, report):
     fig = benchmark.pedantic(
-        lambda: figure7_scaling_vertices(SIZES), rounds=1, iterations=1
+        lambda: figure7_scaling_vertices(SIZES, workers=BENCH_WORKERS),
+        rounds=1,
+        iterations=1,
     )
     report("fig7_scale_vertices", fig.render())
 

@@ -9,13 +9,17 @@ vertex-to-cache ratio).
 
 from repro.harness import figure8_scaling_degree
 
+from benchmarks.conftest import BENCH_WORKERS
+
 DEGREES = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]
 NUM_VERTICES = 65536  # n/c = 16 against the scaled LLC
 
 
 def test_fig8_scale_degree(benchmark, report):
     fig = benchmark.pedantic(
-        lambda: figure8_scaling_degree(DEGREES, num_vertices=NUM_VERTICES),
+        lambda: figure8_scaling_degree(
+            DEGREES, num_vertices=NUM_VERTICES, workers=BENCH_WORKERS
+        ),
         rounds=1,
         iterations=1,
     )

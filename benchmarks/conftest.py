@@ -20,6 +20,13 @@ from repro.graphs import load_graph, load_suite
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 SUITE_SEED = 42
 
+#: Sweep parallelism for the fig7/8/9-10 benches and the shared suite
+#: measurements: set ``REPRO_BENCH_WORKERS=4`` (or ``0`` for one worker
+#: per CPU) to fan independent simulation cells across processes via
+#: :func:`repro.parallel.sweep.run_cells`.  Outputs are identical to the
+#: serial default; only wall-clock changes.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 
 @pytest.fixture(scope="session")
 def suite_graphs():
@@ -43,7 +50,7 @@ def suite_data(suite_graphs):
     """All (graph x strategy) measurements, shared by Figures 4-6."""
     from repro.harness import suite_measurements
 
-    return suite_measurements(suite_graphs)
+    return suite_measurements(suite_graphs, workers=BENCH_WORKERS)
 
 
 #: Slice widths in vertices for the Figure 9-11 sweeps: 128 B ... 1 MiB
@@ -57,7 +64,7 @@ def binwidth_sweep_data(half_suite_graphs):
     """The shared Figure 9/10 bin-width sweep (run once per session)."""
     from repro.harness import bin_width_sweep
 
-    return bin_width_sweep(half_suite_graphs, BIN_WIDTHS)
+    return bin_width_sweep(half_suite_graphs, BIN_WIDTHS, workers=BENCH_WORKERS)
 
 
 @pytest.fixture(scope="session")

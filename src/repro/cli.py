@@ -38,6 +38,7 @@ from repro.graphs import SUITE_NAMES, load_graph, load_suite
 from repro.graphs.partition import choose_block_width, num_blocks_for_width
 from repro.harness import run_experiment, table1
 from repro.kernels import KERNELS, pagerank
+from repro.memsim import DEFAULT_ENGINE, ENGINES
 from repro.models import (
     ModelParams,
     SIMULATED_MACHINE,
@@ -66,7 +67,7 @@ from repro.utils import format_table
 
 __all__ = ["main", "build_parser"]
 
-ENGINE_NAMES = ("flru", "set", "plru", "dmap")
+ENGINE_NAMES = tuple(ENGINES)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.25)
         p.add_argument("--seed", type=int, default=42)
 
+    def add_engine_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            choices=ENGINE_NAMES,
+            default=DEFAULT_ENGINE,
+            help="cache engine for simulated traffic "
+            f"(default: {DEFAULT_ENGINE}; 'flru' is the per-access oracle)",
+        )
+
     def add_report_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--json",
@@ -134,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_pr.add_argument("--tolerance", type=float, default=1e-6)
     p_pr.add_argument("--max-iterations", type=int, default=100)
     p_pr.add_argument("--top", type=int, default=5, help="print the top-N vertices")
+    p_pr.add_argument(
+        "--measure",
+        action="store_true",
+        help="also simulate one iteration's DRAM traffic on --engine "
+        "after the solve",
+    )
+    add_engine_arg(p_pr)
     add_report_args(p_pr)
 
     def add_metrics_arg(p: argparse.ArgumentParser) -> None:
@@ -151,14 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument(
         "--method", "--strategy", choices=sorted(KERNELS), default="dpb"
     )
-    p_measure.add_argument("--engine", choices=ENGINE_NAMES, default="flru")
+    add_engine_arg(p_measure)
     p_measure.add_argument("--iterations", type=int, default=1)
     add_report_args(p_measure)
     add_metrics_arg(p_measure)
 
     p_compare = add_parser("compare", help="all strategies on one graph")
     add_graph_args(p_compare)
-    p_compare.add_argument("--engine", choices=ENGINE_NAMES, default="flru")
+    add_engine_arg(p_compare)
     add_report_args(p_compare)
     add_metrics_arg(p_compare)
 
@@ -244,6 +261,11 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
             tolerance=args.tolerance,
             max_iterations=args.max_iterations,
         )
+        measurement = None
+        if args.measure:
+            measurement = run_experiment(
+                graph, result.method, graph_name=args.graph, engine=args.engine
+            )
     status = "converged" if result.converged else "iteration cap reached"
     print(
         f"{args.graph}: n={graph.num_vertices} m={graph.num_edges} "
@@ -252,6 +274,22 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
     top = np.argsort(result.scores)[::-1][: max(args.top, 0)]
     rows = [[int(v), float(result.scores[v])] for v in top]
     print(format_table(["vertex", "score"], rows, title=f"top {len(rows)} vertices"))
+    if measurement is not None:
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["DRAM reads (lines)", measurement.reads],
+                    ["DRAM writes (lines)", measurement.writes],
+                    [
+                        "requests / edge",
+                        round(measurement.gail().requests_per_edge, 4),
+                    ],
+                    ["modelled time (ms)", round(measurement.seconds * 1e3, 4)],
+                ],
+                title=f"simulated traffic ({args.engine}, 1 iteration)",
+            )
+        )
     report = RunReport(
         kind="pagerank",
         graph=GraphMeta(
@@ -263,6 +301,7 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
         ),
         config=RunConfig(
             method=result.method,
+            engine=args.engine,
             num_iterations=result.iterations,
             options={"requested_method": args.method},
         ),

@@ -35,6 +35,7 @@ from repro.kernels.partial import partial_trace
 from repro.memsim.cache import FullyAssociativeLRU, simulate
 from repro.memsim.counters import MemCounters
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.utils.validation import pow2_at_least
 
 __all__ = ["run_superstep", "run_until_quiescent", "superstep_traffic"]
 
@@ -75,7 +76,7 @@ def _pb_delivery(graph: CSRGraph, machine: MachineSpec) -> _PBDelivery:
     key = id(graph)
     delivery = _DELIVERY_CACHE.get(key)
     if delivery is None or delivery.layout.graph is not graph:
-        width = min(default_bin_width(machine), _pow2_at_least(graph.num_vertices))
+        width = min(default_bin_width(machine), pow2_at_least(graph.num_vertices))
         delivery = _PBDelivery(graph, width)
         _DELIVERY_CACHE[key] = delivery
     return delivery
@@ -202,9 +203,3 @@ def superstep_traffic(
         FullyAssociativeLRU(machine.llc),
     )
 
-
-def _pow2_at_least(value: int) -> int:
-    power = 1
-    while power < value:
-        power *= 2
-    return power

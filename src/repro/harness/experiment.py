@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.graphs.csr import CSRGraph
 from repro.kernels.base import PageRankKernel
 from repro.kernels.pagerank import make_kernel
+from repro.memsim import DEFAULT_ENGINE
 from repro.memsim.counters import MemCounters
 from repro.memsim.hierarchy import L1Model
 from repro.models.gail import GailMetrics, gail_metrics
@@ -157,7 +158,7 @@ def measure_kernel(
     *,
     graph_name: str = "",
     num_iterations: int = 1,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
 ) -> Measurement:
     """Measure an already-constructed kernel."""
     counters = kernel.measure(num_iterations, engine=engine)
@@ -201,7 +202,7 @@ def run_experiment(
     machine: MachineSpec = SIMULATED_MACHINE,
     graph_name: str = "",
     num_iterations: int = 1,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
     **kernel_kwargs,
 ) -> Measurement:
     """Construct the kernel for ``method`` and measure it."""

@@ -15,9 +15,11 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import uniform_random_graph
 from repro.harness.experiment import run_experiment
 from repro.kernels.pagerank import make_kernel
+from repro.memsim import DEFAULT_ENGINE
 from repro.models.communication import ModelParams, paper_pull_reads
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.models.performance import pb_phase_times
+from repro.parallel.sweep import SweepCell, run_cells
 from repro.utils.tables import format_series
 
 __all__ = [
@@ -55,7 +57,7 @@ def figure3_vertex_traffic(
     graphs: dict[str, CSRGraph],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
 ) -> FigureResult:
     """Measured and model-predicted % of baseline reads that are vertex traffic.
 
@@ -87,26 +89,42 @@ def figure3_vertex_traffic(
 # ----------------------------------------------------------------------
 # Figures 4-6 — blocking vs baseline across the suite
 # ----------------------------------------------------------------------
+def _experiment_cell(graph, method, machine, graph_name, engine):
+    """Module-level cell body so :mod:`repro.parallel.sweep` can pickle it."""
+    return run_experiment(
+        graph, method, machine=machine, graph_name=graph_name, engine=engine
+    )
+
+
 def suite_measurements(
     graphs: dict[str, CSRGraph],
     methods: tuple[str, ...] = ("baseline", "cb", "pb", "dpb"),
     machine: MachineSpec = SIMULATED_MACHINE,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
+    *,
+    workers: int | None = None,
 ):
     """Measure every (graph, method) pair once.
 
     Figures 4, 5 and 6 all plot the same underlying measurements; run this
     once and pass the result to each via ``_measurements`` to avoid
-    re-simulating.
+    re-simulating.  ``workers`` fans the independent (graph, method) cells
+    across processes (see :func:`repro.parallel.sweep.run_cells`); results
+    are identical to a serial run.
     """
-    out: dict[str, dict[str, object]] = {}
-    for name, graph in graphs.items():
-        out[name] = {
-            method: run_experiment(
-                graph, method, machine=machine, graph_name=name, engine=engine
-            )
-            for method in methods
-        }
+    cells = [
+        SweepCell(
+            key=(name, method),
+            fn=_experiment_cell,
+            args=(graph, method, machine, name, engine),
+        )
+        for name, graph in graphs.items()
+        for method in methods
+    ]
+    results = run_cells(cells, workers=workers, label="suite")
+    out: dict[str, dict[str, object]] = {name: {} for name in graphs}
+    for (name, method), m in results.items():
+        out[name][method] = m
     return out
 
 
@@ -114,7 +132,7 @@ def figure4_speedup(
     graphs: dict[str, CSRGraph],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
     _measurements: dict | None = None,
 ) -> FigureResult:
     """Modelled execution-time speedup of CB/PB/DPB over the baseline."""
@@ -139,7 +157,7 @@ def figure5_communication_reduction(
     graphs: dict[str, CSRGraph],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
     _measurements: dict | None = None,
 ) -> FigureResult:
     """Communication-volume reduction of CB/PB/DPB over the baseline."""
@@ -164,7 +182,7 @@ def figure6_requests_per_edge(
     graphs: dict[str, CSRGraph],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
     _measurements: dict | None = None,
 ) -> FigureResult:
     """GAIL memory requests per edge for all four strategies (Figure 6)."""
@@ -188,13 +206,32 @@ def figure6_requests_per_edge(
 # ----------------------------------------------------------------------
 # Figures 7-8 — communication efficiency vs graph shape (urand sweeps)
 # ----------------------------------------------------------------------
+_SCALING_METHODS = (("Baseline", "baseline"), ("CB", "cb"), ("DPB", "dpb"))
+
+
+def _scaling_cell(n, degree, seed, machine, engine):
+    """One x-value of figures 7/8: generate the graph, measure all methods.
+
+    Grouping the three methods into one cell reuses the generated graph and
+    keeps per-cell results plain data (picklable floats).
+    """
+    graph = build_csr(uniform_random_graph(n, degree, seed=seed))
+    return {
+        label: run_experiment(graph, method, machine=machine, engine=engine)
+        .gail()
+        .requests_per_edge
+        for label, method in _SCALING_METHODS
+    }
+
+
 def figure7_scaling_vertices(
     vertex_counts: list[int],
     *,
     degree: float = 16.0,
     machine: MachineSpec = SIMULATED_MACHINE,
     seed: int = 7,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
+    workers: int | None = None,
 ) -> FigureResult:
     """Requests/edge for uniform random graphs of fixed degree, varying n.
 
@@ -202,12 +239,15 @@ def figure7_scaling_vertices(
     while vertex values fit in cache, CB wins mid-range, DPB's flat curve
     wins for large graphs.
     """
-    series = {m: [] for m in ("Baseline", "CB", "DPB")}
-    for i, n in enumerate(vertex_counts):
-        graph = build_csr(uniform_random_graph(n, degree, seed=seed + i))
-        for label, method in (("Baseline", "baseline"), ("CB", "cb"), ("DPB", "dpb")):
-            m = run_experiment(graph, method, machine=machine, engine=engine)
-            series[label].append(m.gail().requests_per_edge)
+    cells = [
+        SweepCell(key=n, fn=_scaling_cell, args=(n, degree, seed + i, machine, engine))
+        for i, n in enumerate(vertex_counts)
+    ]
+    results = run_cells(cells, workers=workers, label="fig7")
+    series = {
+        label: [results[n][label] for n in vertex_counts]
+        for label, _ in _SCALING_METHODS
+    }
     return FigureResult(
         title=f"Figure 7: requests/edge, urand degree={degree}, varying vertices",
         x_label="vertices",
@@ -222,7 +262,8 @@ def figure8_scaling_degree(
     num_vertices: int = 131072,
     machine: MachineSpec = SIMULATED_MACHINE,
     seed: int = 8,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
+    workers: int | None = None,
 ) -> FigureResult:
     """Requests/edge for uniform random graphs of fixed n, varying degree.
 
@@ -230,12 +271,16 @@ def figure8_scaling_degree(
     compulsory traffic better as density grows; the paper finds DPB
     communicates less up to k ~ 36.
     """
-    series = {m: [] for m in ("Baseline", "CB", "DPB")}
-    for i, k in enumerate(degrees):
-        graph = build_csr(uniform_random_graph(num_vertices, k, seed=seed + i))
-        for label, method in (("Baseline", "baseline"), ("CB", "cb"), ("DPB", "dpb")):
-            m = run_experiment(graph, method, machine=machine, engine=engine)
-            series[label].append(m.gail().requests_per_edge)
+    cells = [
+        SweepCell(
+            key=k, fn=_scaling_cell, args=(num_vertices, k, seed + i, machine, engine)
+        )
+        for i, k in enumerate(degrees)
+    ]
+    results = run_cells(cells, workers=workers, label="fig8")
+    series = {
+        label: [results[k][label] for k in degrees] for label, _ in _SCALING_METHODS
+    }
     return FigureResult(
         title=f"Figure 8: requests/edge, urand n={num_vertices}, varying degree",
         x_label="degree",
@@ -247,29 +292,41 @@ def figure8_scaling_degree(
 # ----------------------------------------------------------------------
 # Figures 9-11 — bin-width sweeps
 # ----------------------------------------------------------------------
+def _bin_width_cell(graph, width, machine, method, engine):
+    """One (graph, width) cell of the Figure 9/10 sweep (plain-data result)."""
+    kernel = make_kernel(graph, method, machine, bin_width=width)
+    counters = kernel.measure(1, engine=engine)
+    phases = pb_phase_times(kernel, counters)
+    return {
+        "width": width,
+        "requests": counters.total_requests,
+        "time": sum(phases.values()),
+        "phases": phases,
+    }
+
+
 def _bin_width_sweep(
     graphs: dict[str, CSRGraph],
     bin_widths: list[int],
     machine: MachineSpec,
     method: str,
     engine: str,
+    workers: int | None = None,
 ):
     """(requests, total_time, phase_times) per graph per width."""
-    results: dict[str, list[dict[str, object]]] = {name: [] for name in graphs}
-    for name, graph in graphs.items():
-        for width in bin_widths:
-            kernel = make_kernel(graph, method, machine, bin_width=width)
-            counters = kernel.measure(1, engine=engine)
-            phases = pb_phase_times(kernel, counters)
-            results[name].append(
-                {
-                    "width": width,
-                    "requests": counters.total_requests,
-                    "time": sum(phases.values()),
-                    "phases": phases,
-                }
-            )
-    return results
+    cells = [
+        SweepCell(
+            key=(name, width),
+            fn=_bin_width_cell,
+            args=(graph, width, machine, method, engine),
+        )
+        for name, graph in graphs.items()
+        for width in bin_widths
+    ]
+    rows = run_cells(cells, workers=workers, label="binwidth")
+    return {
+        name: [rows[(name, width)] for width in bin_widths] for name in graphs
+    }
 
 
 def figure9_bin_width_communication(
@@ -278,7 +335,7 @@ def figure9_bin_width_communication(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     method: str = "pb",
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
     _sweep_cache: dict | None = None,
 ) -> FigureResult:
     """Figure 9: PB communication vs bin width, normalized per graph to the
@@ -303,7 +360,7 @@ def figure10_bin_width_time(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     method: str = "pb",
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
     _sweep_cache: dict | None = None,
 ) -> FigureResult:
     """Figure 10: PB modelled time vs bin width, normalized per graph."""
@@ -327,10 +384,11 @@ def bin_width_sweep(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     method: str = "pb",
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
+    workers: int | None = None,
 ):
     """Public access to the shared Figure 9/10 sweep (run once, use twice)."""
-    return _bin_width_sweep(graphs, bin_widths, machine, method, engine)
+    return _bin_width_sweep(graphs, bin_widths, machine, method, engine, workers)
 
 
 def figure11_phase_breakdown(
@@ -338,7 +396,7 @@ def figure11_phase_breakdown(
     bin_widths: list[int],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
 ) -> FigureResult:
     """Figure 11: DPB binning vs accumulate time on urand across bin widths.
 

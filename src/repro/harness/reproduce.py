@@ -37,6 +37,7 @@ from repro.harness.figures import (
     suite_measurements,
 )
 from repro.harness.tables import table1, table2, table3
+from repro.memsim import DEFAULT_ENGINE, ENGINES
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 
@@ -69,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--only", nargs="*", choices=ARTIFACTS, default=None)
     parser.add_argument(
         "--quick", action="store_true", help="quarter-scale suite, coarser sweeps"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=tuple(ENGINES),
+        default=DEFAULT_ENGINE,
+        help="cache engine for every simulation "
+        f"(default: {DEFAULT_ENGINE}; 'flru' is the per-access oracle)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel sweep workers for fig4-9 cells "
+        "(1 = serial, 0 = one per CPU); outputs are identical either way",
     )
     parser.add_argument(
         "-v",
@@ -113,13 +128,16 @@ def main(argv: list[str] | None = None) -> int:
     if "table1" in wanted:
         emit("table1_suite", table1(graphs).render())
     if "table2" in wanted:
-        emit("table2_priorwork", table2(graphs["urand"]).render())
+        emit("table2_priorwork", table2(graphs["urand"], engine=args.engine).render())
     if "table3" in wanted:
-        emit("table3_detailed", table3(graphs).render())
+        emit("table3_detailed", table3(graphs, engine=args.engine).render())
     if "fig3" in wanted:
-        emit("fig3_vertex_traffic", figure3_vertex_traffic(graphs).render())
+        emit(
+            "fig3_vertex_traffic",
+            figure3_vertex_traffic(graphs, engine=args.engine).render(),
+        )
     if wanted & {"fig4", "fig5", "fig6"}:
-        data = suite_measurements(graphs)
+        data = suite_measurements(graphs, engine=args.engine, workers=args.workers)
         if "fig4" in wanted:
             emit("fig4_speedup", figure4_speedup(graphs, _measurements=data).render())
         if "fig5" in wanted:
@@ -133,18 +151,27 @@ def main(argv: list[str] | None = None) -> int:
                 figure6_requests_per_edge(graphs, _measurements=data).render(),
             )
     if "fig7" in wanted:
-        emit("fig7_scale_vertices", figure7_scaling_vertices(_sizes_for(scale)).render())
+        emit(
+            "fig7_scale_vertices",
+            figure7_scaling_vertices(
+                _sizes_for(scale), engine=args.engine, workers=args.workers
+            ).render(),
+        )
     if "fig8" in wanted:
         degrees = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]
         n = max(2048, int(65536 * scale)) if scale < 1.0 else 65536
         emit(
             "fig8_scale_degree",
-            figure8_scaling_degree(degrees, num_vertices=n).render(),
+            figure8_scaling_degree(
+                degrees, num_vertices=n, engine=args.engine, workers=args.workers
+            ).render(),
         )
     if wanted & {"fig9", "fig10"}:
         widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
         sweep_graphs = load_suite(seed=args.seed, scale=0.5 * scale)
-        sweep = bin_width_sweep(sweep_graphs, widths)
+        sweep = bin_width_sweep(
+            sweep_graphs, widths, engine=args.engine, workers=args.workers
+        )
         if "fig9" in wanted:
             emit(
                 "fig9_binwidth_comm",
@@ -162,7 +189,10 @@ def main(argv: list[str] | None = None) -> int:
     if "fig11" in wanted:
         widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
         urand = load_graph("urand", seed=args.seed, scale=scale)
-        emit("fig11_phase_breakdown", figure11_phase_breakdown(urand, widths).render())
+        emit(
+            "fig11_phase_breakdown",
+            figure11_phase_breakdown(urand, widths, engine=args.engine).render(),
+        )
     log.info("done.")
     return 0
 

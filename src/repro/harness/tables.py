@@ -17,6 +17,7 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import suite_table_rows
 from repro.harness.experiment import Measurement, measure_kernel, run_experiment
 from repro.kernels.priorwork import PRIOR_WORK
+from repro.memsim import DEFAULT_ENGINE
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.utils.tables import format_table
 
@@ -115,7 +116,7 @@ def table2(
     graph: CSRGraph,
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     """Table II: baseline vs CSB/Galois/GraphMat/Ligra strategies on urand."""
     measurements: dict[str, Measurement] = {}
@@ -165,7 +166,7 @@ def table3(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     methods: tuple[str, ...] = ("baseline", "pb", "dpb"),
-    engine: str = "flru",
+    engine: str = DEFAULT_ENGINE,
 ) -> TableResult:
     """Table III: detailed time/reads/writes/instructions per graph."""
     measurements: dict[str, Measurement] = {}

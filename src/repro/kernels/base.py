@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.csr import CSRGraph
+from repro.memsim import DEFAULT_ENGINE
 from repro.memsim.cache import simulate
 from repro.memsim.counters import MemCounters
 from repro.memsim.trace import TraceChunk
@@ -174,7 +175,7 @@ class PageRankKernel(abc.ABC):
     # measurement
     # ------------------------------------------------------------------
     def measure(
-        self, num_iterations: int = 1, engine: str = "flru"
+        self, num_iterations: int = 1, engine: str = DEFAULT_ENGINE
     ) -> MemCounters:
         """Simulate the trace against this kernel's machine LLC.
 

@@ -47,6 +47,7 @@ from repro.kernels.layout import (
 )
 from repro.memsim.trace import AddressSpace, Stream, TraceChunk, sequential_chunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.utils.validation import pow2_at_least
 
 __all__ = ["active_edge_count", "partial_propagate", "partial_trace", "PARTIAL_METHODS"]
 
@@ -254,7 +255,7 @@ def _partial_cb(graph: CSRGraph, active: np.ndarray, machine: MachineSpec, n: in
 def _partial_pb(graph: CSRGraph, active_ids: np.ndarray, machine: MachineSpec, n: int):
     """PB touches only the active vertices' CSR ranges and propagations."""
     layout = BinLayout(
-        graph, min(default_bin_width(machine), _pow2_at_least(n))
+        graph, min(default_bin_width(machine), pow2_at_least(n))
     )
     space = AddressSpace(words_per_line=machine.words_per_line)
     regions = {
@@ -317,9 +318,3 @@ def _partial_pb(graph: CSRGraph, active_ids: np.ndarray, machine: MachineSpec, n
             regions["sums"], binned_dst[lo:hi], Stream.VERTEX_SUMS, phase="partial"
         )
 
-
-def _pow2_at_least(value: int) -> int:
-    power = 1
-    while power < value:
-        power *= 2
-    return power

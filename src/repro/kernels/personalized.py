@@ -21,6 +21,7 @@ from repro.kernels.base import DAMPING, compute_contributions, score_delta
 from repro.kernels.bins import BinLayout, default_bin_width
 from repro.kernels.pagerank import PageRankResult
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.utils.validation import pow2_at_least
 
 __all__ = ["personalized_pagerank", "uniform_teleport", "restart_teleport"]
 
@@ -112,7 +113,7 @@ def personalized_pagerank(
     layout = None
     if method == "dpb":
         layout = BinLayout(
-            graph, min(default_bin_width(machine), _pow2_at_least(max(n, 1)))
+            graph, min(default_bin_width(machine), pow2_at_least(max(n, 1)))
         )
     degrees = graph.out_degrees()
     scores = teleport.astype(np.float32)  # start at the restart distribution
@@ -134,9 +135,3 @@ def personalized_pagerank(
         scores=scores, iterations=iterations, converged=converged, method=method
     )
 
-
-def _pow2_at_least(value: int) -> int:
-    power = 1
-    while power < value:
-        power *= 2
-    return power

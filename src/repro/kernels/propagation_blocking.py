@@ -49,6 +49,7 @@ from repro.kernels.layout import (
 from repro.memsim.trace import Region, Stream, TraceChunk
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.obs.spans import span
+from repro.utils.validation import pow2_at_least
 
 __all__ = ["PropagationBlockingPageRank", "DeterministicPBPageRank"]
 
@@ -92,7 +93,7 @@ class PropagationBlockingPageRank(PageRankKernel):
         if bin_width is None:
             bin_width = min(
                 default_bin_width(machine),
-                _next_power_of_two(graph.num_vertices),
+                pow2_at_least(graph.num_vertices),
             )
         # Preprocessing, excluded from measurement like the paper's bin
         # allocation: the stable bin permutation *is* the deterministic
@@ -251,9 +252,3 @@ class DeterministicPBPageRank(PropagationBlockingPageRank):
     words_per_pair = DPB_WORDS_PER_PAIR
     reuses_destinations = True
 
-
-def _next_power_of_two(value: int) -> int:
-    power = 1
-    while power < value:
-        power *= 2
-    return power

@@ -24,6 +24,7 @@ from repro.kernels.base import DAMPING, score_delta
 from repro.kernels.bins import BinLayout, default_bin_width
 from repro.kernels.pagerank import PageRankResult
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.utils.validation import pow2_at_least
 
 __all__ = ["weighted_pagerank", "weighted_out_strength"]
 
@@ -78,7 +79,7 @@ def weighted_pagerank(
     binned_transition = None
     if method == "dpb":
         layout = BinLayout(
-            graph, min(default_bin_width(machine), _pow2_at_least(max(n, 1)))
+            graph, min(default_bin_width(machine), pow2_at_least(max(n, 1)))
         )
         binned_transition = transition[layout.order]
 
@@ -115,9 +116,3 @@ def weighted_pagerank(
         scores=scores, iterations=iterations, converged=converged, method=method
     )
 
-
-def _pow2_at_least(value: int) -> int:
-    power = 1
-    while power < value:
-        power *= 2
-    return power

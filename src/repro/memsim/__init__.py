@@ -18,6 +18,7 @@ from repro.memsim.trace import (
     sequential_chunk,
     irregular_chunk,
     collapse_consecutive,
+    coalesce_chunks,
 )
 from repro.memsim.counters import MemCounters
 from repro.memsim.cache import (
@@ -29,6 +30,7 @@ from repro.memsim.cache import (
 )
 from repro.memsim.fastcache import DirectMappedVectorized
 from repro.memsim.plru import TreePLRUCache
+from repro.memsim.stackdist import StackDistanceLRU
 from repro.memsim.traceio import save_trace, load_trace
 from repro.memsim.hierarchy import DEFAULT_L1, L1Model, TwoLevel
 from repro.memsim.reuse import (
@@ -47,11 +49,13 @@ __all__ = [
     "sequential_chunk",
     "irregular_chunk",
     "collapse_consecutive",
+    "coalesce_chunks",
     "MemCounters",
     "WORD_BYTES",
     "CacheConfig",
     "FullyAssociativeLRU",
     "SetAssociativeLRU",
+    "StackDistanceLRU",
     "simulate",
     "DirectMappedVectorized",
     "TreePLRUCache",
@@ -64,23 +68,42 @@ __all__ = [
     "misses_for_capacity",
     "miss_ratio_curve",
     "make_engine",
+    "ENGINES",
+    "DEFAULT_ENGINE",
 ]
 
 
+def _make_plru(config: CacheConfig):
+    if config.ways is None:
+        config = CacheConfig(
+            config.capacity_bytes, config.line_bytes, ways=min(16, config.num_lines)
+        )
+    return TreePLRUCache(config)
+
+
+#: Engine registry: name -> factory taking a :class:`CacheConfig`.
+#: ``stackdist`` and ``flru`` are *exact* fully-associative LRU models with
+#: bit-identical counters (``flru`` is the per-access oracle loop kept for
+#: differential testing); ``set``/``plru`` model reduced associativity;
+#: ``dmap`` is approximate and banned from reported numbers.
+ENGINES: dict[str, object] = {
+    "stackdist": StackDistanceLRU,
+    "flru": FullyAssociativeLRU,
+    "set": SetAssociativeLRU,
+    "plru": _make_plru,
+    "dmap": DirectMappedVectorized,
+}
+
+#: Engine used for reported numbers when none is requested explicitly: the
+#: vectorized exact LRU, validated bit-identical to ``flru`` in CI.
+DEFAULT_ENGINE = "stackdist"
+
+
 def make_engine(name: str, config: CacheConfig):
-    """Engine factory: ``"flru"`` (default), ``"set"``, ``"plru"`` or ``"dmap"``."""
-    if name == "flru":
-        return FullyAssociativeLRU(config)
-    if name == "set":
-        return SetAssociativeLRU(config)
-    if name == "plru":
-        if config.ways is None:
-            config = CacheConfig(
-                config.capacity_bytes, config.line_bytes, ways=min(16, config.num_lines)
-            )
-        return TreePLRUCache(config)
-    if name == "dmap":
-        return DirectMappedVectorized(config)
-    raise ValueError(
-        f"unknown engine {name!r}; choose 'flru', 'set', 'plru', or 'dmap'"
-    )
+    """Engine factory; see :data:`ENGINES` for the registry."""
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        options = ", ".join(repr(key) for key in ENGINES)
+        raise ValueError(f"unknown engine {name!r}; choose one of {options}") from None
+    return factory(config)

@@ -31,7 +31,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.memsim.counters import MemCounters
-from repro.memsim.trace import AccessMode, Stream, TraceChunk, collapse_consecutive
+from repro.memsim.trace import (
+    AccessMode,
+    Stream,
+    TraceChunk,
+    coalesce_chunks,
+    collapse_consecutive,
+)
 from repro.obs.metrics import current_registry
 from repro.obs.spans import span
 from repro.obs.trace import current_tracer
@@ -136,6 +142,14 @@ class _EngineBase:
 
     def flush(self, counters: MemCounters) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def sync(self, counters: MemCounters) -> None:
+        """Materialize any buffered counters without flushing the cache.
+
+        Loop engines resolve every access eagerly, so the base
+        implementation is a no-op; batching engines (e.g.
+        :class:`repro.memsim.stackdist.StackDistanceLRU`) override it.
+        """
 
 
 class FullyAssociativeLRU(_EngineBase):
@@ -291,17 +305,25 @@ def simulate(
     *,
     flush: bool = True,
     counters: MemCounters | None = None,
+    coalesce: bool = True,
 ) -> MemCounters:
     """Run ``trace`` (an iterable of chunks) through ``engine``.
 
     ``flush=True`` writes back dirty lines at the end, charging the final
-    write-backs the hardware would eventually perform.
+    write-backs the hardware would eventually perform; ``flush=False``
+    keeps the cache warm but still syncs batching engines so the returned
+    counters are complete.
+
+    ``coalesce=True`` merges adjacent same-semantics chunks first
+    (:func:`repro.memsim.trace.coalesce_chunks`) — counters are provably
+    unchanged, per-chunk overhead shrinks.
 
     When a trace recorder (:mod:`repro.obs.trace`) or a metrics registry
     (:mod:`repro.obs.metrics`) is active, a slower instrumented loop runs
     instead: per-phase spans, per-stream DRAM counter tracks, a running
     miss-rate track, and reuse-distance histograms per irregular stream.
-    With neither installed the plain loop below is untouched.
+    The instrumented loop never coalesces, keeping per-chunk tracks (and
+    the golden trace shape) unchanged.
     """
     if counters is None:
         counters = MemCounters()
@@ -309,12 +331,16 @@ def simulate(
     registry = current_registry()
     with span(f"simulate[{type(engine).__name__}]"):
         if tracer is None and registry is None:
+            if coalesce:
+                trace = coalesce_chunks(trace)
             for chunk in trace:
                 engine.process_chunk(chunk, counters)
         else:
             _simulate_instrumented(trace, engine, counters, tracer, registry)
         if flush:
             engine.flush(counters)
+        else:
+            engine.sync(counters)
     return counters
 
 
@@ -340,6 +366,7 @@ def _simulate_instrumented(trace, engine, counters, tracer, registry) -> None:
                     sample.extend(chunk.lines[:room].tolist())
             engine.process_chunk(chunk, counters)
             if tracer is not None:
+                engine.sync(counters)
                 stream = chunk.stream
                 tracer.counter(
                     f"dram[{stream.value}]",

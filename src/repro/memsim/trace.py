@@ -42,6 +42,7 @@ __all__ = [
     "sequential_chunk",
     "irregular_chunk",
     "collapse_consecutive",
+    "coalesce_chunks",
 ]
 
 
@@ -167,8 +168,58 @@ def collapse_consecutive(lines: np.ndarray) -> tuple[np.ndarray, int]:
     keep = np.empty(lines.size, dtype=bool)
     keep[0] = True
     np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    if keep.all():
+        return lines, 0
     collapsed = lines[keep]
     return collapsed, int(lines.size - collapsed.size)
+
+
+def coalesce_chunks(trace) -> list[TraceChunk]:
+    """Merge adjacent chunks with identical access semantics.
+
+    Two neighbouring chunks fuse iff they agree on ``(write, stream, mode,
+    streaming_store, phase)``; the merged chunk is their lines concatenated
+    in program order.  Counters are provably unchanged for every engine:
+    SEQUENTIAL chunks are counted analytically per access, and IRREGULAR
+    chunks replay the exact same access sequence against the same cache
+    state — only the per-chunk bookkeeping (and for batching engines the
+    number of vectorized passes) shrinks.  Kernels that emit one chunk per
+    vertex or per bin benefit the most.
+    """
+    merged: list[TraceChunk] = []
+    group: list[TraceChunk] = []
+
+    def _emit() -> None:
+        if not group:
+            return
+        head = group[0]
+        if len(group) == 1:
+            merged.append(head)
+        else:
+            merged.append(
+                TraceChunk(
+                    np.concatenate([chunk.lines for chunk in group]),
+                    head.write,
+                    head.stream,
+                    head.mode,
+                    head.streaming_store,
+                    head.phase,
+                )
+            )
+        group.clear()
+
+    for chunk in trace:
+        if group and (
+            chunk.write != group[0].write
+            or chunk.stream is not group[0].stream
+            or chunk.mode is not group[0].mode
+            or chunk.streaming_store != group[0].streaming_store
+            or chunk.phase != group[0].phase
+        ):
+            _emit()
+        group.append(chunk)
+    _emit()
+    return merged
 
 
 @dataclass(frozen=True)

@@ -83,7 +83,9 @@ class RunConfig:
     """Kernel and engine configuration of the run."""
 
     method: str
-    engine: str = "flru"
+    # Mirrors repro.memsim.DEFAULT_ENGINE; obs imports nothing from the
+    # rest of repro, so the name is duplicated rather than imported.
+    engine: str = "stackdist"
     num_iterations: int = 1
     options: dict[str, Any] = field(default_factory=dict)
 
@@ -358,7 +360,7 @@ def report_from_measurement(
     *,
     scale: float | None = None,
     seed: int | None = None,
-    engine: str = "flru",
+    engine: str = "stackdist",
     options: dict[str, Any] | None = None,
     wall_spans: dict[str, dict[str, float]] | None = None,
     metrics: dict[str, Any] | None = None,

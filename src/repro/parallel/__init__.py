@@ -29,8 +29,12 @@ from repro.parallel.model import (
     parallel_time,
 )
 from repro.parallel.threaded import ThreadedDPBPageRank
+from repro.parallel.sweep import SweepCell, run_cells, default_workers
 
 __all__ = [
+    "SweepCell",
+    "run_cells",
+    "default_workers",
     "edge_balanced_ranges",
     "greedy_assign",
     "range_edge_counts",

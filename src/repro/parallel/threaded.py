@@ -35,6 +35,7 @@ from repro.memsim.trace import Region
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.obs.spans import span
 from repro.parallel.scheduling import edge_balanced_ranges
+from repro.utils.validation import pow2_at_least
 from repro.utils.validation import check_positive
 
 __all__ = ["ThreadedDPBPageRank"]
@@ -67,7 +68,7 @@ class ThreadedDPBPageRank(DeterministicPBPageRank):
 
             bin_width = min(
                 recommended_bin_width(machine, num_threads),
-                _pow2_at_least(graph.num_vertices),
+                pow2_at_least(graph.num_vertices),
             )
         super().__init__(graph, machine, bin_width=bin_width)
         self.num_threads = num_threads
@@ -180,9 +181,3 @@ class ThreadedDPBPageRank(DeterministicPBPageRank):
             regions.append(space_alloc(f"bin_{b}", max(words, 1)))
         return regions
 
-
-def _pow2_at_least(value: int) -> int:
-    power = 1
-    while power < value:
-        power *= 2
-    return power

@@ -12,6 +12,7 @@ from repro.utils.validation import (
     check_power_of_two,
     check_probability,
     check_array_dtype,
+    pow2_at_least,
 )
 from repro.utils.tables import format_table, format_series
 from repro.utils.timing import Timer
@@ -24,6 +25,7 @@ __all__ = [
     "check_power_of_two",
     "check_probability",
     "check_array_dtype",
+    "pow2_at_least",
     "format_table",
     "format_series",
     "Timer",

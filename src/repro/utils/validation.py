@@ -41,6 +41,18 @@ def check_power_of_two(name: str, value: int) -> None:
         raise ValueError(f"{name} must be a positive power of two, got {value!r}")
 
 
+def pow2_at_least(value: int) -> int:
+    """Smallest power of two ``>= value`` (1 for values <= 1).
+
+    Bin widths and block widths are clamped to powers of two (see
+    :func:`check_power_of_two`); every kernel that sizes its bins against
+    ``num_vertices`` rounds up through this helper.
+    """
+    if value <= 1:
+        return 1
+    return 1 << (int(value) - 1).bit_length()
+
+
 def check_probability(name: str, value: float) -> None:
     """Raise ``ValueError`` unless ``0 <= value <= 1``."""
     if not (0.0 <= value <= 1.0):

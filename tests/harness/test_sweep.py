@@ -1,0 +1,124 @@
+"""Tests for the process-parallel sweep executor and its figure wiring."""
+
+import os
+
+import pytest
+
+from repro.graphs import load_suite
+from repro.harness.figures import (
+    bin_width_sweep,
+    figure7_scaling_vertices,
+    figure8_scaling_degree,
+    figure9_bin_width_communication,
+    suite_measurements,
+)
+from repro.obs.spans import disable, enable
+from repro.parallel import SweepCell, default_workers, run_cells
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise RuntimeError("cell failed")
+
+
+def test_run_cells_serial_matches_parallel():
+    cells = [SweepCell(key=i, fn=_square, args=(i,)) for i in range(10)]
+    serial = run_cells(cells, workers=1)
+    parallel = run_cells(cells, workers=3)
+    assert serial == parallel == {i: i * i for i in range(10)}
+
+
+def test_run_cells_empty():
+    assert run_cells([], workers=4) == {}
+
+
+def test_run_cells_records_per_cell_spans():
+    recorder = enable()
+    try:
+        run_cells(
+            [SweepCell(key="a", fn=_square, args=(2,))], workers=1, label="unit"
+        )
+    finally:
+        disable()
+    paths = recorder.paths()
+    assert "sweep[unit]" in paths
+    assert "sweep[unit]/cell[a]" in paths
+    assert recorder.stats("sweep[unit]/cell[a]").count == 1
+
+
+def test_run_cells_propagates_worker_errors():
+    with pytest.raises(RuntimeError, match="cell failed"):
+        run_cells([SweepCell(key=0, fn=_boom)], workers=2)
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_workers_zero_means_auto():
+    cells = [SweepCell(key=i, fn=_square, args=(i,)) for i in range(3)]
+    assert run_cells(cells, workers=0) == {i: i * i for i in range(3)}
+
+
+# ----------------------------------------------------------------------
+# figure identity: parallel must reproduce serial outputs exactly
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_graphs():
+    return load_suite(scale=0.02, seed=42)
+
+
+def test_fig7_parallel_identical():
+    sizes = [1024, 2048, 4096]
+    serial = figure7_scaling_vertices(sizes)
+    parallel = figure7_scaling_vertices(sizes, workers=2)
+    assert serial == parallel
+
+
+def test_fig8_parallel_identical():
+    degrees = [4, 8]
+    serial = figure8_scaling_degree(degrees, num_vertices=2048)
+    parallel = figure8_scaling_degree(degrees, num_vertices=2048, workers=2)
+    assert serial == parallel
+
+
+def test_fig9_sweep_parallel_identical(tiny_graphs):
+    widths = [64, 512]
+    serial = bin_width_sweep(tiny_graphs, widths)
+    parallel = bin_width_sweep(tiny_graphs, widths, workers=2)
+    assert serial == parallel
+    fig_a = figure9_bin_width_communication(tiny_graphs, widths, _sweep_cache=serial)
+    fig_b = figure9_bin_width_communication(tiny_graphs, widths, _sweep_cache=parallel)
+    assert fig_a == fig_b
+
+
+def test_suite_measurements_parallel_identical(tiny_graphs):
+    few = {name: tiny_graphs[name] for name in list(tiny_graphs)[:2]}
+    serial = suite_measurements(few, methods=("baseline", "dpb"))
+    parallel = suite_measurements(few, methods=("baseline", "dpb"), workers=2)
+    for name in few:
+        for method in ("baseline", "dpb"):
+            assert (
+                serial[name][method].counters.as_dict()
+                == parallel[name][method].counters.as_dict()
+            )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="wall-clock reduction needs >= 2 CPUs",
+)
+def test_parallel_wall_clock_reduction():
+    from time import perf_counter
+
+    sizes = [16384, 16384, 16384, 16384]
+    start = perf_counter()
+    figure7_scaling_vertices(sizes)
+    serial_s = perf_counter() - start
+    start = perf_counter()
+    figure7_scaling_vertices(sizes, workers=2)
+    parallel_s = perf_counter() - start
+    assert parallel_s < serial_s

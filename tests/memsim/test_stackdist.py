@@ -1,0 +1,254 @@
+"""Differential tests: StackDistanceLRU vs the per-access oracle.
+
+The vectorized engine's whole contract is *bit-identical* ``MemCounters``
+to :class:`FullyAssociativeLRU` — per stream, per phase, including flush
+write-backs.  Every test here builds a trace, replays it through both
+engines and compares ``as_dict()`` exactly.  ``misses_for_capacity`` from
+:mod:`repro.memsim.reuse` serves as a third, independently-derived oracle
+for read-only single-stream traces.
+
+The engine is adaptive (fits-in-cache analytic path, dense-block
+vectorized path, sequential-replay fallback for mid-range windows), so the
+randomized sweeps deliberately span capacities and address-space sizes
+that hit all three regimes, and dedicated tests pin each regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_graph
+from repro.kernels.pagerank import make_kernel
+from repro.memsim import (
+    CacheConfig,
+    FullyAssociativeLRU,
+    MemCounters,
+    StackDistanceLRU,
+    Stream,
+    coalesce_chunks,
+    irregular_chunk,
+    misses_for_capacity,
+    reuse_distance_histogram,
+    sequential_chunk,
+    simulate,
+)
+from repro.memsim.stackdist import _DEFAULT_BATCH
+
+
+def config_for(lines: int) -> CacheConfig:
+    return CacheConfig(capacity_bytes=64 * lines, line_bytes=64)
+
+
+def both_engines(lines: int):
+    cfg = config_for(lines)
+    return FullyAssociativeLRU(cfg), StackDistanceLRU(cfg)
+
+
+def assert_identical(trace, capacity_lines: int, *, flush: bool = True):
+    """Replay ``trace`` through both engines and compare counters exactly."""
+    oracle, vectorized = both_engines(capacity_lines)
+    expected = simulate(trace, oracle, flush=flush)
+    actual = simulate(trace, vectorized, flush=flush)
+    assert actual.as_dict() == expected.as_dict()
+    return actual
+
+
+def random_trace(rng, *, space: int, num_chunks: int, max_len: int = 400):
+    trace = []
+    for _ in range(num_chunks):
+        length = int(rng.integers(1, max_len))
+        lines = rng.integers(0, space, size=length)
+        trace.append(
+            irregular_chunk(
+                lines,
+                write=bool(rng.integers(0, 2)),
+                stream=rng.choice([Stream.VERTEX_CONTRIB, Stream.VERTEX_SUMS]),
+                phase=str(rng.choice(["", "binning", "accumulate"])),
+            )
+        )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# randomized sweeps
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_traces_match_oracle(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(12):
+        capacity = int(rng.choice([1, 2, 4, 8, 16, 64, 256]))
+        space = int(rng.choice([2, 8, 64, 1024, 4096]))
+        trace = random_trace(rng, space=space, num_chunks=int(rng.integers(1, 6)))
+        assert_identical(trace, capacity)
+
+
+@pytest.mark.parametrize("capacity", [1, 4, 16, 128, 512, 1024])
+def test_thrash_and_fits_regimes(capacity):
+    # space >> capacity exercises the dense-block vectorized path (and for
+    # capacity > 512 the replay fallback); space <= capacity the fits path.
+    rng = np.random.default_rng(capacity)
+    for space in (max(2, capacity // 2), capacity * 8 + 1):
+        lines = rng.integers(0, space, size=5000)
+        trace = [irregular_chunk(lines, write=False, stream=Stream.VERTEX_CONTRIB)]
+        assert_identical(trace, capacity)
+
+
+def test_mixed_sequential_and_irregular_chunks():
+    rng = np.random.default_rng(3)
+    trace = [
+        sequential_chunk(np.arange(50), stream=Stream.EDGE_ADJ),
+        irregular_chunk(rng.integers(0, 300, 700), write=True, stream=Stream.VERTEX_SUMS),
+        sequential_chunk(np.arange(20), write=True, streaming_store=True,
+                         stream=Stream.BIN_DATA),
+        irregular_chunk(rng.integers(0, 300, 700), stream=Stream.VERTEX_CONTRIB),
+    ]
+    assert_identical(trace, 32)
+
+
+def test_writeback_charging_across_phases():
+    # A line filled by phase A, dirtied by phase B, and evicted in phase C
+    # must charge its write-back where the oracle charges it.
+    trace = [
+        irregular_chunk([0, 1, 2], phase="fill", stream=Stream.VERTEX_SUMS),
+        irregular_chunk([0], write=True, phase="dirty", stream=Stream.VERTEX_SUMS),
+        irregular_chunk([3, 4, 5, 6], phase="evict", stream=Stream.VERTEX_CONTRIB),
+    ]
+    assert_identical(trace, 4)
+
+
+def test_flush_writebacks_match():
+    trace = [irregular_chunk([0, 1, 2, 3], write=True, stream=Stream.VERTEX_SUMS)]
+    with_flush = assert_identical(trace, 8, flush=True)
+    without = assert_identical(trace, 8, flush=False)
+    assert with_flush.total_writes > without.total_writes
+
+
+def test_incremental_drains_match_single_drain():
+    # Force many drains by setting a tiny batch: counters must be identical
+    # to the default single-drain run (seeded-resident replay is exact).
+    rng = np.random.default_rng(11)
+    trace = [
+        irregular_chunk(rng.integers(0, 500, 997), write=bool(w % 2),
+                        stream=Stream.VERTEX_CONTRIB)
+        for w in range(4)
+    ]
+    cfg = config_for(64)
+    small = StackDistanceLRU(cfg, batch_accesses=37)
+    big = StackDistanceLRU(cfg)
+    assert simulate(trace, small).as_dict() == simulate(trace, big).as_dict()
+
+
+def test_chunks_larger_than_batch_are_split():
+    rng = np.random.default_rng(12)
+    lines = rng.integers(0, 1 << 14, size=_DEFAULT_BATCH // 256 + 13)
+    trace = [irregular_chunk(lines, stream=Stream.VERTEX_CONTRIB)]
+    cfg = config_for(256)
+    split = StackDistanceLRU(cfg, batch_accesses=1024)
+    whole = FullyAssociativeLRU(cfg)
+    assert simulate(trace, split).as_dict() == simulate(trace, whole).as_dict()
+
+
+def test_sync_mid_trace_preserves_state():
+    # simulate(flush=False) syncs pending batches without flushing; a
+    # second trace must continue from the same cache state as the oracle.
+    rng = np.random.default_rng(13)
+    first = [irregular_chunk(rng.integers(0, 200, 500), write=True,
+                             stream=Stream.VERTEX_SUMS)]
+    second = [irregular_chunk(rng.integers(0, 200, 500),
+                              stream=Stream.VERTEX_CONTRIB)]
+    oracle, vectorized = both_engines(32)
+    c1 = MemCounters()
+    c2 = MemCounters()
+    for trace in (first, second):
+        simulate(trace, oracle, flush=False, counters=c1)
+        simulate(trace, vectorized, flush=False, counters=c2)
+    oracle.flush(c1)
+    vectorized.flush(c2)
+    assert c2.as_dict() == c1.as_dict()
+
+
+def test_occupancy_after_sync():
+    oracle, vectorized = both_engines(8)
+    trace = [irregular_chunk([0, 1, 2, 3, 4], stream=Stream.VERTEX_CONTRIB)]
+    simulate(trace, oracle, flush=False)
+    simulate(trace, vectorized, flush=False)
+    assert vectorized.occupancy == oracle.occupancy == 5
+
+
+# ----------------------------------------------------------------------
+# third oracle: Bennett-Kruskal stack distances from reuse.py
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("capacity", [1, 2, 8, 64, 256])
+def test_reuse_histogram_is_third_oracle(capacity):
+    rng = np.random.default_rng(capacity)
+    lines = rng.integers(0, 700, size=3000)
+    histogram = reuse_distance_histogram(lines)
+    expected_misses = misses_for_capacity(histogram, capacity)
+
+    trace = [irregular_chunk(lines, stream=Stream.VERTEX_CONTRIB)]
+    for engine_cls in (FullyAssociativeLRU, StackDistanceLRU):
+        counters = simulate(trace, engine_cls(config_for(capacity)))
+        assert counters.total_reads == expected_misses
+
+
+# ----------------------------------------------------------------------
+# kernel-generated traces (the real workloads)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("method", ["baseline", "cb", "pb", "dpb"])
+def test_kernel_traces_match_oracle(method):
+    graph = load_graph("urand", scale=0.02, seed=5)
+    kernel = make_kernel(graph, method)
+    expected = kernel.measure(1, engine="flru")
+    actual = kernel.measure(1, engine="stackdist")
+    assert actual.as_dict() == expected.as_dict()
+
+
+def test_kernel_trace_two_iterations_match():
+    graph = load_graph("web", scale=0.02, seed=5)
+    kernel = make_kernel(graph, "dpb")
+    expected = kernel.measure(2, engine="flru")
+    actual = kernel.measure(2, engine="stackdist")
+    assert actual.as_dict() == expected.as_dict()
+
+
+# ----------------------------------------------------------------------
+# coalescing + registry
+# ----------------------------------------------------------------------
+def test_coalescing_preserves_counters():
+    rng = np.random.default_rng(21)
+    trace = [
+        irregular_chunk(rng.integers(0, 100, 40), stream=Stream.VERTEX_CONTRIB)
+        for _ in range(25)
+    ]
+    merged = coalesce_chunks(trace)
+    assert len(merged) == 1
+    for engine_cls in (FullyAssociativeLRU, StackDistanceLRU):
+        a = simulate(trace, engine_cls(config_for(16)))
+        b = simulate(merged, engine_cls(config_for(16)))
+        assert a.as_dict() == b.as_dict()
+
+
+def test_coalescing_respects_boundaries():
+    trace = [
+        irregular_chunk([1, 2], stream=Stream.VERTEX_SUMS, write=True),
+        irregular_chunk([3, 4], stream=Stream.VERTEX_SUMS, write=False),
+        sequential_chunk([5, 6], stream=Stream.EDGE_ADJ),
+        irregular_chunk([7], stream=Stream.VERTEX_SUMS, phase="binning"),
+        irregular_chunk([8], stream=Stream.VERTEX_SUMS, phase="accumulate"),
+    ]
+    assert len(coalesce_chunks(trace)) == 5
+
+
+def test_registry_and_default():
+    from repro.memsim import DEFAULT_ENGINE, ENGINES, make_engine
+
+    assert DEFAULT_ENGINE == "stackdist"
+    assert set(ENGINES) == {"stackdist", "flru", "set", "plru", "dmap"}
+    engine = make_engine("stackdist", config_for(16))
+    assert isinstance(engine, StackDistanceLRU)
+    with pytest.raises(ValueError, match="unknown engine"):
+        make_engine("nope", config_for(16))
+
+
+def test_rejects_set_associative_config():
+    with pytest.raises(ValueError, match="ways=None"):
+        StackDistanceLRU(CacheConfig(capacity_bytes=64 * 16, line_bytes=64, ways=4))
