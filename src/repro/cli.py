@@ -12,7 +12,10 @@ A thin front end over the library for the common workflows:
 * ``repro-pb report before.json after.json`` — diff two run reports and
   flag traffic/time regressions;
 * ``repro-pb report --drift run.json`` — check the embedded
-  model-vs-simulation drift records against a threshold.
+  model-vs-simulation drift records against a threshold;
+* ``repro-pb reproduce --resume ckpt/`` — regenerate every table and
+  figure with fault-tolerant, checkpointed sweeps (forwards to
+  :mod:`repro.harness.reproduce`).
 
 Every subcommand prints an aligned text table to stdout; ``measure``,
 ``pagerank`` and ``compare`` additionally emit machine-readable
@@ -219,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative model/simulation divergence that counts as drift "
         f"(default {DEFAULT_DRIFT_THRESHOLD:g})",
     )
+
+    # ``reproduce`` owns its full option surface in
+    # repro.harness.reproduce; forward everything verbatim rather than
+    # duplicating the argument list here.  No ``parents=[common]``: the
+    # forwarded parser defines its own -v/-q.
+    p_reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate every table and figure (supports --resume, "
+        "--max-retries, --inject-faults; see --help)",
+        add_help=False,
+    )
+    p_reproduce.add_argument("reproduce_args", nargs=argparse.REMAINDER)
 
     return parser
 
@@ -525,6 +540,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.harness.reproduce import main as reproduce_main
+
+    return reproduce_main(args.reproduce_args)
+
+
 def _cmd_model(args: argparse.Namespace) -> int:
     machine = SIMULATED_MACHINE
     p = ModelParams(
@@ -585,11 +606,22 @@ _COMMANDS = {
     "model": _cmd_model,
     "describe": _cmd_describe,
     "report": _cmd_report,
+    "reproduce": _cmd_reproduce,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``reproduce`` forwards everything to repro.harness.reproduce before
+    # argparse sees the options (argparse.REMAINDER cannot capture a
+    # leading ``--flag`` as the first positional), so ``repro-pb
+    # reproduce --help`` shows the forwarded parser's own help.
+    if argv and argv[0] == "reproduce":
+        from repro.harness.reproduce import main as reproduce_main
+
+        return reproduce_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose - args.quiet)
     return _COMMANDS[args.command](args)

@@ -1,0 +1,249 @@
+"""Append-only JSONL checkpoints of completed sweep cells.
+
+A reproduce run is a long chain of independent sweep cells; killing it
+(Ctrl-C, OOM, a worker crash that exhausts its retries) used to forfeit
+every completed simulation.  A :class:`SweepCheckpoint` makes progress
+durable: every finished cell is appended as one JSON line keyed by the
+cell's *fingerprint* (:func:`repro.utils.fingerprint.cell_fingerprint` —
+a stable SHA-256 of the cell function, key, and arguments), and a
+resumed run (``--resume DIR``) skips any cell whose fingerprint is
+already present, returning the stored result instead.  Because the
+fingerprint covers the arguments (graph arrays included), a checkpoint
+can never replay a stale result for a changed configuration — a
+different scale, seed, engine, or code path yields a different
+fingerprint and the cell simply reruns.
+
+File format (documented in ``docs/metrics_schema.md``):
+
+* line 1 — header: ``{"kind": "sweep_checkpoint", "schema_version":
+  "1.0", "label": <sweep label>}``;
+* every further line — one record: ``{"fingerprint": <hex>, "key":
+  <repr of the cell key>, "seconds": <float>, "encoding": "json" |
+  "pickle", "result": ...}``.  Plain-data results are stored as JSON
+  (``encoding: "json"``); anything JSON cannot round-trip exactly
+  (measurement objects with numpy arrays) is pickled and base64-encoded
+  (``encoding: "pickle"``).
+
+The file is *append-only* and written line-at-a-time with a flush after
+every record, so a crash can lose at most the line being written.
+Loading tolerates exactly that: corrupt or truncated lines are skipped
+with a warning, never fatal — better to recompute one cell than refuse
+to resume.  An unrecognised major schema version is fatal (the stored
+results cannot be trusted to mean what this reader thinks they mean).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointRecord",
+    "SweepCheckpoint",
+    "checkpoint_path",
+    "open_checkpoint",
+]
+
+#: Version of the checkpoint JSONL schema; same policy as run reports
+#: (major bump on incompatible change, minor on additive).
+CHECKPOINT_SCHEMA_VERSION = "1.0"
+
+log = get_logger("harness.checkpoint")
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One completed cell: its fingerprint, stored result, and wall time."""
+
+    fingerprint: str
+    key_repr: str
+    result: Any
+    seconds: float
+
+
+def _encode_result(result: Any) -> tuple[str, Any]:
+    """Pick the encoding that round-trips ``result`` exactly.
+
+    JSON when an encode/decode cycle provably returns an equal value
+    (covers the plain-dict figure cells); pickle+base64 otherwise
+    (measurement objects, tuples, numpy scalars).
+    """
+    try:
+        decoded = json.loads(json.dumps(result))
+        if decoded == result and type(decoded) is type(result):
+            return "json", result
+    except (TypeError, ValueError):
+        pass
+    payload = base64.b64encode(pickle.dumps(result, protocol=4)).decode("ascii")
+    return "pickle", payload
+
+
+def _decode_result(encoding: str, payload: Any) -> Any:
+    if encoding == "json":
+        return payload
+    if encoding == "pickle":
+        return pickle.loads(base64.b64decode(payload))
+    raise ValueError(f"unknown checkpoint result encoding {encoding!r}")
+
+
+class SweepCheckpoint:
+    """Durable record of completed sweep cells (see module docstring).
+
+    Use :meth:`open` (or :func:`open_checkpoint`) rather than the
+    constructor: opening loads any existing records so the resilient
+    executor can skip them.
+    """
+
+    def __init__(self, path: str, *, label: str = "") -> None:
+        self.path = path
+        self.label = label
+        self._records: dict[str, CheckpointRecord] = {}
+        self._header_written = False
+        self._tail_checked = False
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str, *, label: str = "") -> "SweepCheckpoint":
+        """Open ``path``, loading existing records if the file exists."""
+        checkpoint = cls(path, label=label)
+        if os.path.exists(path):
+            checkpoint._load()
+        return checkpoint
+
+    def _load(self) -> None:
+        skipped = 0
+        with open(self.path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    skipped += 1
+                    continue
+                if lineno == 1 or data.get("kind") == "sweep_checkpoint":
+                    self._check_header(data)
+                    self._header_written = True
+                    continue
+                record = self._parse_record(data)
+                if record is None:
+                    skipped += 1
+                    continue
+                self._records[record.fingerprint] = record
+        if skipped:
+            log.warning(
+                "%s: skipped %d corrupt/truncated checkpoint line(s); "
+                "those cells will recompute",
+                self.path,
+                skipped,
+            )
+        if self._records:
+            log.info("%s: loaded %d completed cell(s)", self.path, len(self._records))
+
+    def _check_header(self, data: dict) -> None:
+        if data.get("kind") != "sweep_checkpoint":
+            raise ValueError(
+                f"{self.path}: not a sweep checkpoint (first line kind="
+                f"{data.get('kind')!r})"
+            )
+        version = str(data.get("schema_version", ""))
+        major = version.split(".", 1)[0]
+        if major != CHECKPOINT_SCHEMA_VERSION.split(".", 1)[0]:
+            raise ValueError(
+                f"{self.path}: unsupported checkpoint schema version "
+                f"{version!r} (this build reads {CHECKPOINT_SCHEMA_VERSION!r})"
+            )
+
+    def _parse_record(self, data: dict) -> CheckpointRecord | None:
+        try:
+            return CheckpointRecord(
+                fingerprint=data["fingerprint"],
+                key_repr=data["key"],
+                result=_decode_result(data["encoding"], data["result"]),
+                seconds=float(data["seconds"]),
+            )
+        except (KeyError, ValueError, TypeError, pickle.UnpicklingError, EOFError):
+            return None
+
+    # ------------------------------------------------------------------
+    # executor interface (duck-typed by repro.parallel.resilience)
+    # ------------------------------------------------------------------
+    def has(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def result_for(self, fingerprint: str) -> CheckpointRecord:
+        return self._records[fingerprint]
+
+    def record(self, fingerprint: str, key: Any, result: Any, seconds: float) -> None:
+        """Append one completed cell and remember it in memory."""
+        encoding, payload = _encode_result(result)
+        line = json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "key": repr(key),
+                "seconds": seconds,
+                "encoding": encoding,
+                "result": payload,
+            },
+            sort_keys=True,
+        )
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # A crash mid-write can leave a partial line with no trailing
+        # newline; appending onto it would corrupt this record too.
+        # Terminate any such tail once before the first append.
+        if not self._tail_checked:
+            self._tail_checked = True
+            if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+                with open(self.path, "rb+") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    if tail.read(1) != b"\n":
+                        tail.write(b"\n")
+        with open(self.path, "a") as handle:
+            if not self._header_written and handle.tell() == 0:
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "sweep_checkpoint",
+                            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                            "label": self.label,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            self._header_written = True
+            handle.write(line + "\n")
+            handle.flush()
+        self._records[fingerprint] = CheckpointRecord(
+            fingerprint=fingerprint,
+            key_repr=repr(key),
+            result=result,
+            seconds=seconds,
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def checkpoint_path(directory: str, label: str) -> str:
+    """Canonical checkpoint file for one sweep label under ``directory``."""
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in label)
+    return os.path.join(directory, f"sweep_{safe}.jsonl")
+
+
+def open_checkpoint(directory: str, label: str) -> SweepCheckpoint:
+    """Open (resuming if present) the checkpoint for ``label`` in ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    return SweepCheckpoint.open(checkpoint_path(directory, label), label=label)

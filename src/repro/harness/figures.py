@@ -13,12 +13,14 @@ from dataclasses import dataclass
 from repro.graphs.builder import build_csr
 from repro.graphs.csr import CSRGraph
 from repro.graphs.generators import uniform_random_graph
+from repro.harness.checkpoint import open_checkpoint
 from repro.harness.experiment import run_experiment
 from repro.kernels.pagerank import make_kernel
 from repro.memsim import DEFAULT_ENGINE
 from repro.models.communication import ModelParams, paper_pull_reads
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.models.performance import pb_phase_times
+from repro.parallel.resilience import SweepOptions
 from repro.parallel.sweep import SweepCell, run_cells
 from repro.utils.tables import format_series
 
@@ -86,6 +88,39 @@ def figure3_vertex_traffic(
     )
 
 
+def _run_sweep(
+    cells: list[SweepCell],
+    *,
+    label: str,
+    workers: int | None,
+    options: SweepOptions | None,
+):
+    """Run one figure sweep through the resilient executor.
+
+    ``options`` (see :class:`repro.parallel.resilience.SweepOptions`)
+    carries the reproduce driver's retry policy, fault plan, checkpoint
+    directory, and shared stats; each sweep label gets its own
+    checkpoint file so ``--resume`` skips exactly the cells this sweep
+    already completed.
+    """
+    if options is None:
+        return run_cells(cells, workers=workers, label=label)
+    checkpoint = (
+        open_checkpoint(options.checkpoint_dir, label)
+        if options.checkpoint_dir
+        else None
+    )
+    return run_cells(
+        cells,
+        workers=options.workers if options.workers is not None else workers,
+        label=label,
+        policy=options.policy,
+        fault_plan=options.fault_plan,
+        checkpoint=checkpoint,
+        stats=options.stats,
+    )
+
+
 # ----------------------------------------------------------------------
 # Figures 4-6 — blocking vs baseline across the suite
 # ----------------------------------------------------------------------
@@ -103,6 +138,7 @@ def suite_measurements(
     engine: str = DEFAULT_ENGINE,
     *,
     workers: int | None = None,
+    options: SweepOptions | None = None,
 ):
     """Measure every (graph, method) pair once.
 
@@ -110,7 +146,8 @@ def suite_measurements(
     once and pass the result to each via ``_measurements`` to avoid
     re-simulating.  ``workers`` fans the independent (graph, method) cells
     across processes (see :func:`repro.parallel.sweep.run_cells`); results
-    are identical to a serial run.
+    are identical to a serial run.  ``options`` adds retry, checkpoint,
+    and fault-injection behaviour (see :func:`_run_sweep`).
     """
     cells = [
         SweepCell(
@@ -121,7 +158,7 @@ def suite_measurements(
         for name, graph in graphs.items()
         for method in methods
     ]
-    results = run_cells(cells, workers=workers, label="suite")
+    results = _run_sweep(cells, label="suite", workers=workers, options=options)
     out: dict[str, dict[str, object]] = {name: {} for name in graphs}
     for (name, method), m in results.items():
         out[name][method] = m
@@ -232,6 +269,7 @@ def figure7_scaling_vertices(
     seed: int = 7,
     engine: str = DEFAULT_ENGINE,
     workers: int | None = None,
+    options: SweepOptions | None = None,
 ) -> FigureResult:
     """Requests/edge for uniform random graphs of fixed degree, varying n.
 
@@ -243,7 +281,7 @@ def figure7_scaling_vertices(
         SweepCell(key=n, fn=_scaling_cell, args=(n, degree, seed + i, machine, engine))
         for i, n in enumerate(vertex_counts)
     ]
-    results = run_cells(cells, workers=workers, label="fig7")
+    results = _run_sweep(cells, label="fig7", workers=workers, options=options)
     series = {
         label: [results[n][label] for n in vertex_counts]
         for label, _ in _SCALING_METHODS
@@ -264,6 +302,7 @@ def figure8_scaling_degree(
     seed: int = 8,
     engine: str = DEFAULT_ENGINE,
     workers: int | None = None,
+    options: SweepOptions | None = None,
 ) -> FigureResult:
     """Requests/edge for uniform random graphs of fixed n, varying degree.
 
@@ -277,7 +316,7 @@ def figure8_scaling_degree(
         )
         for i, k in enumerate(degrees)
     ]
-    results = run_cells(cells, workers=workers, label="fig8")
+    results = _run_sweep(cells, label="fig8", workers=workers, options=options)
     series = {
         label: [results[k][label] for k in degrees] for label, _ in _SCALING_METHODS
     }
@@ -312,6 +351,7 @@ def _bin_width_sweep(
     method: str,
     engine: str,
     workers: int | None = None,
+    options: SweepOptions | None = None,
 ):
     """(requests, total_time, phase_times) per graph per width."""
     cells = [
@@ -323,7 +363,7 @@ def _bin_width_sweep(
         for name, graph in graphs.items()
         for width in bin_widths
     ]
-    rows = run_cells(cells, workers=workers, label="binwidth")
+    rows = _run_sweep(cells, label="binwidth", workers=workers, options=options)
     return {
         name: [rows[(name, width)] for width in bin_widths] for name in graphs
     }
@@ -386,9 +426,12 @@ def bin_width_sweep(
     method: str = "pb",
     engine: str = DEFAULT_ENGINE,
     workers: int | None = None,
+    options: SweepOptions | None = None,
 ):
     """Public access to the shared Figure 9/10 sweep (run once, use twice)."""
-    return _bin_width_sweep(graphs, bin_widths, machine, method, engine, workers)
+    return _bin_width_sweep(
+        graphs, bin_widths, machine, method, engine, workers, options
+    )
 
 
 def figure11_phase_breakdown(

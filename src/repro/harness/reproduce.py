@@ -11,9 +11,20 @@ Options::
     --output results    output directory
     --only fig3 table2  regenerate a subset
     --quick             alias for --scale 0.25 with coarser sweeps
+    --resume DIR        checkpoint completed sweep cells in DIR and skip
+                        any already recorded there (safe to re-run after
+                        a crash; outputs are byte-identical either way)
+    --max-retries N     retry failed sweep cells N times (default 2)
+    --cell-timeout S    per-cell wall-clock deadline, pool mode only
+    --inject-faults P   deterministic fault plan (test hook), e.g.
+                        "seed=7,rate=0.3,kinds=crash|timeout|corrupt"
+    --report PATH       write a schema-versioned RunReport of the run
+                        (wall spans + retry/resume counters)
 
 Artifact ids: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-fig10 fig11.
+fig10 fig11.  A run interrupted by a crash or a permanently failing cell
+exits nonzero naming the cell; rerunning the same command with the same
+``--resume`` directory picks up where it stopped.
 """
 
 from __future__ import annotations
@@ -40,6 +51,15 @@ from repro.harness.tables import table1, table2, table3
 from repro.memsim import DEFAULT_ENGINE, ENGINES
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
+from repro.obs.report import GraphMeta, RunConfig, RunReport
+from repro.obs.spans import recording
+from repro.parallel.faults import FaultPlan
+from repro.parallel.resilience import (
+    CellFailedError,
+    RetryPolicy,
+    SweepOptions,
+    SweepStats,
+)
 
 log = get_logger("harness.reproduce")
 
@@ -86,6 +106,44 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial, 0 = one per CPU); outputs are identical either way",
     )
     parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint completed sweep cells in DIR and skip cells "
+        "already recorded there (rerun after a crash to pick up where "
+        "it stopped; outputs are byte-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per failed sweep cell before the run aborts "
+        "(default 2; backoff is deterministic and jitterless)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock deadline (enforced in --workers >= 2 "
+        "pool mode; an overrun cell is retried)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        default=None,
+        help="deterministic fault plan for chaos testing, e.g. "
+        '"seed=7,rate=0.3,kinds=crash|timeout|corrupt,max=2" '
+        "(also honoured from the REPRO_FAULT_PLAN environment variable)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a RunReport (docs/metrics_schema.md) of this "
+        "reproduction run: wall spans plus retry/resume counters",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -106,6 +164,59 @@ def _sizes_for(scale: float) -> list[int]:
     return [max(1024, int(n * scale)) for n in full]
 
 
+def _sweep_options(args: argparse.Namespace) -> SweepOptions:
+    """Resilience settings shared by every sweep of this run."""
+    fault_plan = (
+        FaultPlan.from_string(args.inject_faults) if args.inject_faults else None
+    )
+    return SweepOptions(
+        workers=args.workers,
+        policy=RetryPolicy(
+            max_retries=args.max_retries, cell_timeout=args.cell_timeout
+        ),
+        fault_plan=fault_plan,
+        checkpoint_dir=args.resume,
+        stats=SweepStats(),
+    )
+
+
+def _write_run_report(
+    args: argparse.Namespace,
+    scale: float,
+    wanted: set[str],
+    options: SweepOptions,
+    wall_spans: dict,
+    *,
+    completed: bool,
+) -> None:
+    """Honour ``--report``: one run-level RunReport with resilience counters."""
+    if not args.report:
+        return
+    report = RunReport(
+        kind="reproduce",
+        graph=GraphMeta(
+            name="reproduce", num_vertices=0, num_edges=0, scale=scale, seed=args.seed
+        ),
+        config=RunConfig(
+            method="reproduce",
+            engine=args.engine,
+            options={
+                "artifacts": sorted(wanted),
+                "workers": args.workers,
+                "resume": args.resume,
+                "max_retries": args.max_retries,
+                "cell_timeout": args.cell_timeout,
+                "fault_plan": args.inject_faults,
+                "completed": completed,
+            },
+        ),
+        wall_spans=wall_spans,
+        resilience=options.stats.as_dict() if options.stats else None,
+    )
+    report.save(args.report)
+    log.info("wrote run report %s", args.report)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # The reproduction driver's whole job is progress + artifacts, so its
@@ -114,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
     scale = 0.25 if args.quick else args.scale
     os.makedirs(args.output, exist_ok=True)
     wanted = set(args.only or ARTIFACTS)
+    options = _sweep_options(args)
     log.info("regenerating %d artifact(s) at scale %g", len(wanted), scale)
 
     def emit(name: str, text: str) -> None:
@@ -122,6 +234,38 @@ def main(argv: list[str] | None = None) -> int:
             handle.write(text + "\n")
         log.info("wrote %s", path)
 
+    with recording() as rec:
+        try:
+            _generate(args, scale, wanted, options, emit)
+        except CellFailedError as exc:
+            log.error("%s", exc)
+            if args.resume:
+                log.error(
+                    "completed cells are checkpointed under %s; rerun the "
+                    "same command to resume",
+                    args.resume,
+                )
+            else:
+                log.error(
+                    "rerun with --resume DIR to make progress durable "
+                    "across failures"
+                )
+            _write_run_report(
+                args, scale, wanted, options, rec.as_dict(), completed=False
+            )
+            return 1
+    _write_run_report(args, scale, wanted, options, rec.as_dict(), completed=True)
+    log.info("done.")
+    return 0
+
+
+def _generate(
+    args: argparse.Namespace,
+    scale: float,
+    wanted: set[str],
+    options: SweepOptions,
+    emit,
+) -> None:
     suite_needed = wanted & {"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6"}
     graphs = load_suite(seed=args.seed, scale=scale) if suite_needed else {}
 
@@ -137,7 +281,9 @@ def main(argv: list[str] | None = None) -> int:
             figure3_vertex_traffic(graphs, engine=args.engine).render(),
         )
     if wanted & {"fig4", "fig5", "fig6"}:
-        data = suite_measurements(graphs, engine=args.engine, workers=args.workers)
+        data = suite_measurements(
+            graphs, engine=args.engine, workers=args.workers, options=options
+        )
         if "fig4" in wanted:
             emit("fig4_speedup", figure4_speedup(graphs, _measurements=data).render())
         if "fig5" in wanted:
@@ -154,7 +300,10 @@ def main(argv: list[str] | None = None) -> int:
         emit(
             "fig7_scale_vertices",
             figure7_scaling_vertices(
-                _sizes_for(scale), engine=args.engine, workers=args.workers
+                _sizes_for(scale),
+                engine=args.engine,
+                workers=args.workers,
+                options=options,
             ).render(),
         )
     if "fig8" in wanted:
@@ -163,14 +312,18 @@ def main(argv: list[str] | None = None) -> int:
         emit(
             "fig8_scale_degree",
             figure8_scaling_degree(
-                degrees, num_vertices=n, engine=args.engine, workers=args.workers
+                degrees,
+                num_vertices=n,
+                engine=args.engine,
+                workers=args.workers,
+                options=options,
             ).render(),
         )
     if wanted & {"fig9", "fig10"}:
         widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
         sweep_graphs = load_suite(seed=args.seed, scale=0.5 * scale)
         sweep = bin_width_sweep(
-            sweep_graphs, widths, engine=args.engine, workers=args.workers
+            sweep_graphs, widths, engine=args.engine, workers=args.workers, options=options
         )
         if "fig9" in wanted:
             emit(
@@ -193,8 +346,6 @@ def main(argv: list[str] | None = None) -> int:
             "fig11_phase_breakdown",
             figure11_phase_breakdown(urand, widths, engine=args.engine).render(),
         )
-    log.info("done.")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

@@ -41,7 +41,11 @@ __all__ = [
 #: 1.1 added the optional ``metrics`` (histograms/series from
 #: :mod:`repro.obs.metrics`) and ``drift`` (model-vs-simulated records
 #: from :mod:`repro.obs.drift`) sections.
-SCHEMA_VERSION = "1.1"
+#:
+#: 1.2 added the optional ``resilience`` section (sweep retry/resume
+#: counters from :class:`repro.parallel.resilience.SweepStats`, written
+#: by ``reproduce --report``) and the ``"reproduce"`` report kind.
+SCHEMA_VERSION = "1.2"
 
 
 @dataclass(frozen=True)
@@ -232,6 +236,12 @@ class RunReport:
     series collected during the run) and ``drift`` a serialized
     :class:`repro.obs.drift.DriftSummary` (analytic-model-vs-simulation
     records); both are ``None`` when not collected.
+
+    Since schema 1.2, ``kind`` may also be ``"reproduce"`` (a whole
+    reproduction run rather than one measurement) and ``resilience``
+    optionally holds the sweep executor's fault-tolerance counters
+    (:meth:`repro.parallel.resilience.SweepStats.as_dict`: completed /
+    resumed / retried cells, injected faults, pool restarts, failures).
     """
 
     graph: GraphMeta
@@ -244,6 +254,7 @@ class RunReport:
     wall_spans: dict[str, dict[str, float]] = field(default_factory=dict)
     metrics: dict[str, Any] | None = None
     drift: dict[str, Any] | None = None
+    resilience: dict[str, Any] | None = None
     schema_version: str = SCHEMA_VERSION
 
     def key(self) -> str:
@@ -268,6 +279,7 @@ class RunReport:
             },
             "metrics": self.metrics,
             "drift": self.drift,
+            "resilience": self.resilience,
         }
 
     @classmethod
@@ -302,6 +314,8 @@ class RunReport:
             # 1.0 reports predate these sections; absent means not collected.
             metrics=data.get("metrics"),
             drift=data.get("drift"),
+            # 1.2 section; absent in older reports.
+            resilience=data.get("resilience"),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -364,6 +378,7 @@ def report_from_measurement(
     options: dict[str, Any] | None = None,
     wall_spans: dict[str, dict[str, float]] | None = None,
     metrics: dict[str, Any] | None = None,
+    resilience: dict[str, Any] | None = None,
 ) -> RunReport:
     """Build a ``kind="measure"`` report from a harness ``Measurement``.
 
@@ -403,6 +418,7 @@ def report_from_measurement(
         wall_spans=dict(wall_spans or {}),
         metrics=metrics,
         drift=drift.to_dict() if drift is not None else None,
+        resilience=resilience,
     )
 
 

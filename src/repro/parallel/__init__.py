@@ -30,11 +30,37 @@ from repro.parallel.model import (
 )
 from repro.parallel.threaded import ThreadedDPBPageRank
 from repro.parallel.sweep import SweepCell, run_cells, default_workers
+from repro.parallel.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjected,
+    FaultPlan,
+    InjectedCrash,
+    InjectedTimeout,
+)
+from repro.parallel.resilience import (
+    CellFailedError,
+    CellTimeoutError,
+    CorruptResultError,
+    RetryPolicy,
+    SweepOptions,
+    SweepStats,
+)
 
 __all__ = [
     "SweepCell",
     "run_cells",
     "default_workers",
+    "FAULT_PLAN_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedTimeout",
+    "CellFailedError",
+    "CellTimeoutError",
+    "CorruptResultError",
+    "RetryPolicy",
+    "SweepOptions",
+    "SweepStats",
     "edge_balanced_ranges",
     "greedy_assign",
     "range_edge_counts",

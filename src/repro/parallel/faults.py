@@ -1,0 +1,168 @@
+"""Deterministic fault injection for sweep cells.
+
+The resilience layer (:mod:`repro.parallel.resilience`) claims that sweep
+results under crashes, timeouts, and corrupted results are bit-identical
+to a fault-free serial run.  Claims about failure handling are only
+testable if failures can be *produced on demand, reproducibly* — so this
+module injects them from a seeded plan instead of relying on chaos:
+
+* a :class:`FaultPlan` decides, for every ``(cell fingerprint, attempt)``
+  pair, whether to inject a fault and of which kind, using SHA-256 of the
+  seed — the decision is a pure function, identical in every process and
+  on every platform (Python's salted ``hash`` is deliberately avoided);
+* attempts at or beyond ``max_per_cell`` are always clean, so any retry
+  policy with ``max_retries >= max_per_cell`` is guaranteed to converge;
+* plans parse from a compact string (``"seed=7,rate=0.3,kinds=crash|
+  timeout|corrupt,max=2"``) so they fit in the ``REPRO_FAULT_PLAN``
+  environment variable (picked up by every sweep — the CI chaos job's
+  hook) and the reproduce driver's ``--inject-faults`` flag.
+
+Fault kinds:
+
+``crash``
+    the cell raises :class:`InjectedCrash` (stands in for a worker
+    exception or process death);
+``timeout``
+    the cell raises :class:`InjectedTimeout` (stands in for the executor
+    detecting a deadline overrun — real wall-clock timeouts are enforced
+    separately by the retry engine's ``cell_timeout``);
+``corrupt``
+    the cell returns :data:`CORRUPT_RESULT` instead of its value (stands
+    in for a poisoned result; the retry engine validates results against
+    this poison marker and retries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FAULT_KINDS",
+    "CORRUPT_RESULT",
+    "FaultInjected",
+    "InjectedCrash",
+    "InjectedTimeout",
+    "FaultPlan",
+    "is_corrupt",
+]
+
+#: Environment variable holding a serialized plan; every sweep honours it.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Recognised fault kinds, in plan-string order.
+FAULT_KINDS = ("crash", "timeout", "corrupt")
+
+#: Poison value returned by a ``corrupt`` fault.  A distinctive string so
+#: it survives pickling across process boundaries and compares safely
+#: against any real result (numpy-array results make ``==`` hazardous;
+#: see :func:`is_corrupt`).
+CORRUPT_RESULT = "__repro_corrupt_result__"
+
+
+class FaultInjected(RuntimeError):
+    """Base class of all injected failures (lets handlers count them)."""
+
+
+class InjectedCrash(FaultInjected):
+    """Deterministic stand-in for a cell crash."""
+
+
+class InjectedTimeout(FaultInjected):
+    """Deterministic stand-in for a cell exceeding its deadline."""
+
+
+def is_corrupt(result: object) -> bool:
+    """Whether ``result`` is the injected poison value."""
+    return isinstance(result, str) and result == CORRUPT_RESULT
+
+
+def _unit_interval(*parts: str) -> float:
+    """Uniform [0, 1) value derived from SHA-256 of the joined parts."""
+    digest = hashlib.sha256(":".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic schedule of injected faults.
+
+    ``rate`` is the per-``(cell, attempt)`` fault probability; ``kinds``
+    the kinds drawn from (uniformly, by an independent hash); attempts
+    numbered ``max_per_cell`` and beyond are always clean.  ``rate=1.0``
+    with a large ``max_per_cell`` makes a cell fail every attempt — the
+    retry-exhaustion test case.
+    """
+
+    seed: int
+    rate: float
+    kinds: tuple[str, ...] = ("crash",)
+    max_per_cell: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if not self.kinds:
+            raise ValueError("fault plan needs at least one kind")
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {sorted(unknown)}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        if self.max_per_cell < 0:
+            raise ValueError("max_per_cell must be >= 0")
+
+    def decide(self, fingerprint: str, attempt: int) -> str | None:
+        """Fault kind to inject for this ``(cell, attempt)``, or ``None``."""
+        if attempt >= self.max_per_cell:
+            return None
+        if _unit_interval(str(self.seed), fingerprint, str(attempt)) >= self.rate:
+            return None
+        pick = _unit_interval(str(self.seed), fingerprint, str(attempt), "kind")
+        return self.kinds[int(pick * len(self.kinds)) % len(self.kinds)]
+
+    # ------------------------------------------------------------------
+    # serialization (CLI flag / environment variable)
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        return (
+            f"seed={self.seed},rate={self.rate:g},"
+            f"kinds={'|'.join(self.kinds)},max={self.max_per_cell}"
+        )
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultPlan":
+        """Parse ``"seed=7,rate=0.3,kinds=crash|timeout,max=2"``."""
+        fields: dict[str, str] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"malformed fault-plan entry {part!r} in {text!r}")
+            name, _, value = part.partition("=")
+            fields[name.strip()] = value.strip()
+        unknown = set(fields) - {"seed", "rate", "kinds", "max"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan field(s) {sorted(unknown)} in {text!r}"
+            )
+        try:
+            seed = int(fields.get("seed", "0"))
+            rate = float(fields.get("rate", "0.25"))
+            max_per_cell = int(fields.get("max", "2"))
+        except ValueError as exc:
+            raise ValueError(f"malformed fault plan {text!r}: {exc}") from None
+        kinds = tuple(
+            kind for kind in fields.get("kinds", "crash").split("|") if kind
+        )
+        return cls(seed=seed, rate=rate, kinds=kinds, max_per_cell=max_per_cell)
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """Plan from ``REPRO_FAULT_PLAN``, or ``None`` when unset/empty."""
+        text = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        return cls.from_string(text) if text else None

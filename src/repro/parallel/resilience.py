@@ -1,0 +1,517 @@
+"""Fault-tolerant execution engine behind :func:`repro.parallel.sweep.run_cells`.
+
+A figure sweep is a long, embarrassingly-parallel measurement campaign;
+before this module a single worker crash, poisoned result, or stuck cell
+forfeited the whole run.  The engine here executes sweep cells with:
+
+* **per-cell retry with deterministic exponential backoff** — a failed
+  attempt is rescheduled up to ``max_retries`` times, sleeping
+  ``backoff_base * backoff_factor**attempt`` seconds between attempts
+  (jitterless: delays are a pure function of the attempt number, so a
+  rerun schedules identically);
+* **per-cell wall-clock timeouts** (process-pool mode) — a cell past its
+  deadline is charged a failed attempt and rescheduled; the stale
+  future's eventual result is ignored;
+* **graceful pool degradation** — a ``BrokenProcessPool`` (worker died)
+  restarts the pool up to ``max_pool_restarts`` times, then falls back
+  to in-process serial execution for the remaining cells;
+* **checkpoint skip/record** — cells whose fingerprint is already in a
+  :class:`repro.harness.checkpoint.SweepCheckpoint` are skipped and
+  their stored results returned; completed cells are appended as they
+  finish, so an interrupted run resumes where it stopped;
+* **deterministic fault injection** — an explicit
+  :class:`~repro.parallel.faults.FaultPlan` (or one from the
+  ``REPRO_FAULT_PLAN`` environment variable) wraps every attempt, which
+  is how the chaos test suite proves all of the above correct;
+* **failure attribution** — a cell that exhausts its retries raises
+  :class:`CellFailedError` naming the cell key and chaining the original
+  exception (with the worker traceback), *after* every other cell has
+  been given the chance to finish (and be checkpointed).  No hung pools,
+  no anonymous tracebacks.
+
+Results are bit-identical to a fault-free serial run whenever retries
+recover, because cells are deterministic functions of their arguments
+and the engine folds results by submission order, never completion
+order.  Retry/resume activity is observable: spans
+(``sweep[label]/retry[key]``, ``sweep[label]/resumed[key]``), trace
+counter samples (``sweep_resilience``), and a :class:`SweepStats`
+summary that lands in the ``resilience`` section of run reports
+(schema 1.2).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import monotonic, perf_counter
+from typing import Any, Callable
+
+from repro.obs.log import get_logger
+from repro.obs.spans import current_recorder, span
+from repro.obs.trace import counter_sample
+from repro.parallel.faults import (
+    FaultInjected,
+    FaultPlan,
+    InjectedCrash,
+    InjectedTimeout,
+    is_corrupt,
+)
+from repro.utils.fingerprint import cell_fingerprint
+
+__all__ = [
+    "RetryPolicy",
+    "SweepStats",
+    "SweepOptions",
+    "CellFailedError",
+    "CorruptResultError",
+    "CellTimeoutError",
+    "execute_cells",
+]
+
+log = get_logger("parallel.resilience")
+
+
+class CellFailedError(RuntimeError):
+    """A sweep cell exhausted its retries.
+
+    Subclasses ``RuntimeError`` and embeds the original exception message
+    so existing ``except RuntimeError`` handlers keep working; the
+    original exception (with its remote traceback, when it crossed a
+    process boundary) is chained as ``__cause__``.
+    """
+
+    def __init__(self, key: Any, attempts: int, cause: BaseException, *, also_failed=()):
+        self.key = key
+        self.attempts = attempts
+        self.also_failed = tuple(also_failed)
+        message = (
+            f"sweep cell [{key!r}] failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        if self.also_failed:
+            message += f" (also failed: {', '.join(repr(k) for k in self.also_failed)})"
+        super().__init__(message)
+
+
+class CorruptResultError(FaultInjected):
+    """A cell returned the corruption poison value."""
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell overran its wall-clock deadline (pool mode)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures are retried.
+
+    ``max_retries`` is the number of *re*-attempts (total attempts =
+    ``max_retries + 1``).  Backoff is deterministic and jitterless:
+    ``backoff_base * backoff_factor**attempt`` seconds after the
+    ``attempt``-th failure (0-based); the default base of 0 disables
+    sleeping entirely, which is right for in-process simulation cells.
+    ``cell_timeout`` (seconds) is enforced in process-pool mode only —
+    an in-process cell cannot be preempted.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    cell_timeout: float | None = None
+    max_pool_restarts: int = 1
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt number ``attempt + 1`` (seconds)."""
+        if self.backoff_base <= 0.0:
+            return 0.0
+        return self.backoff_base * self.backoff_factor**attempt
+
+    @classmethod
+    def covering(cls, plan: FaultPlan | None, **overrides) -> "RetryPolicy":
+        """A policy whose retries outlast ``plan``'s per-cell fault budget."""
+        if plan is not None:
+            overrides.setdefault("max_retries", max(2, plan.max_per_cell))
+        return cls(**overrides)
+
+
+@dataclass
+class SweepStats:
+    """Counters describing one (or several accumulated) resilient sweeps.
+
+    ``as_dict()`` is the ``resilience`` section of a run report
+    (``docs/metrics_schema.md``, schema 1.2).
+    """
+
+    cells: int = 0
+    completed: int = 0
+    resumed: int = 0
+    retries: int = 0
+    injected_faults: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    serial_fallback: bool = False
+    failed: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cells": self.cells,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "injected_faults": self.injected_faults,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "serial_fallback": self.serial_fallback,
+            "failed": list(self.failed),
+        }
+
+
+@dataclass
+class SweepOptions:
+    """Bundle of resilience settings threaded through the figure sweeps.
+
+    ``workers=None`` defers to each call site's own ``workers`` argument;
+    ``checkpoint_dir`` makes every sweep open (or resume) a per-label
+    checkpoint file under that directory; ``stats`` accumulates across
+    every sweep of a reproduce run so the final report shows one total.
+    """
+
+    workers: int | None = None
+    policy: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+    checkpoint_dir: str | None = None
+    stats: SweepStats | None = None
+
+
+# ----------------------------------------------------------------------
+# worker-side attempt (module-level: must pickle by reference)
+# ----------------------------------------------------------------------
+def _attempt_cell(cell, attempt: int, plan: FaultPlan | None, fingerprint: str):
+    """Run one attempt of one cell, honouring the fault plan."""
+    start = perf_counter()
+    if plan is not None:
+        kind = plan.decide(fingerprint, attempt)
+        if kind == "crash":
+            raise InjectedCrash(
+                f"injected crash for cell [{cell.key!r}] attempt {attempt}"
+            )
+        if kind == "timeout":
+            raise InjectedTimeout(
+                f"injected timeout for cell [{cell.key!r}] attempt {attempt}"
+            )
+        if kind == "corrupt":
+            from repro.parallel.faults import CORRUPT_RESULT
+
+            return CORRUPT_RESULT, perf_counter() - start
+    result = cell.fn(*cell.args, **cell.kwargs)
+    return result, perf_counter() - start
+
+
+class _CellRun:
+    """Mutable scheduling state of one cell across its attempts."""
+
+    __slots__ = ("index", "cell", "fingerprint", "attempt", "deadline")
+
+    def __init__(self, index: int, cell, fingerprint: str) -> None:
+        self.index = index
+        self.cell = cell
+        self.fingerprint = fingerprint
+        self.attempt = 0
+        self.deadline: float | None = None
+
+
+class _Engine:
+    """One resilient sweep execution (single use)."""
+
+    def __init__(
+        self,
+        cells: list,
+        *,
+        workers: int | None,
+        label: str,
+        policy: RetryPolicy | None,
+        fault_plan: FaultPlan | None,
+        checkpoint,
+        stats: SweepStats | None,
+        note: Callable[[str, float], None],
+    ) -> None:
+        self.cells = cells
+        self.label = label
+        self.plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        # With faults flying, a no-retry default would be self-defeating:
+        # cover the plan's per-cell budget unless the caller chose a policy.
+        if policy is not None:
+            self.policy = policy
+        elif self.plan is not None:
+            self.policy = RetryPolicy.covering(self.plan)
+        else:
+            self.policy = RetryPolicy(max_retries=0)
+        self.checkpoint = checkpoint
+        self.stats = stats if stats is not None else SweepStats()
+        self.note = note
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        self.workers = workers or 1
+        self.outcomes: dict[int, Any] = {}
+        self.failures: list[tuple[_CellRun, BaseException]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict[Any, Any]:
+        self.stats.cells += len(self.cells)
+        runs: list[_CellRun] = []
+        for index, cell in enumerate(self.cells):
+            fingerprint = cell_fingerprint(
+                cell.fn, cell.key, cell.args, cell.kwargs
+            )
+            if self.checkpoint is not None and self.checkpoint.has(fingerprint):
+                record = self.checkpoint.result_for(fingerprint)
+                self.outcomes[index] = record.result
+                self.stats.resumed += 1
+                self.note(f"resumed[{cell.key}]", record.seconds)
+                continue
+            runs.append(_CellRun(index, cell, fingerprint))
+        if self.stats.resumed:
+            log.info(
+                "%s: resumed %d of %d cells from checkpoint",
+                self.label,
+                self.stats.resumed,
+                len(self.cells),
+            )
+
+        nworkers = min(self.workers, len(runs)) if runs else 1
+        if nworkers <= 1:
+            self._run_serial(runs)
+        else:
+            self._run_pool(runs, nworkers)
+
+        counter_sample(
+            "sweep_resilience",
+            {
+                "retries": float(self.stats.retries),
+                "resumed": float(self.stats.resumed),
+                "completed": float(self.stats.completed),
+            },
+        )
+        if self.failures:
+            first_run, first_exc = self.failures[0]
+            raise CellFailedError(
+                first_run.cell.key,
+                first_run.attempt + 1,
+                first_exc,
+                also_failed=[run.cell.key for run, _ in self.failures[1:]],
+            ) from first_exc
+        # Submission order, never completion order: with duplicate keys the
+        # last-submitted cell wins, exactly as a serial loop would have it.
+        return {
+            cell.key: self.outcomes[index]
+            for index, cell in enumerate(self.cells)
+            if index in self.outcomes
+        }
+
+    # ------------------------------------------------------------------
+    def _complete(self, run: _CellRun, result: Any, seconds: float) -> None:
+        self.outcomes[run.index] = result
+        self.stats.completed += 1
+        self.note(f"cell[{run.cell.key}]", seconds)
+        if self.checkpoint is not None:
+            self.checkpoint.record(run.fingerprint, run.cell.key, result, seconds)
+
+    def _record_failure(self, run: _CellRun, exc: BaseException, elapsed: float) -> bool:
+        """Count one failed attempt; return True if the cell will retry."""
+        if isinstance(exc, FaultInjected):
+            self.stats.injected_faults += 1
+        if isinstance(exc, (InjectedTimeout, CellTimeoutError)):
+            self.stats.timeouts += 1
+        if run.attempt < self.policy.max_retries:
+            self.stats.retries += 1
+            self.note(f"retry[{run.cell.key}]", elapsed)
+            log.warning(
+                "%s: cell [%r] attempt %d failed (%s: %s); retrying",
+                self.label,
+                run.cell.key,
+                run.attempt,
+                type(exc).__name__,
+                exc,
+            )
+            delay = self.policy.delay(run.attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            run.attempt += 1
+            return True
+        self.failures.append((run, exc))
+        self.stats.failed.append(repr(run.cell.key))
+        log.error(
+            "%s: cell [%r] failed permanently after %d attempt(s): %s: %s",
+            self.label,
+            run.cell.key,
+            run.attempt + 1,
+            type(exc).__name__,
+            exc,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, runs: list[_CellRun]) -> None:
+        for run in runs:
+            while True:
+                start = perf_counter()
+                try:
+                    result, seconds = _attempt_cell(
+                        run.cell, run.attempt, self.plan, run.fingerprint
+                    )
+                    if is_corrupt(result):
+                        raise CorruptResultError(
+                            f"cell [{run.cell.key!r}] returned a corrupt result"
+                        )
+                except Exception as exc:  # noqa: BLE001 — every cell error retries
+                    if self._record_failure(run, exc, perf_counter() - start):
+                        continue
+                    break
+                self._complete(run, result, seconds)
+                break
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, runs: list[_CellRun], nworkers: int) -> None:
+        log.debug(
+            "%s: %d cells across %d workers", self.label, len(runs), nworkers
+        )
+        pool = ProcessPoolExecutor(max_workers=nworkers)
+        restarts_left = self.policy.max_pool_restarts
+        ready: deque[_CellRun] = deque(runs)
+        pending: dict[Future, tuple[_CellRun, float]] = {}
+        stale: list[Future] = []
+        try:
+            while ready or pending:
+                while ready:
+                    run = ready.popleft()
+                    future = pool.submit(
+                        _attempt_cell, run.cell, run.attempt, self.plan, run.fingerprint
+                    )
+                    submitted = monotonic()
+                    if self.policy.cell_timeout is not None:
+                        run.deadline = submitted + self.policy.cell_timeout
+                    pending[future] = (run, submitted)
+
+                wait_timeout = None
+                if self.policy.cell_timeout is not None:
+                    deadlines = [run.deadline for run, _ in pending.values()]
+                    wait_timeout = max(0.0, min(deadlines) - monotonic())
+                done, _ = wait(
+                    set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
+                broken = False
+                for future in done:
+                    run, submitted = pending.pop(future)
+                    elapsed = monotonic() - submitted
+                    exc = future.exception()
+                    if isinstance(exc, BrokenProcessPool):
+                        # Worker death kills every in-flight future; requeue
+                        # this run and let the pool-level handling below
+                        # deal with the rest.
+                        ready.appendleft(run)
+                        broken = True
+                        continue
+                    if exc is not None:
+                        if self._record_failure(run, exc, elapsed):
+                            ready.append(run)
+                        continue
+                    result, seconds = future.result()
+                    if is_corrupt(result):
+                        corrupt = CorruptResultError(
+                            f"cell [{run.cell.key!r}] returned a corrupt result"
+                        )
+                        if self._record_failure(run, corrupt, elapsed):
+                            ready.append(run)
+                        continue
+                    self._complete(run, result, seconds)
+
+                if broken:
+                    # Move every other in-flight run back to the queue; their
+                    # futures are dead with the pool.
+                    for future, (run, _) in list(pending.items()):
+                        ready.append(run)
+                    pending.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self.stats.pool_restarts += 1
+                    if restarts_left > 0:
+                        restarts_left -= 1
+                        log.warning(
+                            "%s: worker pool died; restarting (%d restart(s) left)",
+                            self.label,
+                            restarts_left,
+                        )
+                        pool = ProcessPoolExecutor(max_workers=nworkers)
+                        continue
+                    log.warning(
+                        "%s: worker pool died repeatedly; degrading to "
+                        "in-process serial execution for %d remaining cell(s)",
+                        self.label,
+                        len(ready),
+                    )
+                    self.stats.serial_fallback = True
+                    self._run_serial(list(ready))
+                    ready.clear()
+                    return
+
+                # Deadline sweep: charge overrun cells a failed attempt and
+                # reschedule; the stale future's eventual result is ignored.
+                if self.policy.cell_timeout is not None:
+                    now = monotonic()
+                    for future, (run, submitted) in list(pending.items()):
+                        if run.deadline is not None and now >= run.deadline:
+                            pending.pop(future)
+                            future.cancel()
+                            stale.append(future)
+                            timeout_exc = CellTimeoutError(
+                                f"cell [{run.cell.key!r}] exceeded its "
+                                f"{self.policy.cell_timeout:g}s deadline"
+                            )
+                            if self._record_failure(run, timeout_exc, now - submitted):
+                                run.deadline = None
+                                ready.append(run)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def execute_cells(
+    cells: list,
+    *,
+    workers: int | None = None,
+    label: str = "sweep",
+    policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint=None,
+    stats: SweepStats | None = None,
+) -> dict[Any, Any]:
+    """Run sweep cells resiliently and return ``{cell.key: result}``.
+
+    This is the engine behind :func:`repro.parallel.sweep.run_cells`;
+    see that function for the caller-facing contract.  ``checkpoint`` is
+    duck-typed (``has`` / ``result_for`` / ``record``) — in practice a
+    :class:`repro.harness.checkpoint.SweepCheckpoint`.
+    """
+    recorder = current_recorder()
+    with span(f"sweep[{label}]") as sweep_span:
+        base = getattr(sweep_span, "path", None)
+        prefix = f"{base}/" if base else ""
+
+        def note(name: str, seconds: float) -> None:
+            if recorder is not None:
+                recorder.record(f"{prefix}{name}", seconds)
+
+        engine = _Engine(
+            cells,
+            workers=workers,
+            label=label,
+            policy=policy,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+            stats=stats,
+            note=note,
+        )
+        return engine.run()

@@ -16,22 +16,33 @@ the parent's span recorder; instead each worker times its cell with
 :class:`~repro.obs.spans.SpanRecorder` as ``sweep[label]/cell[key]`` — so
 ``--workers 8`` still yields a complete per-cell timing breakdown in run
 reports.
+
+Execution is fault tolerant (see :mod:`repro.parallel.resilience`): a
+failing cell is retried under the :class:`~repro.parallel.resilience.
+RetryPolicy`, results can be checkpointed and resumed through a
+:class:`repro.harness.checkpoint.SweepCheckpoint`, worker-pool death
+degrades to in-process serial execution, and deterministic faults can be
+injected for testing (``REPRO_FAULT_PLAN`` or an explicit
+:class:`~repro.parallel.faults.FaultPlan`).  A cell that exhausts its
+retries raises :class:`~repro.parallel.resilience.CellFailedError`
+naming the cell and chaining the original (worker) traceback — after
+letting every other cell finish, never leaving a hung pool.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Any, Callable
 
-from repro.obs.log import get_logger
-from repro.obs.spans import current_recorder, span
+from repro.parallel.resilience import (
+    RetryPolicy,
+    SweepStats,
+    execute_cells,
+)
+from repro.parallel.faults import FaultPlan
 
 __all__ = ["SweepCell", "run_cells", "default_workers"]
-
-log = get_logger("parallel.sweep")
 
 
 @dataclass(frozen=True)
@@ -61,48 +72,37 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def _run_one(cell: SweepCell) -> tuple[Any, Any, float]:
-    """Execute one cell, returning ``(key, result, seconds)``."""
-    start = perf_counter()
-    result = cell.fn(*cell.args, **cell.kwargs)
-    return cell.key, result, perf_counter() - start
-
-
 def run_cells(
     cells: list[SweepCell],
     *,
     workers: int | None = None,
     label: str = "sweep",
+    policy: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    checkpoint=None,
+    stats: SweepStats | None = None,
 ) -> dict[Any, Any]:
     """Run every cell and return ``{cell.key: result}``.
 
     ``workers=None`` or ``1`` runs serially in-process (no executor, no
     pickling); ``workers=0`` means one worker per CPU; ``workers >= 2``
     uses a process pool.  Results are identical either way — cells are
-    deterministic functions of their arguments.
+    deterministic functions of their arguments — and identical with or
+    without recovered faults.
+
+    ``policy`` defaults to no retries (or to a plan-covering policy when
+    a fault plan is active); ``checkpoint`` is an opened
+    :class:`repro.harness.checkpoint.SweepCheckpoint` whose completed
+    cells are skipped and into which new completions are appended;
+    ``stats`` (a :class:`~repro.parallel.resilience.SweepStats`)
+    accumulates retry/resume counters for run reports.
     """
-    if workers == 0:
-        workers = default_workers()
-    nworkers = min(workers or 1, len(cells)) if cells else 1
-    results: dict[Any, Any] = {}
-    recorder = current_recorder()
-    with span(f"sweep[{label}]") as sweep_span:
-        base = getattr(sweep_span, "path", None)
-        prefix = f"{base}/" if base else ""
-
-        def note(key: Any, seconds: float) -> None:
-            if recorder is not None:
-                recorder.record(f"{prefix}cell[{key}]", seconds)
-
-        if nworkers <= 1:
-            for cell in cells:
-                key, result, seconds = _run_one(cell)
-                results[key] = result
-                note(key, seconds)
-            return results
-        log.debug("%s: %d cells across %d workers", label, len(cells), nworkers)
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            for key, result, seconds in pool.map(_run_one, cells):
-                results[key] = result
-                note(key, seconds)
-    return results
+    return execute_cells(
+        cells,
+        workers=workers,
+        label=label,
+        policy=policy,
+        fault_plan=fault_plan,
+        checkpoint=checkpoint,
+        stats=stats,
+    )

@@ -54,6 +54,30 @@ def test_run_cells_propagates_worker_errors():
         run_cells([SweepCell(key=0, fn=_boom)], workers=2)
 
 
+def test_run_cells_failure_names_cell_and_chains_original():
+    # Regression: a worker failure used to surface as an anonymous
+    # RuntimeError.  It must now name the failing cell and chain the
+    # original exception (whose message and type survive pickling back
+    # from the worker) — and the healthy cells must still complete.
+    from repro.parallel import CellFailedError, SweepStats
+
+    cells = [
+        SweepCell(key="ok0", fn=_square, args=(3,)),
+        SweepCell(key="bad", fn=_boom),
+        SweepCell(key="ok1", fn=_square, args=(4,)),
+    ]
+    stats = SweepStats()
+    with pytest.raises(CellFailedError) as excinfo:
+        run_cells(cells, workers=2, stats=stats)
+    err = excinfo.value
+    assert err.key == "bad"
+    assert "bad" in str(err) and "cell failed" in str(err)
+    assert isinstance(err.__cause__, RuntimeError)
+    assert str(err.__cause__) == "cell failed"
+    assert stats.completed == 2  # ok0 and ok1 finished despite the failure
+    assert stats.failed == ["'bad'"]
+
+
 def test_default_workers_positive():
     assert default_workers() >= 1
 

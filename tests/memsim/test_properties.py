@@ -16,7 +16,10 @@ from repro.memsim import (
     CacheConfig,
     DirectMappedVectorized,
     FullyAssociativeLRU,
+    MemCounters,
     SetAssociativeLRU,
+    StackDistanceLRU,
+    Stream,
     irregular_chunk,
     misses_for_capacity,
     reuse_distance_histogram,
@@ -182,6 +185,79 @@ def test_hits_plus_misses_equals_accesses(lines):
     arr = np.asarray(lines, dtype=np.int64)
     engine = FullyAssociativeLRU(CacheConfig(256, 64))
     counters = simulate([irregular_chunk(arr)], engine)
-    from repro.memsim import Stream
 
     assert counters.hits[Stream.OTHER] + counters.reads[Stream.OTHER] == arr.size
+
+
+# ----------------------------------------------------------------------
+# stateful differential: StackDistanceLRU vs the per-access oracle with
+# sync() interleaved at arbitrary points
+# ----------------------------------------------------------------------
+# A "program" interleaves gather chunks (reads of VERTEX_CONTRIB — the
+# bin-reading side of propagation blocking), scatter chunks (writes of
+# VERTEX_SUMS — the accumulate side) and sync points.  The batching
+# engine buffers chunks and resolves them lazily; sync() must
+# materialize counts *without* perturbing cache state, so the counters
+# must equal the eager oracle's at every sync point and after the final
+# flush, wherever the syncs land.
+_chunk_op = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=60),
+    st.booleans(),  # True -> scatter (write sums), False -> gather (read contribs)
+)
+_program = st.lists(st.one_of(st.just("sync"), _chunk_op), max_size=30)
+
+
+@given(program=_program, capacity=capacity_strategy)
+@settings(max_examples=150, deadline=None)
+def test_stackdist_matches_oracle_with_interleaved_sync(program, capacity):
+    cfg = CacheConfig(64 * capacity, 64)
+    oracle, batching = FullyAssociativeLRU(cfg), StackDistanceLRU(cfg)
+    c_oracle, c_batching = MemCounters(), MemCounters()
+    for op in program:
+        if op == "sync":
+            oracle.sync(c_oracle)
+            batching.sync(c_batching)
+            assert c_batching.as_dict() == c_oracle.as_dict()
+        else:
+            lines, is_scatter = op
+            chunk = irregular_chunk(
+                np.asarray(lines, dtype=np.int64),
+                write=is_scatter,
+                stream=Stream.VERTEX_SUMS if is_scatter else Stream.VERTEX_CONTRIB,
+                phase="accumulate" if is_scatter else "binning",
+            )
+            oracle.process_chunk(chunk, c_oracle)
+            batching.process_chunk(chunk, c_batching)
+    oracle.flush(c_oracle)
+    batching.flush(c_batching)
+    assert c_batching.as_dict() == c_oracle.as_dict()
+
+
+@given(program=_program, capacity=capacity_strategy)
+@settings(max_examples=50, deadline=None)
+def test_stackdist_sync_points_do_not_change_final_counts(program, capacity):
+    """Dropping every sync from a program must not change the totals."""
+    chunks = [op for op in program if op != "sync"]
+
+    def run(ops):
+        engine = StackDistanceLRU(CacheConfig(64 * capacity, 64))
+        counters = MemCounters()
+        for op in ops:
+            if op == "sync":
+                engine.sync(counters)
+            else:
+                lines, is_scatter = op
+                engine.process_chunk(
+                    irregular_chunk(
+                        np.asarray(lines, dtype=np.int64),
+                        write=is_scatter,
+                        stream=Stream.VERTEX_SUMS
+                        if is_scatter
+                        else Stream.VERTEX_CONTRIB,
+                    ),
+                    counters,
+                )
+        engine.flush(counters)
+        return counters.as_dict()
+
+    assert run(program) == run(chunks)
