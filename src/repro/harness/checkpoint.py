@@ -9,9 +9,13 @@ a stable SHA-256 of the cell function, key, and arguments), and a
 resumed run (``--resume DIR``) skips any cell whose fingerprint is
 already present, returning the stored result instead.  Because the
 fingerprint covers the arguments (graph arrays included), a checkpoint
-can never replay a stale result for a changed configuration — a
-different scale, seed, engine, or code path yields a different
-fingerprint and the cell simply reruns.
+never replays a stale result for a changed *configuration* — a
+different scale, seed, or engine yields a different fingerprint and the
+cell simply reruns.  Code identity, however, is by name only (module +
+qualname, the tradeoff documented in ``repro.utils.fingerprint``):
+editing a cell function's body leaves old checkpoints valid, so after
+changing simulation code delete the checkpoint directory (or resume
+into a fresh one) rather than trusting ``--resume``.
 
 File format (documented in ``docs/metrics_schema.md``):
 

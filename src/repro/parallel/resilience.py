@@ -9,9 +9,11 @@ forfeited the whole run.  The engine here executes sweep cells with:
   ``backoff_base * backoff_factor**attempt`` seconds between attempts
   (jitterless: delays are a pure function of the attempt number, so a
   rerun schedules identically);
-* **per-cell wall-clock timeouts** (process-pool mode) — a cell past its
-  deadline is charged a failed attempt and rescheduled; the stale
-  future's eventual result is ignored;
+* **per-cell wall-clock timeouts** (process-pool mode) — submissions are
+  throttled to the worker count so a deadline measures execution, not
+  queueing; a cell past its deadline is charged a failed attempt and
+  rescheduled, and if its worker cannot be preempted the pool is
+  replaced so a non-terminating cell never wedges the sweep;
 * **graceful pool degradation** — a ``BrokenProcessPool`` (worker died)
   restarts the pool up to ``max_pool_restarts`` times, then falls back
   to in-process serial execution for the remaining cells;
@@ -115,7 +117,10 @@ class RetryPolicy:
     ``attempt``-th failure (0-based); the default base of 0 disables
     sleeping entirely, which is right for in-process simulation cells.
     ``cell_timeout`` (seconds) is enforced in process-pool mode only —
-    an in-process cell cannot be preempted.
+    an in-process cell cannot be preempted.  A timed-out cell whose
+    worker will not stop costs a pool replacement (its remaining healthy
+    workers are terminated and their cells requeued), so set it well
+    above the slowest legitimate cell.
     """
 
     max_retries: int = 2
@@ -214,7 +219,7 @@ def _attempt_cell(cell, attempt: int, plan: FaultPlan | None, fingerprint: str):
 class _CellRun:
     """Mutable scheduling state of one cell across its attempts."""
 
-    __slots__ = ("index", "cell", "fingerprint", "attempt", "deadline")
+    __slots__ = ("index", "cell", "fingerprint", "attempt", "deadline", "not_before")
 
     def __init__(self, index: int, cell, fingerprint: str) -> None:
         self.index = index
@@ -222,6 +227,7 @@ class _CellRun:
         self.fingerprint = fingerprint
         self.attempt = 0
         self.deadline: float | None = None
+        self.not_before = 0.0  # monotonic() before which a retry must not start
 
 
 class _Engine:
@@ -337,9 +343,10 @@ class _Engine:
                 type(exc).__name__,
                 exc,
             )
-            delay = self.policy.delay(run.attempt)
-            if delay > 0.0:
-                time.sleep(delay)
+            # Backoff is recorded, never slept here: in pool mode this runs
+            # on the dispatcher thread, which must keep servicing the other
+            # cells' completions and deadlines while one cell backs off.
+            run.not_before = monotonic() + self.policy.delay(run.attempt)
             run.attempt += 1
             return True
         self.failures.append((run, exc))
@@ -358,6 +365,9 @@ class _Engine:
     def _run_serial(self, runs: list[_CellRun]) -> None:
         for run in runs:
             while True:
+                pause = run.not_before - monotonic()
+                if pause > 0.0:
+                    time.sleep(pause)
                 start = perf_counter()
                 try:
                     result, seconds = _attempt_cell(
@@ -383,57 +393,95 @@ class _Engine:
         restarts_left = self.policy.max_pool_restarts
         ready: deque[_CellRun] = deque(runs)
         pending: dict[Future, tuple[_CellRun, float]] = {}
-        stale: list[Future] = []
         try:
             while ready or pending:
-                while ready:
-                    run = ready.popleft()
-                    future = pool.submit(
-                        _attempt_cell, run.cell, run.attempt, self.plan, run.fingerprint
-                    )
-                    submitted = monotonic()
-                    if self.policy.cell_timeout is not None:
-                        run.deadline = submitted + self.policy.cell_timeout
-                    pending[future] = (run, submitted)
-
-                wait_timeout = None
-                if self.policy.cell_timeout is not None:
-                    deadlines = [run.deadline for run, _ in pending.values()]
-                    wait_timeout = max(0.0, min(deadlines) - monotonic())
-                done, _ = wait(
-                    set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
-                )
-
                 broken = False
-                for future in done:
-                    run, submitted = pending.pop(future)
-                    elapsed = monotonic() - submitted
-                    exc = future.exception()
-                    if isinstance(exc, BrokenProcessPool):
-                        # Worker death kills every in-flight future; requeue
-                        # this run and let the pool-level handling below
-                        # deal with the rest.
+
+                # Throttled submission: at most one in-flight future per
+                # worker, so a submitted cell starts executing immediately
+                # and its deadline measures execution, not time spent queued
+                # behind other cells.  Runs still inside their backoff window
+                # are held back until ``not_before`` passes.
+                now = monotonic()
+                held: list[_CellRun] = []
+                while ready and len(pending) < nworkers:
+                    run = ready.popleft()
+                    if run.not_before > now:
+                        held.append(run)
+                        continue
+                    try:
+                        future = pool.submit(
+                            _attempt_cell,
+                            run.cell,
+                            run.attempt,
+                            self.plan,
+                            run.fingerprint,
+                        )
+                    except BrokenProcessPool:
+                        # The pool died between completions; route this the
+                        # same way as a broken in-flight future.
                         ready.appendleft(run)
                         broken = True
-                        continue
-                    if exc is not None:
-                        if self._record_failure(run, exc, elapsed):
-                            ready.append(run)
-                        continue
-                    result, seconds = future.result()
-                    if is_corrupt(result):
-                        corrupt = CorruptResultError(
-                            f"cell [{run.cell.key!r}] returned a corrupt result"
-                        )
-                        if self._record_failure(run, corrupt, elapsed):
-                            ready.append(run)
-                        continue
-                    self._complete(run, result, seconds)
+                        break
+                    started = monotonic()
+                    if self.policy.cell_timeout is not None:
+                        run.deadline = started + self.policy.cell_timeout
+                    pending[future] = (run, started)
+                ready.extend(held)
+
+                if not broken and not pending:
+                    # Every remaining cell is backing off; sleep until the
+                    # earliest becomes eligible.
+                    wake = min(run.not_before for run in ready)
+                    time.sleep(max(0.0, wake - monotonic()))
+                    continue
+
+                if not broken:
+                    # Wake for the earliest cell deadline, or — when there is
+                    # spare worker capacity — the earliest backoff expiry.
+                    wake_times = [
+                        run.deadline
+                        for run, _ in pending.values()
+                        if run.deadline is not None
+                    ]
+                    if len(pending) < nworkers:
+                        wake_times += [run.not_before for run in ready if run.not_before > 0.0]
+                    wait_timeout = (
+                        max(0.0, min(wake_times) - monotonic()) if wake_times else None
+                    )
+                    done, _ = wait(
+                        set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                    )
+
+                    for future in done:
+                        run, started = pending.pop(future)
+                        elapsed = monotonic() - started
+                        exc = future.exception()
+                        if isinstance(exc, BrokenProcessPool):
+                            # Worker death kills every in-flight future;
+                            # requeue this run and let the pool-level
+                            # handling below deal with the rest.
+                            ready.appendleft(run)
+                            broken = True
+                            continue
+                        if exc is not None:
+                            if self._record_failure(run, exc, elapsed):
+                                ready.append(run)
+                            continue
+                        result, seconds = future.result()
+                        if is_corrupt(result):
+                            corrupt = CorruptResultError(
+                                f"cell [{run.cell.key!r}] returned a corrupt result"
+                            )
+                            if self._record_failure(run, corrupt, elapsed):
+                                ready.append(run)
+                            continue
+                        self._complete(run, result, seconds)
 
                 if broken:
                     # Move every other in-flight run back to the queue; their
                     # futures are dead with the pool.
-                    for future, (run, _) in list(pending.items()):
+                    for run, _ in pending.values():
                         ready.append(run)
                     pending.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
@@ -459,23 +507,62 @@ class _Engine:
                     return
 
                 # Deadline sweep: charge overrun cells a failed attempt and
-                # reschedule; the stale future's eventual result is ignored.
+                # reschedule.  A future that cannot be cancelled is being
+                # executed by a worker we have no way to preempt — the pool
+                # must be replaced to reclaim that slot, or a single hung
+                # cell would wedge the sweep (and the final shutdown).
+                hung = False
                 if self.policy.cell_timeout is not None:
                     now = monotonic()
-                    for future, (run, submitted) in list(pending.items()):
+                    for future, (run, started) in list(pending.items()):
                         if run.deadline is not None and now >= run.deadline:
                             pending.pop(future)
-                            future.cancel()
-                            stale.append(future)
                             timeout_exc = CellTimeoutError(
                                 f"cell [{run.cell.key!r}] exceeded its "
                                 f"{self.policy.cell_timeout:g}s deadline"
                             )
-                            if self._record_failure(run, timeout_exc, now - submitted):
-                                run.deadline = None
+                            if self._record_failure(run, timeout_exc, now - started):
                                 ready.append(run)
+                            if not future.cancel():
+                                hung = True
+                if hung:
+                    # Healthy in-flight runs die with the abandoned pool;
+                    # requeue them without charging an attempt (mirroring
+                    # the broken-pool path).  Replacement is not counted
+                    # against max_pool_restarts: each replacement charges
+                    # the overrun cell an attempt, so retries bound it.
+                    for run, _ in pending.values():
+                        ready.append(run)
+                    pending.clear()
+                    self._abandon_pool(pool)
+                    self.stats.pool_restarts += 1
+                    log.warning(
+                        "%s: replacing worker pool wedged by a timed-out cell",
+                        self.label,
+                    )
+                    pool = ProcessPoolExecutor(max_workers=nworkers)
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            # Never wait=True: if anything above raised while a worker was
+            # stuck on a cell, joining it would hang the whole engine.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Free a pool wedged by a non-terminating cell without joining it.
+
+        ``shutdown(wait=True)`` would block on the hung worker forever, so
+        the pool is shut down unjoined and its worker processes terminated
+        best-effort.  ``_processes`` is CPython's internal worker map; if a
+        future version hides it the processes leak until their cells return,
+        which is still better than a hung sweep.
+        """
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 — already-dead workers are fine
+                pass
 
 
 def execute_cells(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -43,6 +44,20 @@ def _sleep_forever(x):
     import time
 
     time.sleep(1.5)
+    return x
+
+
+def _sleep_then_square(x):
+    import time
+
+    time.sleep(0.25)
+    return x * x
+
+
+def _hang(x):
+    import time
+
+    time.sleep(60)
     return x
 
 
@@ -248,6 +263,49 @@ def test_cell_timeout_exhaustion_raises_and_does_not_hang(monkeypatch):
         )
     assert isinstance(excinfo.value.__cause__, CellTimeoutError)
     assert stats.timeouts == 2
+
+
+def test_queued_cells_are_not_charged_timeout_while_waiting(monkeypatch):
+    # 8 cells of ~0.25s over 2 workers: the last cells spend ~0.75s queued,
+    # which must not count against their 0.6s *execution* deadline.  (The
+    # deadline starts at submission, and submissions are throttled to the
+    # worker count, so a submitted cell is executing, not queued.)
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    stats = SweepStats()
+    cells = [SweepCell(key=i, fn=_sleep_then_square, args=(i,)) for i in range(8)]
+    result = run_cells(
+        cells,
+        workers=2,
+        policy=RetryPolicy(max_retries=0, cell_timeout=0.6),
+        stats=stats,
+    )
+    assert result == {i: i * i for i in range(8)}
+    assert stats.timeouts == 0
+    assert stats.failed == []
+
+
+def test_hung_cell_does_not_wedge_engine_or_shutdown(monkeypatch):
+    # A worker stuck on a 60s cell cannot be preempted; the engine must
+    # replace the pool (terminating the stuck worker) rather than join it
+    # at shutdown, and the healthy cells sharing the pool must complete.
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    stats = SweepStats()
+    cells = [SweepCell(key="hang", fn=_hang, args=(0,))] + [
+        SweepCell(key=i, fn=_square, args=(i,)) for i in range(3)
+    ]
+    start = time.monotonic()
+    with pytest.raises(CellFailedError) as excinfo:
+        run_cells(
+            cells,
+            workers=2,
+            policy=RetryPolicy(max_retries=0, cell_timeout=0.3),
+            stats=stats,
+        )
+    assert time.monotonic() - start < 10.0  # terminated, never joined
+    assert excinfo.value.key == "hang"
+    assert isinstance(excinfo.value.__cause__, CellTimeoutError)
+    assert stats.completed == 3
+    assert stats.pool_restarts >= 1
 
 
 # ----------------------------------------------------------------------
