@@ -6,16 +6,12 @@ on the bin insertion points during binning (paper: 512 KB chosen; the
 scaled machine's equivalent is the ~1/2-LLC slice).
 """
 
-from repro.harness import figure10_bin_width_time
-
 from benchmarks.conftest import BIN_WIDTHS
 
 
-def test_fig10_binwidth_time(benchmark, half_suite_graphs, binwidth_sweep_data, report):
+def test_fig10_binwidth_time(benchmark, binwidth_plan, report):
     fig = benchmark.pedantic(
-        lambda: figure10_bin_width_time(
-            half_suite_graphs, BIN_WIDTHS, _sweep_cache=binwidth_sweep_data
-        ),
+        lambda: binwidth_plan.artifact("fig10"),
         rounds=1,
         iterations=1,
     )

@@ -6,14 +6,12 @@ optimized labelling drops it toward 50% (paper: 49.0%); the uniform-random
 model's prediction tracks the measurement on the synthetic graphs.
 """
 
-from repro.harness import figure3_vertex_traffic
-
 from benchmarks.emit_bench import emit_bench, figure_metrics
 
 
-def test_fig3_vertex_traffic(benchmark, suite_graphs, report):
+def test_fig3_vertex_traffic(benchmark, paper_plan, report):
     fig = benchmark.pedantic(
-        lambda: figure3_vertex_traffic(suite_graphs), rounds=1, iterations=1
+        lambda: paper_plan.artifact("fig3"), rounds=1, iterations=1
     )
     report("fig3_vertex_traffic", fig.render())
     emit_bench(

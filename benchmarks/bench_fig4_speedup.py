@@ -6,14 +6,13 @@ Shapes to reproduce: blocking speeds up every low-locality graph (paper:
 """
 
 from repro.graphs import LOW_LOCALITY_NAMES
-from repro.harness import figure4_speedup
 
 from benchmarks.emit_bench import emit_bench, figure_metrics
 
 
-def test_fig4_speedup(benchmark, suite_graphs, suite_data, report):
+def test_fig4_speedup(benchmark, paper_plan, report):
     fig = benchmark.pedantic(
-        lambda: figure4_speedup(suite_graphs, _measurements=suite_data),
+        lambda: paper_plan.artifact("fig4"),
         rounds=1,
         iterations=1,
     )

@@ -7,14 +7,13 @@ because the baseline uses more of the available bandwidth.
 """
 
 from repro.graphs import LOW_LOCALITY_NAMES
-from repro.harness import figure4_speedup, figure5_communication_reduction
 
 from benchmarks.emit_bench import emit_bench, figure_metrics
 
 
-def test_fig5_comm_reduction(benchmark, suite_graphs, suite_data, report):
+def test_fig5_comm_reduction(benchmark, paper_plan, report):
     fig = benchmark.pedantic(
-        lambda: figure5_communication_reduction(suite_graphs, _measurements=suite_data),
+        lambda: paper_plan.artifact("fig5"),
         rounds=1,
         iterations=1,
     )
@@ -33,6 +32,6 @@ def test_fig5_comm_reduction(benchmark, suite_graphs, suite_data, report):
     assert fig.series["DPB"][idx["web"]] < 1.05  # no reduction on web
 
     # Reductions in communication exceed reductions in execution time.
-    fig4 = figure4_speedup(suite_graphs, _measurements=suite_data)
+    fig4 = paper_plan.artifact("fig4")
     for name in LOW_LOCALITY_NAMES:
         assert dpb[idx[name]] > fig4.series["DPB"][idx[name]], name

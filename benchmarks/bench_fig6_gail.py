@@ -6,12 +6,9 @@ while the baseline's per-edge traffic tracks each graph's locality; on web
 the baseline's naturally low traffic already captures blocking's benefit.
 """
 
-from repro.harness import figure6_requests_per_edge
-
-
-def test_fig6_gail(benchmark, suite_graphs, suite_data, report):
+def test_fig6_gail(benchmark, paper_plan, report):
     fig = benchmark.pedantic(
-        lambda: figure6_requests_per_edge(suite_graphs, _measurements=suite_data),
+        lambda: paper_plan.artifact("fig6"),
         rounds=1,
         iterations=1,
     )

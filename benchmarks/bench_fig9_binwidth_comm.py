@@ -6,17 +6,12 @@ beyond the cache blow up traffic (the sums scatters start missing); web is
 insensitive because its layout already provides the locality.
 """
 
-from repro.harness import figure9_bin_width_communication
-
-from benchmarks.conftest import BIN_WIDTHS
 from benchmarks.emit_bench import emit_bench, figure_metrics
 
 
-def test_fig9_binwidth_comm(benchmark, half_suite_graphs, binwidth_sweep_data, report):
+def test_fig9_binwidth_comm(benchmark, binwidth_plan, report):
     fig = benchmark.pedantic(
-        lambda: figure9_bin_width_communication(
-            half_suite_graphs, BIN_WIDTHS, _sweep_cache=binwidth_sweep_data
-        ),
+        lambda: binwidth_plan.artifact("fig9"),
         rounds=1,
         iterations=1,
     )

@@ -5,11 +5,12 @@ next to the paper's, asserting the degree targets hold after scaling.
 """
 
 from repro.graphs import SUITE
-from repro.harness import table1
 
 
-def test_table1_suite(benchmark, suite_graphs, report):
-    result = benchmark.pedantic(lambda: table1(suite_graphs), rounds=1, iterations=1)
+def test_table1_suite(benchmark, paper_plan, report):
+    result = benchmark.pedantic(
+        lambda: paper_plan.artifact("table1"), rounds=1, iterations=1
+    )
     report("table1_suite", result.render())
     # Degrees land near the paper's targets for every graph.
     for row in result.rows:

@@ -6,12 +6,9 @@ meaningful (paper Section VI-A: baseline > 1.5x faster than all four
 established codebases).
 """
 
-from repro.harness import table2
-
-
-def test_table2_priorwork(benchmark, suite_graphs, report):
+def test_table2_priorwork(benchmark, paper_plan, report):
     result = benchmark.pedantic(
-        lambda: table2(suite_graphs["urand"]), rounds=1, iterations=1
+        lambda: paper_plan.artifact("table2"), rounds=1, iterations=1
     )
     report("table2_priorwork", result.render())
 

@@ -9,13 +9,14 @@ Shapes to reproduce (paper Table III):
 """
 
 from repro.graphs import LOW_LOCALITY_NAMES
-from repro.harness import table3
 
 from benchmarks.emit_bench import emit_bench, measurement_metrics
 
 
-def test_table3_detailed(benchmark, suite_graphs, report):
-    result = benchmark.pedantic(lambda: table3(suite_graphs), rounds=1, iterations=1)
+def test_table3_detailed(benchmark, paper_plan, report):
+    result = benchmark.pedantic(
+        lambda: paper_plan.artifact("table3"), rounds=1, iterations=1
+    )
     report("table3_detailed", result.render())
     metrics = {}
     for key, m in result.measurements.items():

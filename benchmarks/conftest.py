@@ -6,7 +6,12 @@ Every bench regenerates one of the paper's tables or figures at full
 complete paper-artifact dump behind.
 
 Graphs are generated once per session and shared across bench modules; the
-suite seed is fixed so every run regenerates identical inputs.
+suite seed is fixed so every run regenerates identical inputs.  Since the
+plan layer, the artifacts that share measurements are compiled into two
+session-scoped plans executed exactly once each: ``paper_plan`` (tables
+I-III plus figures 3-6, all over the same suite cells) and
+``binwidth_plan`` (the figure 9/10 sweep).  Each bench just asks its plan
+for its artifact.
 """
 
 from __future__ import annotations
@@ -20,9 +25,9 @@ from repro.graphs import load_graph, load_suite
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 SUITE_SEED = 42
 
-#: Sweep parallelism for the fig7/8/9-10 benches and the shared suite
-#: measurements: set ``REPRO_BENCH_WORKERS=4`` (or ``0`` for one worker
-#: per CPU) to fan independent simulation cells across processes via
+#: Sweep parallelism for the session plans and the fig7/8 sweeps: set
+#: ``REPRO_BENCH_WORKERS=4`` (or ``0`` for one worker per CPU) to fan
+#: independent simulation cells across processes via
 #: :func:`repro.parallel.sweep.run_cells`.  Outputs are identical to the
 #: serial default; only wall-clock changes.
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
@@ -46,11 +51,35 @@ def urand_graph():
 
 
 @pytest.fixture(scope="session")
-def suite_data(suite_graphs):
-    """All (graph x strategy) measurements, shared by Figures 4-6."""
-    from repro.harness import suite_measurements
+def paper_plan(suite_graphs):
+    """Tables I-III and figures 3-6 as one deduplicated, executed plan.
 
-    return suite_measurements(suite_graphs, workers=BENCH_WORKERS)
+    Every (graph, method) suite cell is simulated exactly once per bench
+    session no matter how many artifacts request it.
+    """
+    from repro.harness import (
+        figure3_spec,
+        figure4_spec,
+        figure5_spec,
+        figure6_spec,
+        table1_spec,
+        table2_spec,
+        table3_spec,
+    )
+    from repro.plan import compile_plan, execute_plan
+
+    plan = compile_plan(
+        [
+            table1_spec(suite_graphs),
+            table2_spec(suite_graphs["urand"]),
+            table3_spec(suite_graphs),
+            figure3_spec(suite_graphs),
+            figure4_spec(suite_graphs),
+            figure5_spec(suite_graphs),
+            figure6_spec(suite_graphs),
+        ]
+    )
+    return execute_plan(plan, workers=BENCH_WORKERS, label="bench_suite")
 
 
 #: Slice widths in vertices for the Figure 9-11 sweeps: 128 B ... 1 MiB
@@ -60,11 +89,18 @@ BIN_WIDTHS = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 26214
 
 
 @pytest.fixture(scope="session")
-def binwidth_sweep_data(half_suite_graphs):
-    """The shared Figure 9/10 bin-width sweep (run once per session)."""
-    from repro.harness import bin_width_sweep
+def binwidth_plan(half_suite_graphs):
+    """Figures 9 and 10 as one plan: the shared sweep runs once."""
+    from repro.harness import figure9_spec, figure10_spec
+    from repro.plan import compile_plan, execute_plan
 
-    return bin_width_sweep(half_suite_graphs, BIN_WIDTHS, workers=BENCH_WORKERS)
+    plan = compile_plan(
+        [
+            figure9_spec(half_suite_graphs, BIN_WIDTHS),
+            figure10_spec(half_suite_graphs, BIN_WIDTHS),
+        ]
+    )
+    return execute_plan(plan, workers=BENCH_WORKERS, label="bench_binwidth")
 
 
 @pytest.fixture(scope="session")

@@ -13,9 +13,12 @@ A thin front end over the library for the common workflows:
   flag traffic/time regressions;
 * ``repro-pb report --drift run.json`` — check the embedded
   model-vs-simulation drift records against a threshold;
+* ``repro-pb plan`` — compile the reproduction's experiment specs into
+  their deduplicated cell DAG and print it (cell counts per artifact,
+  dedup ratio, cache hits) without executing anything;
 * ``repro-pb reproduce --resume ckpt/`` — regenerate every table and
-  figure with fault-tolerant, checkpointed sweeps (forwards to
-  :mod:`repro.harness.reproduce`).
+  figure as one deduplicated plan with fault-tolerant, checkpointed,
+  cacheable sweeps (forwards to :mod:`repro.harness.reproduce`).
 
 Every subcommand prints an aligned text table to stdout; ``measure``,
 ``pagerank`` and ``compare`` additionally emit machine-readable
@@ -73,6 +76,75 @@ __all__ = ["main", "build_parser"]
 ENGINE_NAMES = tuple(ENGINES)
 
 
+def _logging_parent() -> argparse.ArgumentParser:
+    """``-v``/``-q`` — shared by every subcommand."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging (-v progress, -vv debug)",
+    )
+    p.add_argument("-q", "--quiet", action="count", default=0, help="errors only")
+    return p
+
+
+def _graph_parent() -> argparse.ArgumentParser:
+    """``--graph``/``--scale``/``--seed`` — one deterministic suite graph."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--graph", choices=SUITE_NAMES, default="urand")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=42)
+    return p
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """``--engine`` — the memory-simulation engine."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=DEFAULT_ENGINE,
+        help="cache engine for simulated traffic "
+        f"(default: {DEFAULT_ENGINE}; 'flru' is the per-access oracle)",
+    )
+    return p
+
+
+def _report_parent() -> argparse.ArgumentParser:
+    """``--json``/``--report-dir``/``--trace`` — machine-readable outputs."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write a machine-readable run report (docs/metrics_schema.md)",
+    )
+    p.add_argument(
+        "--report-dir",
+        metavar="DIR",
+        help="write one report file per run into DIR",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a Chrome-trace/Perfetto event timeline to PATH",
+    )
+    return p
+
+
+def _metrics_parent() -> argparse.ArgumentParser:
+    """``--metrics`` — histogram/series collection into the report."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect histogram/series metrics into the report "
+        "(reuse distance, bin occupancy, per-iteration miss rate)",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -82,62 +154,31 @@ def build_parser() -> argparse.ArgumentParser:
             "(Beamer, Asanović, Patterson — IPDPS 2017)"
         ),
     )
-    # Logging flags are a parent parser so they work on every subcommand
-    # (``repro-pb measure -v ...``).
-    common = argparse.ArgumentParser(add_help=False)
-    common.add_argument(
-        "-v",
-        "--verbose",
-        action="count",
-        default=0,
-        help="more logging (-v progress, -vv debug)",
-    )
-    common.add_argument(
-        "-q", "--quiet", action="count", default=0, help="errors only"
-    )
+    # Option groups shared across subcommands are argparse *parents*:
+    # declared once, inherited by every subcommand that needs them
+    # (``repro-pb measure -v --graph web --engine flru --json r.json``).
+    common = _logging_parent()
+    graph = _graph_parent()
+    engine = _engine_parent()
+    report = _report_parent()
+    metrics = _metrics_parent()
 
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
-        return sub.add_parser(name, parents=[common], **kwargs)
+    def add_parser(name: str, *parents, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[common, *parents], **kwargs)
 
     p_suite = add_parser("suite", help="regenerate the Table I graph suite")
     p_suite.add_argument("--scale", type=float, default=1.0)
     p_suite.add_argument("--seed", type=int, default=42)
 
-    def add_graph_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--graph", choices=SUITE_NAMES, default="urand")
-        p.add_argument("--scale", type=float, default=0.25)
-        p.add_argument("--seed", type=int, default=42)
-
-    def add_engine_arg(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--engine",
-            choices=ENGINE_NAMES,
-            default=DEFAULT_ENGINE,
-            help="cache engine for simulated traffic "
-            f"(default: {DEFAULT_ENGINE}; 'flru' is the per-access oracle)",
-        )
-
-    def add_report_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--json",
-            metavar="PATH",
-            help="write a machine-readable run report (docs/metrics_schema.md)",
-        )
-        p.add_argument(
-            "--report-dir",
-            metavar="DIR",
-            help="write one report file per run into DIR",
-        )
-        p.add_argument(
-            "--trace",
-            metavar="PATH",
-            help="record a Chrome-trace/Perfetto event timeline to PATH",
-        )
-
-    p_pr = add_parser("pagerank", help="compute PageRank on a suite graph")
-    add_graph_args(p_pr)
+    p_pr = add_parser(
+        "pagerank",
+        graph,
+        engine,
+        report,
+        help="compute PageRank on a suite graph",
+    )
     p_pr.add_argument(
         "--method",
         "--strategy",
@@ -153,43 +194,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="also simulate one iteration's DRAM traffic on --engine "
         "after the solve",
     )
-    add_engine_arg(p_pr)
-    add_report_args(p_pr)
-
-    def add_metrics_arg(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--metrics",
-            action="store_true",
-            help="collect histogram/series metrics into the report "
-            "(reuse distance, bin occupancy, per-iteration miss rate)",
-        )
 
     p_measure = add_parser(
-        "measure", help="simulate one iteration's memory traffic"
+        "measure",
+        graph,
+        engine,
+        report,
+        metrics,
+        help="simulate one iteration's memory traffic",
     )
-    add_graph_args(p_measure)
     p_measure.add_argument(
         "--method", "--strategy", choices=sorted(KERNELS), default="dpb"
     )
-    add_engine_arg(p_measure)
     p_measure.add_argument("--iterations", type=int, default=1)
-    add_report_args(p_measure)
-    add_metrics_arg(p_measure)
 
-    p_compare = add_parser("compare", help="all strategies on one graph")
-    add_graph_args(p_compare)
-    add_engine_arg(p_compare)
-    add_report_args(p_compare)
-    add_metrics_arg(p_compare)
+    p_compare = add_parser(
+        "compare",
+        graph,
+        engine,
+        report,
+        metrics,
+        help="all strategies on one graph",
+    )
 
     p_model = add_parser("model", help="query the Section V analytic models")
     p_model.add_argument("--vertices", type=int, required=True)
     p_model.add_argument("--degree", type=float, required=True)
 
     p_describe = add_parser(
-        "describe", help="characterize a graph and recommend a strategy"
+        "describe", graph, help="characterize a graph and recommend a strategy"
     )
-    add_graph_args(p_describe)
+
+    from repro.harness.reproduce import ARTIFACTS
+
+    p_plan = add_parser(
+        "plan",
+        engine,
+        help="compile the reproduction's cell DAG and print it "
+        "(no simulation runs)",
+    )
+    p_plan.add_argument("--scale", type=float, default=1.0)
+    p_plan.add_argument("--seed", type=int, default=42)
+    p_plan.add_argument(
+        "--only",
+        nargs="*",
+        choices=ARTIFACTS,
+        default=None,
+        help="compile a subset of artifact ids (default: all of them)",
+    )
+    p_plan.add_argument(
+        "--quick", action="store_true", help="quarter-scale suite, like reproduce"
+    )
+    p_plan.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="also count how many cells an existing measurement cache "
+        "directory would satisfy",
+    )
 
     p_report = add_parser(
         "report",
@@ -540,6 +602,42 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """``repro-pb plan``: compile and print the cell DAG, execute nothing."""
+    from repro.harness.cache import MeasurementCache
+    from repro.harness.reproduce import ARTIFACTS, plan_specs
+    from repro.plan import compile_plan
+
+    scale = 0.25 if args.quick else args.scale
+    wanted = set(args.only or ARTIFACTS)
+    specs = plan_specs(wanted, scale=scale, seed=args.seed, engine=args.engine)
+    plan = compile_plan(specs)
+    print(
+        format_table(
+            ["artifact", "cells requested", "owned", "shared"],
+            plan.summary_rows(),
+            title=(
+                f"compiled plan: {len(specs)} artifact(s) at scale {scale:g}, "
+                f"engine {args.engine}"
+            ),
+        )
+    )
+    print(
+        f"\n{plan.cells_requested} cell(s) requested, "
+        f"{plan.cells_unique} unique (dedup ratio {plan.dedup_ratio:.2f})"
+    )
+    if args.cache:
+        cache = MeasurementCache(args.cache)
+        hits = sum(1 for fingerprint in plan.cells if cache.has(fingerprint))
+        print(
+            f"cache {args.cache}: {hits} hit(s), "
+            f"{plan.cells_unique - hits} cell(s) would execute"
+        )
+    else:
+        print(f"{plan.cells_unique} cell(s) would execute (no --cache given)")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.harness.reproduce import main as reproduce_main
 
@@ -606,6 +704,7 @@ _COMMANDS = {
     "model": _cmd_model,
     "describe": _cmd_describe,
     "report": _cmd_report,
+    "plan": _cmd_plan,
     "reproduce": _cmd_reproduce,
 }
 

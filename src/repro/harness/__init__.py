@@ -1,17 +1,36 @@
-"""Experiment harness: per-experiment runners for every table and figure."""
+"""Experiment harness: per-experiment runners for every table and figure.
 
+Since the plan layer (:mod:`repro.plan`), each artifact is declared as
+an ``*_spec`` (cells + build) and the ``table*`` / ``figure*`` functions
+are thin conveniences that compile and execute a one-spec plan.
+"""
+
+from repro.harness.cache import MeasurementCache
 from repro.harness.experiment import Measurement, measure_kernel, run_experiment
 from repro.harness.tables import (
     TableResult,
     table1,
     table2,
     table3,
+    table1_spec,
+    table2_spec,
+    table3_spec,
     PAPER_TABLE2,
     PAPER_TABLE3,
 )
 from repro.harness.figures import (
     FigureResult,
-    suite_measurements,
+    run_spec,
+    suite_cells,
+    figure3_spec,
+    figure4_spec,
+    figure5_spec,
+    figure6_spec,
+    figure7_spec,
+    figure8_spec,
+    figure9_spec,
+    figure10_spec,
+    figure11_spec,
     figure3_vertex_traffic,
     figure4_speedup,
     figure5_communication_reduction,
@@ -21,21 +40,34 @@ from repro.harness.figures import (
     figure9_bin_width_communication,
     figure10_bin_width_time,
     figure11_phase_breakdown,
-    bin_width_sweep,
 )
 
 __all__ = [
     "Measurement",
+    "MeasurementCache",
     "measure_kernel",
     "run_experiment",
+    "run_spec",
+    "suite_cells",
     "TableResult",
     "table1",
     "table2",
     "table3",
+    "table1_spec",
+    "table2_spec",
+    "table3_spec",
     "PAPER_TABLE2",
     "PAPER_TABLE3",
     "FigureResult",
-    "suite_measurements",
+    "figure3_spec",
+    "figure4_spec",
+    "figure5_spec",
+    "figure6_spec",
+    "figure7_spec",
+    "figure8_spec",
+    "figure9_spec",
+    "figure10_spec",
+    "figure11_spec",
     "figure3_vertex_traffic",
     "figure4_speedup",
     "figure5_communication_reduction",
@@ -45,5 +77,4 @@ __all__ = [
     "figure9_bin_width_communication",
     "figure10_bin_width_time",
     "figure11_phase_breakdown",
-    "bin_width_sweep",
 ]

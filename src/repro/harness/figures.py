@@ -1,32 +1,50 @@
 """Regeneration of the paper's figures (3 through 11) as data series.
 
-Each ``figure*`` function runs the relevant experiments and returns a
-:class:`FigureResult` — x values plus named series — which renders to an
-aligned text table (the terminal stand-in for the paper's plots).  The
-benches print these and assert the paper's qualitative shapes.
+Each figure is declared as an :class:`~repro.plan.spec.ExperimentSpec` —
+the measurement cells it needs plus a ``build`` that shapes their
+results into a :class:`FigureResult` (x values plus named series, which
+renders to an aligned text table, the terminal stand-in for the paper's
+plots).  The ``figure*_spec`` builders only *declare*; nothing is
+simulated until the spec is compiled and executed through
+:mod:`repro.plan`, which is also what deduplicates shared work: figures
+4, 5 and 6 declare the same suite cells and a merged plan runs them
+once, figures 9 and 10 share one bin-width sweep, and ``reproduce``
+merges every artifact into a single plan.
+
+The ``figure*`` functions are thin conveniences that compile and execute
+a one-spec plan; pass ``workers``/``options``/``cache`` to reach the
+sweep stack's parallelism, resilience, and warm-start knobs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graphs.builder import build_csr
 from repro.graphs.csr import CSRGraph
-from repro.graphs.generators import uniform_random_graph
-from repro.harness.checkpoint import open_checkpoint
-from repro.harness.experiment import run_experiment
-from repro.kernels.pagerank import make_kernel
+from repro.harness.cells import (
+    SCALING_METHODS,
+    bin_width_cell,
+    experiment_cell,
+    scaling_cell,
+)
 from repro.memsim import DEFAULT_ENGINE
 from repro.models.communication import ModelParams, paper_pull_reads
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
-from repro.models.performance import pb_phase_times
-from repro.parallel.resilience import SweepOptions
-from repro.parallel.sweep import SweepCell, run_cells
+from repro.plan import Cell, ExperimentSpec, compile_plan, execute_plan
 from repro.utils.tables import format_series
 
 __all__ = [
     "FigureResult",
-    "suite_measurements",
+    "suite_cells",
+    "figure3_spec",
+    "figure4_spec",
+    "figure5_spec",
+    "figure6_spec",
+    "figure7_spec",
+    "figure8_spec",
+    "figure9_spec",
+    "figure10_spec",
+    "figure11_spec",
     "figure3_vertex_traffic",
     "figure4_speedup",
     "figure5_communication_reduction",
@@ -52,15 +70,45 @@ class FigureResult:
         return format_series(self.x_label, self.x_values, self.series, title=self.title)
 
 
+def run_spec(spec: ExperimentSpec, *, workers=None, options=None, cache=None):
+    """Compile and execute a one-spec plan, returning the built artifact."""
+    plan = compile_plan([spec])
+    results = execute_plan(
+        plan, workers=workers, options=options, cache=cache, label=spec.name
+    )
+    return results.artifact(spec.name)
+
+
+def suite_cells(
+    graphs: dict[str, CSRGraph],
+    methods: tuple[str, ...],
+    machine: MachineSpec,
+    engine: str,
+) -> dict:
+    """The shared (graph, method) experiment cells of the suite artifacts.
+
+    Figure 3 (baseline only), figures 4-6, table II (its baseline row)
+    and table III all declare cells from this family, so a merged plan
+    measures each (graph, method) pair exactly once.
+    """
+    return {
+        (name, method): Cell(
+            fn=experiment_cell, args=(graph, method, machine, name, engine)
+        )
+        for name, graph in graphs.items()
+        for method in methods
+    }
+
+
 # ----------------------------------------------------------------------
 # Figure 3 — vertex-value traffic share of the baseline
 # ----------------------------------------------------------------------
-def figure3_vertex_traffic(
+def figure3_spec(
     graphs: dict[str, CSRGraph],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     engine: str = DEFAULT_ENGINE,
-) -> FigureResult:
+) -> ExperimentSpec:
     """Measured and model-predicted % of baseline reads that are vertex traffic.
 
     The prediction uses the Section V uniform-random model with each
@@ -68,101 +116,105 @@ def figure3_vertex_traffic(
     High-locality layouts (web) beat the prediction; that *gap* is the
     measured locality.
     """
-    measured, predicted = [], []
-    for name, graph in graphs.items():
-        m = run_experiment(graph, "baseline", machine=machine, graph_name=name, engine=engine)
-        measured.append(100.0 * m.counters.vertex_read_fraction())
-        p = ModelParams(
-            n=graph.num_vertices,
-            k=max(graph.average_degree, 1e-9),
-            b=machine.words_per_line,
-            c=machine.cache_words,
+
+    def build(values) -> FigureResult:
+        measured, predicted = [], []
+        for name, graph in graphs.items():
+            m = values[(name, "baseline")]
+            measured.append(100.0 * m.counters.vertex_read_fraction())
+            p = ModelParams(
+                n=graph.num_vertices,
+                k=max(graph.average_degree, 1e-9),
+                b=machine.words_per_line,
+                c=machine.cache_words,
+            )
+            vertex = p.miss_rate * p.m + 3.0 * p.n / p.b
+            predicted.append(100.0 * vertex / paper_pull_reads(p))
+        return FigureResult(
+            title="Figure 3: vertex traffic as % of baseline memory reads",
+            x_label="graph",
+            x_values=list(graphs),
+            series={"predicted %": predicted, "measured %": measured},
         )
-        vertex = p.miss_rate * p.m + 3.0 * p.n / p.b
-        predicted.append(100.0 * vertex / paper_pull_reads(p))
-    return FigureResult(
-        title="Figure 3: vertex traffic as % of baseline memory reads",
-        x_label="graph",
-        x_values=list(graphs),
-        series={"predicted %": predicted, "measured %": measured},
+
+    return ExperimentSpec(
+        name="fig3",
+        cells=suite_cells(graphs, ("baseline",), machine, engine),
+        build=build,
     )
 
 
-def _run_sweep(
-    cells: list[SweepCell],
+def figure3_vertex_traffic(
+    graphs: dict[str, CSRGraph],
+    machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    label: str,
-    workers: int | None,
-    options: SweepOptions | None,
-):
-    """Run one figure sweep through the resilient executor.
-
-    ``options`` (see :class:`repro.parallel.resilience.SweepOptions`)
-    carries the reproduce driver's retry policy, fault plan, checkpoint
-    directory, and shared stats; each sweep label gets its own
-    checkpoint file so ``--resume`` skips exactly the cells this sweep
-    already completed.
-    """
-    if options is None:
-        return run_cells(cells, workers=workers, label=label)
-    checkpoint = (
-        open_checkpoint(options.checkpoint_dir, label)
-        if options.checkpoint_dir
-        else None
-    )
-    return run_cells(
-        cells,
-        workers=options.workers if options.workers is not None else workers,
-        label=label,
-        policy=options.policy,
-        fault_plan=options.fault_plan,
-        checkpoint=checkpoint,
-        stats=options.stats,
+    engine: str = DEFAULT_ENGINE,
+    workers=None,
+    options=None,
+    cache=None,
+) -> FigureResult:
+    return run_spec(
+        figure3_spec(graphs, machine, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
 
 
 # ----------------------------------------------------------------------
 # Figures 4-6 — blocking vs baseline across the suite
 # ----------------------------------------------------------------------
-def _experiment_cell(graph, method, machine, graph_name, engine):
-    """Module-level cell body so :mod:`repro.parallel.sweep` can pickle it."""
-    return run_experiment(
-        graph, method, machine=machine, graph_name=graph_name, engine=engine
+def _suite_figure_spec(name, title, graphs, machine, engine, series_for) -> ExperimentSpec:
+    """Common shape of figures 4-6: all four methods, one row per graph.
+
+    ``series_for(values, name)`` maps the resolved measurements of one
+    graph to its ``{series: value}`` contributions.
+    """
+
+    def build(values) -> FigureResult:
+        series: dict[str, list[float]] = {}
+        for graph_name in graphs:
+            data = {
+                method: values[(graph_name, method)]
+                for method in ("baseline", "cb", "pb", "dpb")
+            }
+            for label, value in series_for(data).items():
+                series.setdefault(label, []).append(value)
+        return FigureResult(
+            title=title, x_label="graph", x_values=list(graphs), series=series
+        )
+
+    return ExperimentSpec(
+        name=name,
+        cells=suite_cells(graphs, ("baseline", "cb", "pb", "dpb"), machine, engine),
+        build=build,
     )
 
 
-def suite_measurements(
+def figure4_spec(
     graphs: dict[str, CSRGraph],
-    methods: tuple[str, ...] = ("baseline", "cb", "pb", "dpb"),
     machine: MachineSpec = SIMULATED_MACHINE,
-    engine: str = DEFAULT_ENGINE,
     *,
-    workers: int | None = None,
-    options: SweepOptions | None = None,
-):
-    """Measure every (graph, method) pair once.
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Modelled execution-time speedup of CB/PB/DPB over the baseline."""
 
-    Figures 4, 5 and 6 all plot the same underlying measurements; run this
-    once and pass the result to each via ``_measurements`` to avoid
-    re-simulating.  ``workers`` fans the independent (graph, method) cells
-    across processes (see :func:`repro.parallel.sweep.run_cells`); results
-    are identical to a serial run.  ``options`` adds retry, checkpoint,
-    and fault-injection behaviour (see :func:`_run_sweep`).
-    """
-    cells = [
-        SweepCell(
-            key=(name, method),
-            fn=_experiment_cell,
-            args=(graph, method, machine, name, engine),
-        )
-        for name, graph in graphs.items()
-        for method in methods
-    ]
-    results = _run_sweep(cells, label="suite", workers=workers, options=options)
-    out: dict[str, dict[str, object]] = {name: {} for name in graphs}
-    for (name, method), m in results.items():
-        out[name][method] = m
-    return out
+    def series_for(data):
+        base = data["baseline"]
+        return {
+            "CB": data["cb"].speedup_over(base),
+            "PB": data["pb"].speedup_over(base),
+            "DPB": data["dpb"].speedup_over(base),
+        }
+
+    return _suite_figure_spec(
+        "fig4",
+        "Figure 4: execution-time speedup over baseline",
+        graphs,
+        machine,
+        engine,
+        series_for,
+    )
 
 
 def figure4_speedup(
@@ -170,23 +222,41 @@ def figure4_speedup(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     engine: str = DEFAULT_ENGINE,
-    _measurements: dict | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Modelled execution-time speedup of CB/PB/DPB over the baseline."""
-    data = _measurements or suite_measurements(
-        graphs, ("baseline", "cb", "pb", "dpb"), machine, engine
+    return run_spec(
+        figure4_spec(graphs, machine, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
-    series = {m: [] for m in ("CB", "PB", "DPB")}
-    for name in graphs:
-        base = data[name]["baseline"]
-        series["CB"].append(data[name]["cb"].speedup_over(base))
-        series["PB"].append(data[name]["pb"].speedup_over(base))
-        series["DPB"].append(data[name]["dpb"].speedup_over(base))
-    return FigureResult(
-        title="Figure 4: execution-time speedup over baseline",
-        x_label="graph",
-        x_values=list(graphs),
-        series=series,
+
+
+def figure5_spec(
+    graphs: dict[str, CSRGraph],
+    machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Communication-volume reduction of CB/PB/DPB over the baseline."""
+
+    def series_for(data):
+        base = data["baseline"]
+        return {
+            "CB": data["cb"].communication_reduction_over(base),
+            "PB": data["pb"].communication_reduction_over(base),
+            "DPB": data["dpb"].communication_reduction_over(base),
+        }
+
+    return _suite_figure_spec(
+        "fig5",
+        "Figure 5: communication-volume reduction over baseline",
+        graphs,
+        machine,
+        engine,
+        series_for,
     )
 
 
@@ -195,23 +265,41 @@ def figure5_communication_reduction(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     engine: str = DEFAULT_ENGINE,
-    _measurements: dict | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Communication-volume reduction of CB/PB/DPB over the baseline."""
-    data = _measurements or suite_measurements(
-        graphs, ("baseline", "cb", "pb", "dpb"), machine, engine
+    return run_spec(
+        figure5_spec(graphs, machine, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
-    series = {m: [] for m in ("CB", "PB", "DPB")}
-    for name in graphs:
-        base = data[name]["baseline"]
-        series["CB"].append(data[name]["cb"].communication_reduction_over(base))
-        series["PB"].append(data[name]["pb"].communication_reduction_over(base))
-        series["DPB"].append(data[name]["dpb"].communication_reduction_over(base))
-    return FigureResult(
-        title="Figure 5: communication-volume reduction over baseline",
-        x_label="graph",
-        x_values=list(graphs),
-        series=series,
+
+
+def figure6_spec(
+    graphs: dict[str, CSRGraph],
+    machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """GAIL memory requests per edge for all four strategies (Figure 6)."""
+
+    def series_for(data):
+        return {
+            "Baseline": data["baseline"].gail().requests_per_edge,
+            "CB": data["cb"].gail().requests_per_edge,
+            "PB": data["pb"].gail().requests_per_edge,
+            "DPB": data["dpb"].gail().requests_per_edge,
+        }
+
+    return _suite_figure_spec(
+        "fig6",
+        "Figure 6: memory requests per edge (GAIL)",
+        graphs,
+        machine,
+        engine,
+        series_for,
     )
 
 
@@ -220,45 +308,53 @@ def figure6_requests_per_edge(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     engine: str = DEFAULT_ENGINE,
-    _measurements: dict | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """GAIL memory requests per edge for all four strategies (Figure 6)."""
-    data = _measurements or suite_measurements(
-        graphs, ("baseline", "cb", "pb", "dpb"), machine, engine
-    )
-    series = {m: [] for m in ("Baseline", "CB", "PB", "DPB")}
-    for name in graphs:
-        series["Baseline"].append(data[name]["baseline"].gail().requests_per_edge)
-        series["CB"].append(data[name]["cb"].gail().requests_per_edge)
-        series["PB"].append(data[name]["pb"].gail().requests_per_edge)
-        series["DPB"].append(data[name]["dpb"].gail().requests_per_edge)
-    return FigureResult(
-        title="Figure 6: memory requests per edge (GAIL)",
-        x_label="graph",
-        x_values=list(graphs),
-        series=series,
+    return run_spec(
+        figure6_spec(graphs, machine, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
 
 
 # ----------------------------------------------------------------------
 # Figures 7-8 — communication efficiency vs graph shape (urand sweeps)
 # ----------------------------------------------------------------------
-_SCALING_METHODS = (("Baseline", "baseline"), ("CB", "cb"), ("DPB", "dpb"))
+def figure7_spec(
+    vertex_counts: list[int],
+    *,
+    degree: float = 16.0,
+    machine: MachineSpec = SIMULATED_MACHINE,
+    seed: int = 7,
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Requests/edge for uniform random graphs of fixed degree, varying n.
 
-
-def _scaling_cell(n, degree, seed, machine, engine):
-    """One x-value of figures 7/8: generate the graph, measure all methods.
-
-    Grouping the three methods into one cell reuses the generated graph and
-    keeps per-cell results plain data (picklable floats).
+    The paper's Figure 7 (1 M - 512 M vertices at degree 16): baseline wins
+    while vertex values fit in cache, CB wins mid-range, DPB's flat curve
+    wins for large graphs.
     """
-    graph = build_csr(uniform_random_graph(n, degree, seed=seed))
-    return {
-        label: run_experiment(graph, method, machine=machine, engine=engine)
-        .gail()
-        .requests_per_edge
-        for label, method in _SCALING_METHODS
+    cells = {
+        n: Cell(fn=scaling_cell, args=(n, degree, seed + i, machine, engine))
+        for i, n in enumerate(vertex_counts)
     }
+
+    def build(values) -> FigureResult:
+        series = {
+            label: [values[n][label] for n in vertex_counts]
+            for label, _ in SCALING_METHODS
+        }
+        return FigureResult(
+            title=f"Figure 7: requests/edge, urand degree={degree}, varying vertices",
+            x_label="vertices",
+            x_values=list(vertex_counts),
+            series=series,
+        )
+
+    return ExperimentSpec(name="fig7", cells=cells, build=build)
 
 
 def figure7_scaling_vertices(
@@ -268,30 +364,52 @@ def figure7_scaling_vertices(
     machine: MachineSpec = SIMULATED_MACHINE,
     seed: int = 7,
     engine: str = DEFAULT_ENGINE,
-    workers: int | None = None,
-    options: SweepOptions | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Requests/edge for uniform random graphs of fixed degree, varying n.
-
-    The paper's Figure 7 (1 M - 512 M vertices at degree 16): baseline wins
-    while vertex values fit in cache, CB wins mid-range, DPB's flat curve
-    wins for large graphs.
-    """
-    cells = [
-        SweepCell(key=n, fn=_scaling_cell, args=(n, degree, seed + i, machine, engine))
-        for i, n in enumerate(vertex_counts)
-    ]
-    results = _run_sweep(cells, label="fig7", workers=workers, options=options)
-    series = {
-        label: [results[n][label] for n in vertex_counts]
-        for label, _ in _SCALING_METHODS
-    }
-    return FigureResult(
-        title=f"Figure 7: requests/edge, urand degree={degree}, varying vertices",
-        x_label="vertices",
-        x_values=list(vertex_counts),
-        series=series,
+    return run_spec(
+        figure7_spec(
+            vertex_counts, degree=degree, machine=machine, seed=seed, engine=engine
+        ),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
+
+
+def figure8_spec(
+    degrees: list[float],
+    *,
+    num_vertices: int = 131072,
+    machine: MachineSpec = SIMULATED_MACHINE,
+    seed: int = 8,
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Requests/edge for uniform random graphs of fixed n, varying degree.
+
+    Figure 8 (128 M vertices, k = 4..48): CB amortizes its per-block
+    compulsory traffic better as density grows; the paper finds DPB
+    communicates less up to k ~ 36.
+    """
+    cells = {
+        k: Cell(fn=scaling_cell, args=(num_vertices, k, seed + i, machine, engine))
+        for i, k in enumerate(degrees)
+    }
+
+    def build(values) -> FigureResult:
+        series = {
+            label: [values[k][label] for k in degrees]
+            for label, _ in SCALING_METHODS
+        }
+        return FigureResult(
+            title=f"Figure 8: requests/edge, urand n={num_vertices}, varying degree",
+            x_label="degree",
+            x_values=list(degrees),
+            series=series,
+        )
+
+    return ExperimentSpec(name="fig8", cells=cells, build=build)
 
 
 def figure8_scaling_degree(
@@ -301,72 +419,90 @@ def figure8_scaling_degree(
     machine: MachineSpec = SIMULATED_MACHINE,
     seed: int = 8,
     engine: str = DEFAULT_ENGINE,
-    workers: int | None = None,
-    options: SweepOptions | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Requests/edge for uniform random graphs of fixed n, varying degree.
-
-    Figure 8 (128 M vertices, k = 4..48): CB amortizes its per-block
-    compulsory traffic better as density grows; the paper finds DPB
-    communicates less up to k ~ 36.
-    """
-    cells = [
-        SweepCell(
-            key=k, fn=_scaling_cell, args=(num_vertices, k, seed + i, machine, engine)
-        )
-        for i, k in enumerate(degrees)
-    ]
-    results = _run_sweep(cells, label="fig8", workers=workers, options=options)
-    series = {
-        label: [results[k][label] for k in degrees] for label, _ in _SCALING_METHODS
-    }
-    return FigureResult(
-        title=f"Figure 8: requests/edge, urand n={num_vertices}, varying degree",
-        x_label="degree",
-        x_values=list(degrees),
-        series=series,
+    return run_spec(
+        figure8_spec(
+            degrees,
+            num_vertices=num_vertices,
+            machine=machine,
+            seed=seed,
+            engine=engine,
+        ),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
 
 
 # ----------------------------------------------------------------------
 # Figures 9-11 — bin-width sweeps
 # ----------------------------------------------------------------------
-def _bin_width_cell(graph, width, machine, method, engine):
-    """One (graph, width) cell of the Figure 9/10 sweep (plain-data result)."""
-    kernel = make_kernel(graph, method, machine, bin_width=width)
-    counters = kernel.measure(1, engine=engine)
-    phases = pb_phase_times(kernel, counters)
-    return {
-        "width": width,
-        "requests": counters.total_requests,
-        "time": sum(phases.values()),
-        "phases": phases,
-    }
-
-
-def _bin_width_sweep(
+def bin_width_cells(
     graphs: dict[str, CSRGraph],
     bin_widths: list[int],
     machine: MachineSpec,
     method: str,
     engine: str,
-    workers: int | None = None,
-    options: SweepOptions | None = None,
-):
-    """(requests, total_time, phase_times) per graph per width."""
-    cells = [
-        SweepCell(
-            key=(name, width),
-            fn=_bin_width_cell,
-            args=(graph, width, machine, method, engine),
+) -> dict:
+    """The (graph, width) sweep cells shared by figures 9 and 10."""
+    return {
+        (name, width): Cell(
+            fn=bin_width_cell, args=(graph, width, machine, method, engine)
         )
         for name, graph in graphs.items()
         for width in bin_widths
-    ]
-    rows = _run_sweep(cells, label="binwidth", workers=workers, options=options)
-    return {
-        name: [rows[(name, width)] for width in bin_widths] for name in graphs
     }
+
+
+def _bin_width_figure_spec(
+    name, title, value_key, graphs, bin_widths, machine, method, engine
+) -> ExperimentSpec:
+    """Figures 9/10: one normalized per-graph series over the same sweep."""
+
+    def build(values) -> FigureResult:
+        series = {}
+        for graph_name in graphs:
+            rows = [values[(graph_name, width)] for width in bin_widths]
+            numbers = [row[value_key] for row in rows]
+            peak = max(numbers)
+            series[graph_name] = [v / peak for v in numbers]
+        return FigureResult(
+            title=title,
+            x_label="bin width (slice bytes)",
+            x_values=[w * 4 for w in bin_widths],
+            series=series,
+        )
+
+    return ExperimentSpec(
+        name=name,
+        cells=bin_width_cells(graphs, bin_widths, machine, method, engine),
+        build=build,
+    )
+
+
+def figure9_spec(
+    graphs: dict[str, CSRGraph],
+    bin_widths: list[int],
+    machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    method: str = "pb",
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Figure 9: PB communication vs bin width, normalized per graph to the
+    largest-width (unblocked-like) value."""
+    return _bin_width_figure_spec(
+        "fig9",
+        "Figure 9: communication vs bin width (normalized to worst width)",
+        "requests",
+        graphs,
+        bin_widths,
+        machine,
+        method,
+        engine,
+    )
 
 
 def figure9_bin_width_communication(
@@ -376,21 +512,36 @@ def figure9_bin_width_communication(
     *,
     method: str = "pb",
     engine: str = DEFAULT_ENGINE,
-    _sweep_cache: dict | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Figure 9: PB communication vs bin width, normalized per graph to the
-    largest-width (unblocked-like) value."""
-    sweep = _sweep_cache or _bin_width_sweep(graphs, bin_widths, machine, method, engine)
-    series = {}
-    for name, rows in sweep.items():
-        values = [row["requests"] for row in rows]
-        peak = max(values)
-        series[name] = [v / peak for v in values]
-    return FigureResult(
-        title="Figure 9: communication vs bin width (normalized to worst width)",
-        x_label="bin width (slice bytes)",
-        x_values=[w * 4 for w in bin_widths],
-        series=series,
+    return run_spec(
+        figure9_spec(graphs, bin_widths, machine, method=method, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
+    )
+
+
+def figure10_spec(
+    graphs: dict[str, CSRGraph],
+    bin_widths: list[int],
+    machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    method: str = "pb",
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Figure 10: PB modelled time vs bin width, normalized per graph."""
+    return _bin_width_figure_spec(
+        "fig10",
+        "Figure 10: execution time vs bin width (normalized to worst width)",
+        "time",
+        graphs,
+        bin_widths,
+        machine,
+        method,
+        engine,
     )
 
 
@@ -401,37 +552,48 @@ def figure10_bin_width_time(
     *,
     method: str = "pb",
     engine: str = DEFAULT_ENGINE,
-    _sweep_cache: dict | None = None,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Figure 10: PB modelled time vs bin width, normalized per graph."""
-    sweep = _sweep_cache or _bin_width_sweep(graphs, bin_widths, machine, method, engine)
-    series = {}
-    for name, rows in sweep.items():
-        values = [row["time"] for row in rows]
-        peak = max(values)
-        series[name] = [v / peak for v in values]
-    return FigureResult(
-        title="Figure 10: execution time vs bin width (normalized to worst width)",
-        x_label="bin width (slice bytes)",
-        x_values=[w * 4 for w in bin_widths],
-        series=series,
+    return run_spec(
+        figure10_spec(graphs, bin_widths, machine, method=method, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
 
 
-def bin_width_sweep(
-    graphs: dict[str, CSRGraph],
+def figure11_spec(
+    graph: CSRGraph,
     bin_widths: list[int],
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
-    method: str = "pb",
     engine: str = DEFAULT_ENGINE,
-    workers: int | None = None,
-    options: SweepOptions | None = None,
-):
-    """Public access to the shared Figure 9/10 sweep (run once, use twice)."""
-    return _bin_width_sweep(
-        graphs, bin_widths, machine, method, engine, workers, options
-    )
+) -> ExperimentSpec:
+    """Figure 11: DPB binning vs accumulate time on urand across bin widths.
+
+    Small bins thrash the L1 with insertion points (binning slows); large
+    bins overflow the LLC with sums slices (accumulate slows).  The chosen
+    width balances the two.  Declares the same cell family as the figure
+    9/10 sweep (method "dpb"), so a plan over the same graph shares them.
+    """
+    cells = {
+        width: Cell(fn=bin_width_cell, args=(graph, width, machine, "dpb", engine))
+        for width in bin_widths
+    }
+
+    def build(values) -> FigureResult:
+        binning = [values[width]["phases"]["binning"] for width in bin_widths]
+        accumulate = [values[width]["phases"]["accumulate"] for width in bin_widths]
+        return FigureResult(
+            title="Figure 11: DPB phase time breakdown vs bin width (urand)",
+            x_label="bin width (slice bytes)",
+            x_values=[w * 4 for w in bin_widths],
+            series={"binning": binning, "accumulate": accumulate},
+        )
+
+    return ExperimentSpec(name="fig11", cells=cells, build=build)
 
 
 def figure11_phase_breakdown(
@@ -440,23 +602,13 @@ def figure11_phase_breakdown(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     engine: str = DEFAULT_ENGINE,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> FigureResult:
-    """Figure 11: DPB binning vs accumulate time on urand across bin widths.
-
-    Small bins thrash the L1 with insertion points (binning slows); large
-    bins overflow the LLC with sums slices (accumulate slows).  The chosen
-    width balances the two.
-    """
-    binning, accumulate = [], []
-    for width in bin_widths:
-        kernel = make_kernel(graph, "dpb", machine, bin_width=width)
-        counters = kernel.measure(1, engine=engine)
-        phases = pb_phase_times(kernel, counters)
-        binning.append(phases["binning"])
-        accumulate.append(phases["accumulate"])
-    return FigureResult(
-        title="Figure 11: DPB phase time breakdown vs bin width (urand)",
-        x_label="bin width (slice bytes)",
-        x_values=[w * 4 for w in bin_widths],
-        series={"binning": binning, "accumulate": accumulate},
+    return run_spec(
+        figure11_spec(graph, bin_widths, machine, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )

@@ -5,12 +5,22 @@ benchmark suite produces — without pytest, writing each rendered result to
 an output directory and printing progress.  Useful for CI artifact jobs
 and for quickly rebuilding ``results/`` after a change.
 
+Since the plan layer (:mod:`repro.plan`), the requested artifacts are
+compiled into **one deduplicated cell plan** executed in a single
+resilient sweep: cells shared between artifacts (the suite measurements
+behind figures 3-6 and tables II-III, the bin-width sweep behind figures
+9-10) are simulated exactly once, and ``--cache DIR`` warm-starts from a
+content-addressed store so a repeated run executes nothing at all.
+
 Options::
 
     --scale 0.25        shrink the suite (default 1.0, the full scaled suite)
     --output results    output directory
     --only fig3 table2  regenerate a subset
     --quick             alias for --scale 0.25 with coarser sweeps
+    --cache DIR         content-addressed measurement cache: completed
+                        cells are stored by fingerprint and any later run
+                        (any artifact subset) reuses them
     --resume DIR        checkpoint completed sweep cells in DIR and skip
                         any already recorded there (safe to re-run after
                         a crash; outputs are byte-identical either way)
@@ -19,7 +29,7 @@ Options::
     --inject-faults P   deterministic fault plan (test hook), e.g.
                         "seed=7,rate=0.3,kinds=crash|timeout|corrupt"
     --report PATH       write a schema-versioned RunReport of the run
-                        (wall spans + retry/resume counters)
+                        (wall spans + plan dedup/cache + retry counters)
 
 Artifact ids: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 fig10 fig11.  A run interrupted by a crash or a permanently failing cell
@@ -34,20 +44,19 @@ import os
 import sys
 
 from repro.graphs import load_graph, load_suite
+from repro.harness.cache import MeasurementCache
 from repro.harness.figures import (
-    bin_width_sweep,
-    figure3_vertex_traffic,
-    figure4_speedup,
-    figure5_communication_reduction,
-    figure6_requests_per_edge,
-    figure7_scaling_vertices,
-    figure8_scaling_degree,
-    figure9_bin_width_communication,
-    figure10_bin_width_time,
-    figure11_phase_breakdown,
-    suite_measurements,
+    figure3_spec,
+    figure4_spec,
+    figure5_spec,
+    figure6_spec,
+    figure7_spec,
+    figure8_spec,
+    figure9_spec,
+    figure10_spec,
+    figure11_spec,
 )
-from repro.harness.tables import table1, table2, table3
+from repro.harness.tables import table1_spec, table2_spec, table3_spec
 from repro.memsim import DEFAULT_ENGINE, ENGINES
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
@@ -60,6 +69,7 @@ from repro.parallel.resilience import (
     SweepOptions,
     SweepStats,
 )
+from repro.plan import CompiledPlan, compile_plan, execute_plan
 
 log = get_logger("harness.reproduce")
 
@@ -77,6 +87,25 @@ ARTIFACTS = (
     "fig10",
     "fig11",
 )
+
+#: Output file stem (under ``--output``) for each artifact id.
+EMIT_NAMES = {
+    "table1": "table1_suite",
+    "table2": "table2_priorwork",
+    "table3": "table3_detailed",
+    "fig3": "fig3_vertex_traffic",
+    "fig4": "fig4_speedup",
+    "fig5": "fig5_comm_reduction",
+    "fig6": "fig6_gail",
+    "fig7": "fig7_scale_vertices",
+    "fig8": "fig8_scale_degree",
+    "fig9": "fig9_binwidth_comm",
+    "fig10": "fig10_binwidth_time",
+    "fig11": "fig11_phase_breakdown",
+}
+
+#: Bin widths of the figure 9/10/11 sweeps (see benchmarks/conftest.py).
+BIN_WIDTHS = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,8 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="process-parallel sweep workers for fig4-9 cells "
+        help="process-parallel sweep workers for the plan's cells "
         "(1 = serial, 0 = one per CPU); outputs are identical either way",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed measurement cache: store every completed "
+        "cell under its fingerprint in DIR and reuse matching cells from "
+        "any previous run (a fully warm run executes zero cells; outputs "
+        "are byte-identical either way)",
     )
     parser.add_argument(
         "--resume",
@@ -141,7 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a RunReport (docs/metrics_schema.md) of this "
-        "reproduction run: wall spans plus retry/resume counters",
+        "reproduction run: wall spans plus plan/cache and retry counters",
     )
     parser.add_argument(
         "-v",
@@ -164,8 +202,58 @@ def _sizes_for(scale: float) -> list[int]:
     return [max(1024, int(n * scale)) for n in full]
 
 
+def plan_specs(
+    wanted: set[str],
+    *,
+    scale: float = 1.0,
+    seed: int = 42,
+    engine: str = DEFAULT_ENGINE,
+) -> list:
+    """Experiment specs for the requested artifact ids, in emit order.
+
+    This is the full declarative description of the reproduction: the
+    driver compiles these specs into one deduplicated plan, and the
+    ``repro-pb plan`` subcommand compiles them purely to print the DAG.
+    """
+    specs = []
+    suite_needed = wanted & {
+        "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6"
+    }
+    graphs = load_suite(seed=seed, scale=scale) if suite_needed else {}
+    if "table1" in wanted:
+        specs.append(table1_spec(graphs))
+    if "table2" in wanted:
+        specs.append(table2_spec(graphs["urand"], engine=engine))
+    if "table3" in wanted:
+        specs.append(table3_spec(graphs, engine=engine))
+    if "fig3" in wanted:
+        specs.append(figure3_spec(graphs, engine=engine))
+    if "fig4" in wanted:
+        specs.append(figure4_spec(graphs, engine=engine))
+    if "fig5" in wanted:
+        specs.append(figure5_spec(graphs, engine=engine))
+    if "fig6" in wanted:
+        specs.append(figure6_spec(graphs, engine=engine))
+    if "fig7" in wanted:
+        specs.append(figure7_spec(_sizes_for(scale), engine=engine))
+    if "fig8" in wanted:
+        degrees = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]
+        n = max(2048, int(65536 * scale)) if scale < 1.0 else 65536
+        specs.append(figure8_spec(degrees, num_vertices=n, engine=engine))
+    if wanted & {"fig9", "fig10"}:
+        sweep_graphs = load_suite(seed=seed, scale=0.5 * scale)
+        if "fig9" in wanted:
+            specs.append(figure9_spec(sweep_graphs, BIN_WIDTHS, engine=engine))
+        if "fig10" in wanted:
+            specs.append(figure10_spec(sweep_graphs, BIN_WIDTHS, engine=engine))
+    if "fig11" in wanted:
+        urand = load_graph("urand", seed=seed, scale=scale)
+        specs.append(figure11_spec(urand, BIN_WIDTHS, engine=engine))
+    return specs
+
+
 def _sweep_options(args: argparse.Namespace) -> SweepOptions:
-    """Resilience settings shared by every sweep of this run."""
+    """Resilience settings for the plan execution of this run."""
     fault_plan = (
         FaultPlan.from_string(args.inject_faults) if args.inject_faults else None
     )
@@ -185,11 +273,12 @@ def _write_run_report(
     scale: float,
     wanted: set[str],
     options: SweepOptions,
+    plan: CompiledPlan | None,
     wall_spans: dict,
     *,
     completed: bool,
 ) -> None:
-    """Honour ``--report``: one run-level RunReport with resilience counters."""
+    """Honour ``--report``: one run-level RunReport with plan + resilience."""
     if not args.report:
         return
     report = RunReport(
@@ -203,6 +292,7 @@ def _write_run_report(
             options={
                 "artifacts": sorted(wanted),
                 "workers": args.workers,
+                "cache": args.cache,
                 "resume": args.resume,
                 "max_retries": args.max_retries,
                 "cell_timeout": args.cell_timeout,
@@ -211,6 +301,7 @@ def _write_run_report(
             },
         ),
         wall_spans=wall_spans,
+        plan=plan.stats.as_dict() if plan is not None else None,
         resilience=options.stats.as_dict() if options.stats else None,
     )
     report.save(args.report)
@@ -234,9 +325,10 @@ def main(argv: list[str] | None = None) -> int:
             handle.write(text + "\n")
         log.info("wrote %s", path)
 
+    holder: dict = {"plan": None}
     with recording() as rec:
         try:
-            _generate(args, scale, wanted, options, emit)
+            _generate(args, scale, wanted, options, emit, holder)
         except CellFailedError as exc:
             log.error("%s", exc)
             if args.resume:
@@ -251,10 +343,13 @@ def main(argv: list[str] | None = None) -> int:
                     "across failures"
                 )
             _write_run_report(
-                args, scale, wanted, options, rec.as_dict(), completed=False
+                args, scale, wanted, options, holder["plan"], rec.as_dict(),
+                completed=False,
             )
             return 1
-    _write_run_report(args, scale, wanted, options, rec.as_dict(), completed=True)
+    _write_run_report(
+        args, scale, wanted, options, holder["plan"], rec.as_dict(), completed=True
+    )
     log.info("done.")
     return 0
 
@@ -265,87 +360,30 @@ def _generate(
     wanted: set[str],
     options: SweepOptions,
     emit,
+    holder: dict,
 ) -> None:
-    suite_needed = wanted & {"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6"}
-    graphs = load_suite(seed=args.seed, scale=scale) if suite_needed else {}
-
-    if "table1" in wanted:
-        emit("table1_suite", table1(graphs).render())
-    if "table2" in wanted:
-        emit("table2_priorwork", table2(graphs["urand"], engine=args.engine).render())
-    if "table3" in wanted:
-        emit("table3_detailed", table3(graphs, engine=args.engine).render())
-    if "fig3" in wanted:
-        emit(
-            "fig3_vertex_traffic",
-            figure3_vertex_traffic(graphs, engine=args.engine).render(),
+    """Compile one plan for every wanted artifact, execute it, fan out."""
+    specs = plan_specs(wanted, scale=scale, seed=args.seed, engine=args.engine)
+    plan = compile_plan(specs)
+    holder["plan"] = plan
+    log.info(
+        "plan: %d cell(s) requested, %d unique (dedup ratio %.2f)",
+        plan.cells_requested,
+        plan.cells_unique,
+        plan.dedup_ratio,
+    )
+    cache = MeasurementCache(args.cache) if args.cache else None
+    results = execute_plan(
+        plan, workers=args.workers, options=options, cache=cache
+    )
+    if cache is not None:
+        log.info(
+            "cache: %d hit(s), %d cell(s) executed",
+            plan.stats.cache_hits,
+            plan.stats.executed,
         )
-    if wanted & {"fig4", "fig5", "fig6"}:
-        data = suite_measurements(
-            graphs, engine=args.engine, workers=args.workers, options=options
-        )
-        if "fig4" in wanted:
-            emit("fig4_speedup", figure4_speedup(graphs, _measurements=data).render())
-        if "fig5" in wanted:
-            emit(
-                "fig5_comm_reduction",
-                figure5_communication_reduction(graphs, _measurements=data).render(),
-            )
-        if "fig6" in wanted:
-            emit(
-                "fig6_gail",
-                figure6_requests_per_edge(graphs, _measurements=data).render(),
-            )
-    if "fig7" in wanted:
-        emit(
-            "fig7_scale_vertices",
-            figure7_scaling_vertices(
-                _sizes_for(scale),
-                engine=args.engine,
-                workers=args.workers,
-                options=options,
-            ).render(),
-        )
-    if "fig8" in wanted:
-        degrees = [4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]
-        n = max(2048, int(65536 * scale)) if scale < 1.0 else 65536
-        emit(
-            "fig8_scale_degree",
-            figure8_scaling_degree(
-                degrees,
-                num_vertices=n,
-                engine=args.engine,
-                workers=args.workers,
-                options=options,
-            ).render(),
-        )
-    if wanted & {"fig9", "fig10"}:
-        widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
-        sweep_graphs = load_suite(seed=args.seed, scale=0.5 * scale)
-        sweep = bin_width_sweep(
-            sweep_graphs, widths, engine=args.engine, workers=args.workers, options=options
-        )
-        if "fig9" in wanted:
-            emit(
-                "fig9_binwidth_comm",
-                figure9_bin_width_communication(
-                    sweep_graphs, widths, _sweep_cache=sweep
-                ).render(),
-            )
-        if "fig10" in wanted:
-            emit(
-                "fig10_binwidth_time",
-                figure10_bin_width_time(
-                    sweep_graphs, widths, _sweep_cache=sweep
-                ).render(),
-            )
-    if "fig11" in wanted:
-        widths = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144]
-        urand = load_graph("urand", seed=args.seed, scale=scale)
-        emit(
-            "fig11_phase_breakdown",
-            figure11_phase_breakdown(urand, widths, engine=args.engine).render(),
-        )
+    for spec in specs:
+        emit(EMIT_NAMES[spec.name], results.artifact(spec.name).render())
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

@@ -5,8 +5,14 @@
   reads/s, instructions);
 * Table III — detailed baseline / PB / DPB results on all eight graphs.
 
-Each function returns structured rows plus a rendered ASCII table, so
-benches can both print and assert.
+Like the figures, each table is declared as an
+:class:`~repro.plan.spec.ExperimentSpec` (``table*_spec``) whose cells
+come from the shared families in :mod:`repro.harness.cells` — so table
+II's baseline row and table III's measurements deduplicate against the
+figure specs when compiled into one plan.  The ``table*`` functions
+compile and execute a one-spec plan and return a :class:`TableResult`
+(structured rows plus a rendered ASCII table, so benches can both print
+and assert).
 """
 
 from __future__ import annotations
@@ -15,13 +21,26 @@ from dataclasses import dataclass
 
 from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import suite_table_rows
-from repro.harness.experiment import Measurement, measure_kernel, run_experiment
+from repro.harness.cells import experiment_cell, priorwork_cell
+from repro.harness.experiment import Measurement
+from repro.harness.figures import run_spec, suite_cells
 from repro.kernels.priorwork import PRIOR_WORK
 from repro.memsim import DEFAULT_ENGINE
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
+from repro.plan import Cell, ExperimentSpec
 from repro.utils.tables import format_table
 
-__all__ = ["TableResult", "table1", "table2", "table3", "PAPER_TABLE2", "PAPER_TABLE3"]
+__all__ = [
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "table1_spec",
+    "table2_spec",
+    "table3_spec",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+]
 
 
 @dataclass(frozen=True)
@@ -91,8 +110,13 @@ PAPER_TABLE3: dict[str, dict[str, tuple[float, float, float, float]]] = {
 }
 
 
-def table1(graphs: dict[str, CSRGraph]) -> TableResult:
-    """Table I: the suite, with the paper's full-scale metadata alongside."""
+def table1_spec(graphs: dict[str, CSRGraph]) -> ExperimentSpec:
+    """Table I: the suite, with the paper's full-scale metadata alongside.
+
+    Needs no simulation — an empty cell set whose build renders straight
+    from the graph metadata (declared as a spec anyway so ``reproduce``
+    treats every artifact uniformly).
+    """
     headers = [
         "graph",
         "description",
@@ -104,12 +128,81 @@ def table1(graphs: dict[str, CSRGraph]) -> TableResult:
         "paper |E| (M)",
         "paper degree",
     ]
-    return TableResult(
-        title="Table I: evaluation graphs (scaled 1:1024 from the paper's)",
-        headers=headers,
-        rows=suite_table_rows(graphs),
-        measurements={},
-    )
+
+    def build(values) -> TableResult:
+        return TableResult(
+            title="Table I: evaluation graphs (scaled 1:1024 from the paper's)",
+            headers=headers,
+            rows=suite_table_rows(graphs),
+            measurements={},
+        )
+
+    return ExperimentSpec(name="table1", cells={}, build=build)
+
+
+def table1(graphs: dict[str, CSRGraph]) -> TableResult:
+    return run_spec(table1_spec(graphs))
+
+
+def table2_spec(
+    graph: CSRGraph,
+    machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Table II: baseline vs CSB/Galois/GraphMat/Ligra strategies on urand.
+
+    The baseline cell is the suite's ("urand", "baseline") experiment
+    cell, so it deduplicates against figures 3-6 and table III.
+    """
+    cells = {
+        "baseline": Cell(
+            fn=experiment_cell, args=(graph, "baseline", machine, "urand", engine)
+        )
+    }
+    for name in PRIOR_WORK:
+        cells[name] = Cell(
+            fn=priorwork_cell, args=(graph, name, machine, "urand", engine)
+        )
+
+    def build(values) -> TableResult:
+        measurements: dict[str, Measurement] = {
+            name: values[name] for name in cells
+        }
+        rows = []
+        for name in ("baseline", "csb", "galois", "graphmat", "ligra"):
+            m = measurements[name]
+            paper = PAPER_TABLE2[name]
+            rows.append(
+                [
+                    name,
+                    m.seconds * 1e3,  # modelled ms (scaled machine)
+                    m.reads,
+                    m.reads_per_second / 1e6,  # M reads/s
+                    m.instructions / 1e6,  # M instructions (scaled graph)
+                    paper[0],
+                    paper[1],
+                    paper[3],
+                ]
+            )
+        headers = [
+            "codebase",
+            "time (ms)",
+            "mem reads",
+            "reads/s (M)",
+            "instr (M)",
+            "paper time (s)",
+            "paper reads (M)",
+            "paper instr (B)",
+        ]
+        return TableResult(
+            title="Table II: single PageRank iteration on urand — baseline vs prior work",
+            headers=headers,
+            rows=rows,
+            measurements=measurements,
+        )
+
+    return ExperimentSpec(name="table2", cells=cells, build=build)
 
 
 def table2(
@@ -117,47 +210,71 @@ def table2(
     machine: MachineSpec = SIMULATED_MACHINE,
     *,
     engine: str = DEFAULT_ENGINE,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> TableResult:
-    """Table II: baseline vs CSB/Galois/GraphMat/Ligra strategies on urand."""
-    measurements: dict[str, Measurement] = {}
-    measurements["baseline"] = run_experiment(
-        graph, "baseline", machine=machine, graph_name="urand", engine=engine
+    return run_spec(
+        table2_spec(graph, machine, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )
-    for name, cls in PRIOR_WORK.items():
-        measurements[name] = measure_kernel(
-            cls(graph, machine), graph_name="urand", engine=engine
+
+
+def table3_spec(
+    graphs: dict[str, CSRGraph],
+    machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    methods: tuple[str, ...] = ("baseline", "pb", "dpb"),
+    engine: str = DEFAULT_ENGINE,
+) -> ExperimentSpec:
+    """Table III: detailed time/reads/writes/instructions per graph."""
+
+    def build(values) -> TableResult:
+        measurements: dict[str, Measurement] = {}
+        rows = []
+        for graph_name in graphs:
+            paper_row = PAPER_TABLE3.get(graph_name, {})
+            for method in methods:
+                m = values[(graph_name, method)]
+                measurements[f"{graph_name}/{method}"] = m
+                paper = paper_row.get(method)
+                rows.append(
+                    [
+                        graph_name,
+                        method,
+                        m.seconds * 1e3,
+                        m.reads,
+                        m.writes,
+                        m.instructions / 1e6,
+                        paper[0] if paper else "-",
+                        paper[1] if paper else "-",
+                        paper[2] if paper else "-",
+                    ]
+                )
+        headers = [
+            "graph",
+            "method",
+            "time (ms)",
+            "reads",
+            "writes",
+            "instr (M)",
+            "paper time (s)",
+            "paper reads (M)",
+            "paper writes (M)",
+        ]
+        return TableResult(
+            title="Table III: detailed results — baseline and propagation blocking",
+            headers=headers,
+            rows=rows,
+            measurements=measurements,
         )
-    rows = []
-    for name in ("baseline", "csb", "galois", "graphmat", "ligra"):
-        m = measurements[name]
-        paper = PAPER_TABLE2[name]
-        rows.append(
-            [
-                name,
-                m.seconds * 1e3,  # modelled ms (scaled machine)
-                m.reads,
-                m.reads_per_second / 1e6,  # M reads/s
-                m.instructions / 1e6,  # M instructions (scaled graph)
-                paper[0],
-                paper[1],
-                paper[3],
-            ]
-        )
-    headers = [
-        "codebase",
-        "time (ms)",
-        "mem reads",
-        "reads/s (M)",
-        "instr (M)",
-        "paper time (s)",
-        "paper reads (M)",
-        "paper instr (B)",
-    ]
-    return TableResult(
-        title="Table II: single PageRank iteration on urand — baseline vs prior work",
-        headers=headers,
-        rows=rows,
-        measurements=measurements,
+
+    return ExperimentSpec(
+        name="table3",
+        cells=suite_cells(graphs, methods, machine, engine),
+        build=build,
     )
 
 
@@ -167,45 +284,13 @@ def table3(
     *,
     methods: tuple[str, ...] = ("baseline", "pb", "dpb"),
     engine: str = DEFAULT_ENGINE,
+    workers=None,
+    options=None,
+    cache=None,
 ) -> TableResult:
-    """Table III: detailed time/reads/writes/instructions per graph."""
-    measurements: dict[str, Measurement] = {}
-    rows = []
-    for graph_name, graph in graphs.items():
-        paper_row = PAPER_TABLE3.get(graph_name, {})
-        for method in methods:
-            m = run_experiment(
-                graph, method, machine=machine, graph_name=graph_name, engine=engine
-            )
-            measurements[f"{graph_name}/{method}"] = m
-            paper = paper_row.get(method)
-            rows.append(
-                [
-                    graph_name,
-                    method,
-                    m.seconds * 1e3,
-                    m.reads,
-                    m.writes,
-                    m.instructions / 1e6,
-                    paper[0] if paper else "-",
-                    paper[1] if paper else "-",
-                    paper[2] if paper else "-",
-                ]
-            )
-    headers = [
-        "graph",
-        "method",
-        "time (ms)",
-        "reads",
-        "writes",
-        "instr (M)",
-        "paper time (s)",
-        "paper reads (M)",
-        "paper writes (M)",
-    ]
-    return TableResult(
-        title="Table III: detailed results — baseline and propagation blocking",
-        headers=headers,
-        rows=rows,
-        measurements=measurements,
+    return run_spec(
+        table3_spec(graphs, machine, methods=methods, engine=engine),
+        workers=workers,
+        options=options,
+        cache=cache,
     )

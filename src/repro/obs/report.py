@@ -45,7 +45,12 @@ __all__ = [
 #: 1.2 added the optional ``resilience`` section (sweep retry/resume
 #: counters from :class:`repro.parallel.resilience.SweepStats`, written
 #: by ``reproduce --report``) and the ``"reproduce"`` report kind.
-SCHEMA_VERSION = "1.2"
+#:
+#: 1.3 added the optional ``plan`` section (cell DAG counters from
+#: :class:`repro.plan.compiler.PlanStats`: cells requested / unique /
+#: cache hits / resumed / executed plus the dedup ratio, written by
+#: ``reproduce --report`` since artifacts compile to one shared plan).
+SCHEMA_VERSION = "1.3"
 
 
 @dataclass(frozen=True)
@@ -242,6 +247,11 @@ class RunReport:
     optionally holds the sweep executor's fault-tolerance counters
     (:meth:`repro.parallel.resilience.SweepStats.as_dict`: completed /
     resumed / retried cells, injected faults, pool restarts, failures).
+
+    Since schema 1.3, ``plan`` optionally holds the cell-DAG counters of
+    the run's compiled experiment plan
+    (:meth:`repro.plan.compiler.PlanStats.as_dict`: cells requested /
+    unique / cache hits / resumed / executed and the dedup ratio).
     """
 
     graph: GraphMeta
@@ -255,6 +265,7 @@ class RunReport:
     metrics: dict[str, Any] | None = None
     drift: dict[str, Any] | None = None
     resilience: dict[str, Any] | None = None
+    plan: dict[str, Any] | None = None
     schema_version: str = SCHEMA_VERSION
 
     def key(self) -> str:
@@ -280,6 +291,7 @@ class RunReport:
             "metrics": self.metrics,
             "drift": self.drift,
             "resilience": self.resilience,
+            "plan": self.plan,
         }
 
     @classmethod
@@ -316,6 +328,8 @@ class RunReport:
             drift=data.get("drift"),
             # 1.2 section; absent in older reports.
             resilience=data.get("resilience"),
+            # 1.3 section; absent in older reports.
+            plan=data.get("plan"),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

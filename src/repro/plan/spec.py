@@ -1,0 +1,78 @@
+"""Declarative experiment specs: cells and the artifacts built from them.
+
+A :class:`Cell` is the unit of measurement work — a picklable
+module-level function plus plain-data arguments — and its identity is
+its *content* fingerprint (:func:`repro.utils.fingerprint.stable_digest`
+over function, args, and kwargs).  Two specs that request the same
+simulation therefore request the *same* cell, which is what lets the
+compiler deduplicate across artifacts: figure 4's ``("urand",
+"baseline")`` measurement and table III's are one cell, computed once.
+
+An :class:`ExperimentSpec` declares one artifact: the cells it needs,
+keyed by artifact-local names, and a ``build`` function mapping the
+resolved ``{local_key: result}`` dict to the artifact value (a
+``FigureResult``, ``TableResult``, or anything else).  ``build`` runs in
+the parent process after execution, so unlike cell functions it may be a
+closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.utils.fingerprint import stable_digest
+
+__all__ = ["Cell", "ExperimentSpec"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fingerprinted measurement request.
+
+    Attributes
+    ----------
+    fn:
+        Module-level callable executed (possibly in a worker process, so
+        it must pickle by reference — no lambdas or closures).
+    args / kwargs:
+        Plain-data arguments forwarded to ``fn``.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Content identity of this cell: function + arguments, no key.
+
+        Deliberately excludes any requester-side name (unlike
+        :func:`repro.utils.fingerprint.cell_fingerprint`, which covers
+        the sweep key): the same work requested by different artifacts
+        must share one fingerprint for cross-artifact deduplication and
+        for content-addressed cache lookups to work.
+        """
+        return stable_digest((self.fn, tuple(self.args), dict(self.kwargs)))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One artifact: the cells it needs plus how to assemble the result.
+
+    Attributes
+    ----------
+    name:
+        Artifact identifier, unique within a plan (``"fig4"``,
+        ``"table3"``, ...).
+    cells:
+        ``{local_key: Cell}`` — the measurements this artifact needs,
+        under names meaningful to ``build`` (e.g. ``("urand", "pb")``).
+        May be empty for artifacts that need no simulation (Table I).
+    build:
+        Called with ``{local_key: result}`` once every cell is resolved;
+        returns the artifact value.  Runs in-process (closures are fine).
+    """
+
+    name: str
+    cells: Mapping[Any, Cell]
+    build: Callable[[Mapping[Any, Any]], Any]

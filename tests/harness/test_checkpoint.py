@@ -251,7 +251,9 @@ def test_reproduce_resume_is_byte_identical_after_crash(tmp_path):
         ]
     )
     assert code == 1
-    assert len(open_checkpoint(ck, "fig7")) > 0
+    # Since the plan layer, reproduce runs all artifacts as one plan, so
+    # the checkpoint is kept under the plan's label rather than per-figure.
+    assert len(open_checkpoint(ck, "plan")) > 0
 
     # ...and a fault-free rerun with the same --resume dir completes and
     # produces byte-identical output.

@@ -8,7 +8,8 @@ import pytest
 
 from repro.graphs import load_graph, load_suite
 from repro.harness import (
-    bin_width_sweep,
+    figure9_spec,
+    figure10_spec,
     figure3_vertex_traffic,
     figure4_speedup,
     figure5_communication_reduction,
@@ -105,18 +106,25 @@ def test_figure8_shapes():
 
 def test_figures_9_10_shapes(urand):
     widths = [32, 256, 2048, 8192]
-    sweep = bin_width_sweep({"urand": urand}, widths, TINY_MACHINE)
-    fig9 = figure9_bin_width_communication(
-        {"urand": urand}, widths, TINY_MACHINE, _sweep_cache=sweep
+    # One plan over both specs: the shared sweep cells execute once.
+    from repro.plan import compile_plan, execute_plan
+
+    plan = compile_plan(
+        [
+            figure9_spec({"urand": urand}, widths, TINY_MACHINE),
+            figure10_spec({"urand": urand}, widths, TINY_MACHINE),
+        ]
     )
+    results = execute_plan(plan)
+    assert plan.cells_requested == 2 * len(widths)
+    assert plan.cells_unique == len(widths)
+    fig9 = results.artifact("fig9")
     series = fig9.series["urand"]
     # Communication flattens once slices fit in cache: small widths all
     # communicate much less than the too-wide extreme (normalized max=1).
     assert series[-1] == pytest.approx(1.0)
     assert series[0] < 0.9 and series[1] < 0.9
-    fig10 = figure10_bin_width_time(
-        {"urand": urand}, widths, TINY_MACHINE, _sweep_cache=sweep
-    )
+    fig10 = results.artifact("fig10")
     times = fig10.series["urand"]
     assert len(times) == len(widths)
     assert max(times) == pytest.approx(1.0)

@@ -55,3 +55,29 @@ def test_fig7_quick(tmp_path, capsys):
 def test_artifact_registry_complete():
     assert len(ARTIFACTS) == 12
     assert set(ARTIFACTS) >= {"table1", "table3", "fig3", "fig11"}
+
+
+def test_warm_cache_run_executes_zero_cells(tmp_path):
+    import json
+
+    cache = str(tmp_path / "cache")
+    base = ["--scale", "0.03", "--only", "table2", "fig3", "--cache", cache, "-q", "-q"]
+    cold_out, warm_out = tmp_path / "cold", tmp_path / "warm"
+
+    cold_report = tmp_path / "cold.json"
+    assert main([*base, "--output", str(cold_out), "--report", str(cold_report)]) == 0
+    cold = json.loads(cold_report.read_text())
+    assert cold["plan"]["executed"] == cold["plan"]["cells_unique"]
+    assert cold["plan"]["cache_hits"] == 0
+
+    warm_report = tmp_path / "warm.json"
+    assert main([*base, "--output", str(warm_out), "--report", str(warm_report)]) == 0
+    warm = json.loads(warm_report.read_text())
+    # Every cell came from the cache; nothing was simulated again...
+    assert warm["plan"]["executed"] == 0
+    assert warm["plan"]["cache_hits"] == warm["plan"]["cells_unique"]
+    # table2's baseline row is fig3's urand cell: dedup even in this pair.
+    assert warm["plan"]["dedup_ratio"] > 1.0
+    # ...and the artifacts are byte-identical to the cold run's.
+    for name in ("table2_priorwork.txt", "fig3_vertex_traffic.txt"):
+        assert (warm_out / name).read_bytes() == (cold_out / name).read_bytes()

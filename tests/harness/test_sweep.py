@@ -6,12 +6,11 @@ import pytest
 
 from repro.graphs import load_suite
 from repro.harness.figures import (
-    bin_width_sweep,
     figure7_scaling_vertices,
     figure8_scaling_degree,
     figure9_bin_width_communication,
-    suite_measurements,
 )
+from repro.harness.tables import table3
 from repro.obs.spans import disable, enable
 from repro.parallel import SweepCell, default_workers, run_cells
 
@@ -111,24 +110,21 @@ def test_fig8_parallel_identical():
 
 def test_fig9_sweep_parallel_identical(tiny_graphs):
     widths = [64, 512]
-    serial = bin_width_sweep(tiny_graphs, widths)
-    parallel = bin_width_sweep(tiny_graphs, widths, workers=2)
-    assert serial == parallel
-    fig_a = figure9_bin_width_communication(tiny_graphs, widths, _sweep_cache=serial)
-    fig_b = figure9_bin_width_communication(tiny_graphs, widths, _sweep_cache=parallel)
+    fig_a = figure9_bin_width_communication(tiny_graphs, widths)
+    fig_b = figure9_bin_width_communication(tiny_graphs, widths, workers=2)
     assert fig_a == fig_b
 
 
-def test_suite_measurements_parallel_identical(tiny_graphs):
+def test_suite_plan_parallel_identical(tiny_graphs):
     few = {name: tiny_graphs[name] for name in list(tiny_graphs)[:2]}
-    serial = suite_measurements(few, methods=("baseline", "dpb"))
-    parallel = suite_measurements(few, methods=("baseline", "dpb"), workers=2)
-    for name in few:
-        for method in ("baseline", "dpb"):
-            assert (
-                serial[name][method].counters.as_dict()
-                == parallel[name][method].counters.as_dict()
-            )
+    serial = table3(few, methods=("baseline", "dpb"))
+    parallel = table3(few, methods=("baseline", "dpb"), workers=2)
+    assert serial.rows == parallel.rows
+    for key in serial.measurements:
+        assert (
+            serial.measurements[key].counters.as_dict()
+            == parallel.measurements[key].counters.as_dict()
+        )
 
 
 @pytest.mark.skipif(

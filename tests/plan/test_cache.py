@@ -1,0 +1,101 @@
+"""Tests for the content-addressed measurement cache."""
+
+import json
+import os
+
+import numpy as np
+
+from repro.harness.cache import CACHE_SCHEMA_VERSION, MeasurementCache
+
+
+def _entry_path(cache: MeasurementCache, fingerprint: str) -> str:
+    return os.path.join(
+        cache.directory, "objects", fingerprint[:2], f"{fingerprint}.json"
+    )
+
+
+FP = "ab" + "0" * 62
+
+
+def test_round_trip_json_payload(tmp_path):
+    cache = MeasurementCache(str(tmp_path))
+    assert cache.get(FP) is None
+    cache.put(FP, {"requests": 12, "time": 0.5}, seconds=1.25)
+    entry = cache.get(FP)
+    assert entry.result == {"requests": 12, "time": 0.5}
+    assert entry.seconds == 1.25
+    assert entry.fingerprint == FP
+
+
+def test_round_trip_pickle_payload(tmp_path):
+    # Results that do not survive a JSON round trip (numpy scalars, tuples)
+    # take the pickle encoding transparently.
+    cache = MeasurementCache(str(tmp_path))
+    value = {"array": np.arange(4), "pair": (1, 2)}
+    cache.put(FP, value, seconds=0.0)
+    restored = cache.get(FP).result
+    assert isinstance(restored["pair"], tuple)
+    np.testing.assert_array_equal(restored["array"], np.arange(4))
+
+
+def test_len_counts_entries(tmp_path):
+    cache = MeasurementCache(str(tmp_path))
+    assert len(cache) == 0
+    cache.put(FP, 1, seconds=0.0)
+    cache.put("cd" + "0" * 62, 2, seconds=0.0)
+    assert len(cache) == 2
+    assert cache.has(FP)
+    assert not cache.has("ef" + "0" * 62)
+
+
+def test_corrupt_entry_is_a_miss_and_recovers(tmp_path):
+    cache = MeasurementCache(str(tmp_path))
+    cache.put(FP, 41, seconds=0.0)
+    with open(_entry_path(cache, FP), "w") as handle:
+        handle.write('{"kind": "measurement_cache_entry", "schema')  # truncated
+    assert cache.get(FP) is None
+    # Overwriting repairs the entry.
+    cache.put(FP, 42, seconds=0.0)
+    assert cache.get(FP).result == 42
+
+
+def test_wrong_major_version_is_a_miss(tmp_path):
+    cache = MeasurementCache(str(tmp_path))
+    cache.put(FP, 7, seconds=0.0)
+    path = _entry_path(cache, FP)
+    data = json.loads(open(path).read())
+    data["schema_version"] = "999.0"
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+    assert cache.get(FP) is None
+
+
+def test_minor_version_drift_still_loads(tmp_path):
+    cache = MeasurementCache(str(tmp_path))
+    cache.put(FP, 7, seconds=0.0)
+    path = _entry_path(cache, FP)
+    data = json.loads(open(path).read())
+    major = CACHE_SCHEMA_VERSION.split(".", 1)[0]
+    data["schema_version"] = f"{major}.999"
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+    assert cache.get(FP).result == 7
+
+
+def test_fingerprint_mismatch_is_a_miss(tmp_path):
+    # A file moved or renamed to the wrong address must not be trusted.
+    cache = MeasurementCache(str(tmp_path))
+    cache.put(FP, 7, seconds=0.0)
+    other = "ac" + "0" * 62
+    os.makedirs(os.path.dirname(_entry_path(cache, other)), exist_ok=True)
+    os.replace(_entry_path(cache, FP), _entry_path(cache, other))
+    assert cache.get(other) is None
+
+
+def test_foreign_json_is_a_miss(tmp_path):
+    cache = MeasurementCache(str(tmp_path))
+    path = _entry_path(cache, FP)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"kind": "something_else"}, handle)
+    assert cache.get(FP) is None

@@ -1,0 +1,118 @@
+"""Tests for the plan model and compiler: cells, fingerprints, dedup."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.plan import Cell, ExperimentSpec, compile_plan
+from repro.utils.validation import pow2_at_least
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_plan_fingerprints.json"
+
+
+def _double(x):
+    return 2 * x
+
+
+def _triple(x):
+    return 3 * x
+
+
+def _spec(name, cells):
+    return ExperimentSpec(name=name, cells=cells, build=lambda values: dict(values))
+
+
+def _fingerprint_for(n: int) -> str:
+    return Cell(fn=pow2_at_least, args=(n,)).fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Cell fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_content_only():
+    # Two artifacts requesting the same work under different local keys
+    # must produce the same fingerprint — that is what dedup keys on.
+    assert (
+        Cell(fn=_double, args=(3,)).fingerprint()
+        == Cell(fn=_double, args=(3,)).fingerprint()
+    )
+
+
+def test_fingerprint_separates_fn_args_kwargs():
+    base = Cell(fn=_double, args=(3,)).fingerprint()
+    assert Cell(fn=_triple, args=(3,)).fingerprint() != base
+    assert Cell(fn=_double, args=(4,)).fingerprint() != base
+    assert Cell(fn=_double, args=(3,), kwargs={"k": 1}).fingerprint() != base
+
+
+def test_golden_fingerprints_pinned():
+    # The committed fingerprints must match today's algorithm: cache
+    # directories and dedup both key on Cell.fingerprint, so any drift
+    # must be a deliberate change (regenerate the golden when it is).
+    golden = json.loads(GOLDEN_PATH.read_text())["fingerprints"]
+    for n_text, expected in golden.items():
+        assert _fingerprint_for(int(n_text)) == expected, n_text
+
+
+def test_fingerprints_stable_across_processes():
+    ns = [1, 3, 17, 1000]
+    local = [_fingerprint_for(n) for n in ns]
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        remote = list(pool.map(_fingerprint_for, ns))
+    assert local == remote
+
+
+# ----------------------------------------------------------------------
+# compile_plan
+# ----------------------------------------------------------------------
+def test_compile_dedups_across_specs():
+    a = _spec("a", {"x": Cell(fn=_double, args=(1,)), "y": Cell(fn=_double, args=(2,))})
+    b = _spec("b", {"one": Cell(fn=_double, args=(1,)), "z": Cell(fn=_triple, args=(1,))})
+    plan = compile_plan([a, b])
+    assert plan.cells_requested == 4
+    assert plan.cells_unique == 3
+    assert plan.dedup_ratio == pytest.approx(4 / 3)
+    # Both requests resolve to the same unique cell.
+    assert plan.requests["a"]["x"] == plan.requests["b"]["one"]
+
+
+def test_labels_name_first_requester():
+    a = _spec("a", {"x": Cell(fn=_double, args=(1,))})
+    b = _spec("b", {"one": Cell(fn=_double, args=(1,))})
+    plan = compile_plan([a, b])
+    fingerprint = plan.requests["a"]["x"]
+    assert plan.labels[fingerprint] == "a:x"
+
+
+def test_summary_rows_split_owned_and_shared():
+    a = _spec("a", {"x": Cell(fn=_double, args=(1,))})
+    b = _spec("b", {"one": Cell(fn=_double, args=(1,)), "z": Cell(fn=_triple, args=(1,))})
+    plan = compile_plan([a, b])
+    rows = {row[0]: row[1:] for row in plan.summary_rows()}
+    assert rows["a"] == [1, 1, 0]
+    assert rows["b"] == [2, 1, 1]
+    # Owned sums to unique, requested sums to requested.
+    assert sum(r[1] for r in rows.values()) == plan.cells_unique
+    assert sum(r[0] for r in rows.values()) == plan.cells_requested
+
+
+def test_duplicate_spec_names_rejected():
+    a = _spec("a", {})
+    with pytest.raises(ValueError, match="duplicate spec name"):
+        compile_plan([a, _spec("a", {})])
+
+
+def test_unknown_spec_name_raises():
+    plan = compile_plan([_spec("a", {})])
+    with pytest.raises(KeyError):
+        plan.spec("missing")
+
+
+def test_empty_plan_stats():
+    plan = compile_plan([_spec("a", {})])
+    assert plan.cells_requested == 0
+    assert plan.cells_unique == 0
+    assert plan.dedup_ratio == 1.0
+    assert plan.stats.as_dict()["dedup_ratio"] == 1.0

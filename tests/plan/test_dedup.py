@@ -1,0 +1,85 @@
+"""Dedup guarantees of the real paper artifacts, on tiny inputs.
+
+Regression context: before the plan layer, figures 9 and 10 called
+``_sweep_cache or _bin_width_sweep(...)`` — an empty-dict sweep cache is
+falsy, so a legitimately empty cache re-ran the whole sweep, and nothing
+pinned that the two figures actually shared one execution.  These tests
+pin the sharing structurally: one plan, each unique cell executed exactly
+once, measured by the executor's own counters.
+"""
+
+import pytest
+
+from repro.graphs import load_graph, load_suite
+from repro.harness.figures import (
+    figure3_spec,
+    figure4_spec,
+    figure9_spec,
+    figure10_spec,
+)
+from repro.harness.reproduce import ARTIFACTS, plan_specs
+from repro.harness.tables import table2_spec, table3_spec
+from repro.plan import compile_plan, execute_plan
+from tests.kernels.conftest import TINY_MACHINE
+
+
+@pytest.fixture(scope="module")
+def tiny_pair():
+    return load_suite(scale=0.02, seed=42, names=("urand", "web"))
+
+
+def test_fig9_fig10_share_one_sweep(tmp_path):
+    urand = load_graph("urand", scale=0.04, seed=42)
+    widths = [32, 256, 2048]
+    plan = compile_plan(
+        [
+            figure9_spec({"urand": urand}, widths, TINY_MACHINE),
+            figure10_spec({"urand": urand}, widths, TINY_MACHINE),
+        ]
+    )
+    results = execute_plan(plan)
+    # Both figures requested the full sweep; it executed once.
+    assert plan.cells_requested == 2 * len(widths)
+    assert plan.cells_unique == len(widths)
+    assert plan.stats.executed == len(widths)
+    # And both artifacts built from it.
+    assert results.artifact("fig9").series["urand"]
+    assert results.artifact("fig10").series["urand"]
+
+
+def test_suite_family_executes_each_cell_once(tiny_pair):
+    specs = [
+        table2_spec(tiny_pair["urand"], TINY_MACHINE),
+        table3_spec(tiny_pair, TINY_MACHINE),
+        figure3_spec(tiny_pair, TINY_MACHINE),
+        figure4_spec(tiny_pair, TINY_MACHINE),
+    ]
+    plan = compile_plan(specs)
+    # 2 graphs x {baseline,pb,dpb} + 4 prior-work + urand baseline shared
+    # with table2 + fig3's baselines shared + fig4's 8 cells partly new.
+    assert plan.cells_requested == 5 + 6 + 2 + 8
+    assert plan.cells_unique == 4 + 2 * 4  # prior work + (graph x method)
+    results = execute_plan(plan)
+    assert plan.stats.executed == plan.cells_unique
+    # Shared cells resolved to identical objects across artifacts.
+    t2 = results.values_for("table2")
+    t3 = results.values_for("table3")
+    assert t2["baseline"] is t3[("urand", "baseline")]
+
+
+def test_full_reproduce_plan_dedups():
+    # Compilation performs no simulation, so the *entire* reproduction
+    # DAG can be checked cheaply: the suite family and the bin-width
+    # sweeps overlap heavily, and that must survive any spec refactor.
+    specs = plan_specs(set(ARTIFACTS), scale=0.02, seed=42)
+    plan = compile_plan(specs)
+    assert {spec.name for spec in specs} == set(ARTIFACTS)
+    assert plan.dedup_ratio > 1.0
+    rows = {row[0]: row[1:] for row in plan.summary_rows()}
+    # fig3/fig5/fig6 and fig10 own nothing: everything they need is
+    # already requested by an earlier artifact.
+    for name in ("fig3", "fig5", "fig6", "fig10"):
+        assert rows[name][1] == 0, name
+        assert rows[name][2] == rows[name][0], name
+    # table3 shares exactly its urand baseline cell with table2.
+    assert rows["table3"][2] == 1

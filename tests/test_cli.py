@@ -78,6 +78,38 @@ def test_rejects_unknown_method():
         main(["measure", "--method", "warp-speed"])
 
 
+def test_plan_command_compiles_without_executing(capsys):
+    code, out = run_cli(
+        capsys, "plan", "--scale", "0.05", "--only", "table2", "fig3"
+    )
+    assert code == 0
+    assert "compiled plan: 2 artifact(s)" in out
+    assert "dedup ratio" in out
+    assert "would execute (no --cache given)" in out
+
+
+def test_plan_command_counts_cache_hits(capsys, tmp_path):
+    from repro.harness.reproduce import main as reproduce_main
+
+    cache = str(tmp_path / "cache")
+    assert reproduce_main(
+        ["--scale", "0.03", "--only", "table2", "--cache", cache,
+         "--output", str(tmp_path / "out"), "-q", "-q"]
+    ) == 0
+    code, out = run_cli(
+        capsys, "plan", "--scale", "0.03", "--only", "table2",
+        "--cache", cache,
+    )
+    assert code == 0
+    # Every one of table2's cells is in the cache: nothing would execute.
+    assert "0 cell(s) would execute" in out
+
+
+def test_plan_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        main(["plan", "--only", "fig99"])
+
+
 def test_describe_command(capsys):
     code, out = run_cli(capsys, "describe", "--graph", "web", "--scale", "0.1")
     assert code == 0
