@@ -112,6 +112,23 @@ def _engine_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _tier_parent() -> argparse.ArgumentParser:
+    """``--kernel-tier`` — oracle vs compiled kernel implementations."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--kernel-tier",
+        # Literal choices keep repro.compiled un-imported until requested;
+        # kept in sync with repro.compiled.kernels.KERNEL_TIERS by
+        # tests/compiled/test_cli_tier.py.
+        choices=("numpy", "compiled"),
+        default="numpy",
+        help="kernel implementation tier (default: numpy, the differential "
+        "oracles); 'compiled' runs pb/dpb through the compiled tier — "
+        "bit-identical results, see docs/performance.md",
+    )
+    return p
+
+
 def _report_parent() -> argparse.ArgumentParser:
     """``--json``/``--report-dir``/``--trace`` — machine-readable outputs."""
     p = argparse.ArgumentParser(add_help=False)
@@ -160,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     common = _logging_parent()
     graph = _graph_parent()
     engine = _engine_parent()
+    tier = _tier_parent()
     report = _report_parent()
     metrics = _metrics_parent()
 
@@ -176,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         "pagerank",
         graph,
         engine,
+        tier,
         report,
         help="compute PageRank on a suite graph",
     )
@@ -199,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
         "measure",
         graph,
         engine,
+        tier,
         report,
         metrics,
         help="simulate one iteration's memory traffic",
@@ -212,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare",
         graph,
         engine,
+        tier,
         report,
         metrics,
         help="all strategies on one graph",
@@ -300,6 +321,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_tier(method: str, tier: str) -> str:
+    """Map ``method`` through ``--kernel-tier`` (lazy: tier 'numpy' never
+    imports repro.compiled)."""
+    if tier == "numpy":
+        return method
+    from repro.compiled.kernels import resolve_method
+
+    return resolve_method(method, tier)
+
+
+def _warmup_if_compiled(args: argparse.Namespace) -> None:
+    """Front-load backend compilation when the compiled tier is in play.
+
+    Called inside the ``recording()`` scope so the
+    ``compiled_warmup[<backend>]`` span lands in the report's wall spans
+    instead of inflating the first measured iteration.
+    """
+    if getattr(args, "kernel_tier", "numpy") == "compiled" or (
+        getattr(args, "engine", None) == "compiled"
+    ):
+        from repro.compiled import warmup
+
+        warmup()
+
+
 def _save_trace(args: argparse.Namespace, tracer) -> None:
     """Honour ``--trace`` for the run(s) just performed."""
     if tracer is not None:
@@ -332,11 +378,13 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
     with ExitStack() as stack:
         rec = stack.enter_context(recording())
         tracer = stack.enter_context(tracing()) if args.trace else None
+        _warmup_if_compiled(args)
         result = pagerank(
             graph,
             method=args.method,
             tolerance=args.tolerance,
             max_iterations=args.max_iterations,
+            tier=args.kernel_tier,
         )
         measurement = None
         if args.measure:
@@ -380,7 +428,10 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
             method=result.method,
             engine=args.engine,
             num_iterations=result.iterations,
-            options={"requested_method": args.method},
+            options={
+                "requested_method": args.method,
+                "kernel_tier": args.kernel_tier,
+            },
         ),
         convergence=Convergence(
             iterations=result.iterations,
@@ -397,13 +448,15 @@ def _cmd_pagerank(args: argparse.Namespace) -> int:
 
 def _cmd_measure(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    method = _resolve_tier(args.method, args.kernel_tier)
     with ExitStack() as stack:
         rec = stack.enter_context(recording())
         tracer = stack.enter_context(tracing()) if args.trace else None
         registry = stack.enter_context(collecting()) if args.metrics else None
+        _warmup_if_compiled(args)
         m = run_experiment(
             graph,
-            args.method,
+            method,
             graph_name=args.graph,
             engine=args.engine,
             num_iterations=args.iterations,
@@ -412,7 +465,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             # A short executable solver pass so the trace also carries the
             # solver-side counter tracks (residual, active vertices) next
             # to the simulator's DRAM/miss-rate/drift tracks.
-            pagerank(graph, method=args.method, max_iterations=5, tolerance=0.0)
+            pagerank(graph, method=method, max_iterations=5, tolerance=0.0)
     rows = [
         ["DRAM reads (lines)", m.reads],
         ["DRAM writes (lines)", m.writes],
@@ -426,7 +479,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         format_table(
             ["metric", "value"],
             rows,
-            title=f"{args.method} on {args.graph} "
+            title=f"{method} on {args.graph} "
             f"({args.iterations} {iter_word}, simulated)",
         )
     )
@@ -453,11 +506,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         # registries are per run so each report carries its own.
         tracer = trace_stack.enter_context(tracing()) if args.trace else None
         for method in ("baseline", "cb", "pb", "dpb"):
+            method = _resolve_tier(method, args.kernel_tier)
             with ExitStack() as stack:
                 rec = stack.enter_context(recording())
                 registry = (
                     stack.enter_context(collecting()) if args.metrics else None
                 )
+                _warmup_if_compiled(args)
                 m = run_experiment(
                     graph, method, graph_name=args.graph, engine=args.engine
                 )

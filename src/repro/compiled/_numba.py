@@ -1,0 +1,209 @@
+"""``@njit`` twins of the C loops in :mod:`repro.compiled.backend`.
+
+Imported only when Numba is installed (the ``fast`` extra); the import is
+guarded in :func:`repro.compiled.backend.get_backend`, so this module must
+not be imported directly by anything else.
+
+The two propagation-blocking phases use ``parallel=True``: binning
+iterations write disjoint bin slots (the slot permutation is a bijection)
+and accumulate iterations own disjoint ``sums`` slices (one bin each, in
+in-bin order), so the results are bit-identical to the sequential oracle
+under any thread interleaving.  The LRU replay is inherently sequential
+(each access's outcome depends on the recency state the previous access
+left) and is compiled without ``parallel``.
+
+:func:`compile_all` calls every entry point once on tiny inputs with the
+production dtypes, forcing JIT compilation inside the caller's
+``compiled_warmup[numba]`` span instead of the first measured iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+__all__ = ["pb_binning", "pb_accumulate", "lru_run", "lru_flush", "compile_all"]
+
+
+@njit(cache=True, parallel=True)
+def pb_binning(contrib, offsets, pos, binned):  # pragma: no cover - JIT
+    """Binning phase: scatter contributions into the deterministic layout.
+
+    ``pos`` is the inverse of ``BinLayout.order``: slot ``pos[e]`` of the
+    bin-major buffer receives edge ``e``'s contribution.  Exact — stores
+    the float32 contributions unchanged.
+    """
+    for u in prange(offsets.shape[0] - 1):
+        c = contrib[u]
+        for e in range(offsets[u], offsets[u + 1]):
+            binned[pos[e]] = c
+
+
+@njit(cache=True, parallel=True)
+def pb_accumulate(binned, dst_sorted, bounds, sums):  # pragma: no cover - JIT
+    """Accumulate phase: drain bins into ``sums`` in bin-major slot order.
+
+    Bit-identical to the oracle's per-bin ``np.bincount``: within a bin the
+    float64 additions happen in slot order, and bins touch disjoint
+    ``sums`` slices, so per-bin parallelism cannot reorder any addition.
+    """
+    for b in prange(bounds.shape[0] - 1):
+        for j in range(bounds[b], bounds[b + 1]):
+            sums[dst_sorted[j]] += np.float64(binned[j])
+
+
+@njit(cache=True, inline="always")
+def _hash(key, mask):  # pragma: no cover - JIT
+    h = np.uint64(key) * np.uint64(0x9E3779B97F4A7C15)
+    h ^= h >> np.uint64(29)
+    return np.int64(h & np.uint64(mask))
+
+
+@njit(cache=True)
+def _rebuild(hdr, table, line):  # pragma: no cover - JIT
+    mask = np.int64(table.shape[0] - 1)
+    table[:] = -1
+    for s in range(hdr[0]):
+        i = _hash(line[s], mask)
+        while table[i] != -1:
+            i = (i + 1) & mask
+        table[i] = s
+    hdr[3] = 0
+
+
+@njit(cache=True)
+def lru_run(
+    hdr, table, line, prev, nxt, dirty, capacity, lines, write
+):  # pragma: no cover - JIT
+    """Replay ``lines`` through the exact LRU state; see the C twin.
+
+    Returns ``(misses, writebacks)``.  Semantics mirror
+    ``FullyAssociativeLRU`` exactly: write-back + write-allocate, hits
+    refresh recency and merge the dirty bit.
+    """
+    tsize = np.int64(table.shape[0])
+    mask = tsize - 1
+    count = hdr[0]
+    head = hdr[1]
+    tail = hdr[2]
+    tombs = hdr[3]
+    misses = np.int64(0)
+    writebacks = np.int64(0)
+    for a in range(lines.shape[0]):
+        key = lines[a]
+        i = _hash(key, mask)
+        free_pos = np.int64(-1)
+        node = np.int64(-1)
+        while True:
+            v = table[i]
+            if v == -1:
+                break
+            if v == -2:
+                if free_pos < 0:
+                    free_pos = i
+            elif line[v] == key:
+                node = v
+                break
+            i = (i + 1) & mask
+        if node >= 0:
+            if write:
+                dirty[node] = np.uint8(1)
+            if head != node:
+                p = prev[node]
+                nx = nxt[node]
+                if p >= 0:
+                    nxt[p] = nx
+                if nx >= 0:
+                    prev[nx] = p
+                if tail == node:
+                    tail = np.int64(p)
+                prev[node] = -1
+                nxt[node] = np.int32(head)
+                if head >= 0:
+                    prev[head] = np.int32(node)
+                head = node
+            continue
+        misses += 1
+        if count == capacity:
+            victim = tail
+            vkey = line[victim]
+            tail = np.int64(prev[victim])
+            if tail >= 0:
+                nxt[tail] = -1
+            else:
+                head = np.int64(-1)
+            if dirty[victim]:
+                writebacks += 1
+            d = _hash(vkey, mask)
+            while table[d] < 0 or line[table[d]] != vkey:
+                d = (d + 1) & mask
+            table[d] = -2
+            tombs += 1
+            slot = victim
+        else:
+            slot = count
+            count += 1
+        line[slot] = key
+        dirty[slot] = np.uint8(1) if write else np.uint8(0)
+        prev[slot] = -1
+        nxt[slot] = np.int32(head)
+        if head >= 0:
+            prev[head] = np.int32(slot)
+        head = np.int64(slot)
+        if tail < 0:
+            tail = np.int64(slot)
+        if free_pos >= 0:
+            table[free_pos] = np.int32(slot)
+            tombs -= 1
+        else:
+            while table[i] >= 0:
+                i = (i + 1) & mask
+            if table[i] == -2:
+                tombs -= 1
+            table[i] = np.int32(slot)
+        if tombs * 4 > tsize:
+            hdr[0] = count
+            _rebuild(hdr, table, line)
+            tombs = np.int64(0)
+    hdr[0] = count
+    hdr[1] = head
+    hdr[2] = tail
+    hdr[3] = tombs
+    return misses, writebacks
+
+
+@njit(cache=True)
+def lru_flush(hdr, table, dirty):  # pragma: no cover - JIT
+    """Count dirty resident lines, then reset the LRU state to empty."""
+    dirty_count = np.int64(0)
+    for s in range(hdr[0]):
+        if dirty[s]:
+            dirty_count += 1
+    hdr[0] = 0
+    hdr[1] = -1
+    hdr[2] = -1
+    hdr[3] = 0
+    table[:] = -1
+    return dirty_count
+
+
+def compile_all() -> None:
+    """Force JIT compilation of every entry point on tiny typed inputs."""
+    contrib = np.zeros(2, dtype=np.float32)
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    pos = np.array([1, 0], dtype=np.int32)
+    binned = np.zeros(2, dtype=np.float32)
+    pb_binning(contrib, offsets, pos, binned)
+    bounds = np.array([0, 2], dtype=np.int64)
+    dst = np.array([0, 1], dtype=np.int32)
+    sums = np.zeros(2, dtype=np.float64)
+    pb_accumulate(binned, dst, bounds, sums)
+    hdr = np.array([0, -1, -1, 0], dtype=np.int64)
+    table = np.full(16, -1, dtype=np.int32)
+    line = np.zeros(4, dtype=np.int64)
+    prev = np.full(4, -1, dtype=np.int32)
+    nxt = np.full(4, -1, dtype=np.int32)
+    dirty = np.zeros(4, dtype=np.uint8)
+    lines = np.array([0, 1, 0, 2], dtype=np.int64)
+    lru_run(hdr, table, line, prev, nxt, dirty, np.int64(2), lines, 1)
+    lru_flush(hdr, table, dirty)

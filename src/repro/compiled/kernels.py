@@ -1,0 +1,168 @@
+"""Compiled PageRank kernels: ``pb-compiled`` and ``dpb-compiled``.
+
+These subclass the propagation-blocking oracles and override only
+:meth:`~repro.kernels.base.PageRankKernel.run` — the trace, instruction
+model, and communication model are inherited unchanged, so ``trace()`` and
+``measure()`` are *definitionally* identical to the oracle's.  The
+compiled ``run`` produces **bit-identical scores** to the oracle because
+both execute the same float operations in the same order:
+
+* binning writes each float32 contribution into its deterministic bin
+  slot (the oracle reaches the same buffer via
+  ``np.repeat(...)[layout.order]``) — no arithmetic, just placement;
+* accumulate adds ``float64(binned[j])`` into ``sums`` in bin-major slot
+  order, which is exactly the per-destination addition order of the
+  oracle's per-bin ``np.bincount`` (the float32→float64 conversion is
+  exact, so keeping the binned buffer in float32 — half the traffic, as
+  the paper stores 32-bit words — changes nothing);
+* apply reuses the oracle's :func:`~repro.kernels.base.apply_damping`.
+
+Availability: requires a backend (Numba or a C compiler) *and*
+``num_edges < 2**31`` (bin slots are indexed by int32, matching the
+paper's 32-bit ids).  Otherwise :meth:`run` falls back to the oracle with
+a one-time warning — same results, oracle speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled.backend import backend_name, get_backend
+from repro.kernels.base import DAMPING, apply_damping, compute_contributions
+from repro.kernels.propagation_blocking import (
+    DeterministicPBPageRank,
+    PropagationBlockingPageRank,
+)
+from repro.obs.log import get_logger
+from repro.obs.spans import span
+
+__all__ = [
+    "KERNEL_TIERS",
+    "CompiledPBPageRank",
+    "CompiledDPBPageRank",
+    "resolve_method",
+]
+
+log = get_logger(__name__)
+
+#: Kernel tiers selectable via ``--kernel-tier``: ``numpy`` runs the
+#: oracle implementations, ``compiled`` maps methods through
+#: :func:`resolve_method` to their compiled variants where one exists.
+KERNEL_TIERS = ("numpy", "compiled")
+
+#: Oracle method -> compiled variant (identity for everything else).
+_COMPILED_METHODS = {"pb": "pb-compiled", "dpb": "dpb-compiled"}
+
+
+def resolve_method(method: str, tier: str = "numpy") -> str:
+    """Map a kernel method name through a tier selection.
+
+    ``resolve_method("pb", "compiled")`` → ``"pb-compiled"``; methods with
+    no compiled variant (and every method at tier ``numpy``) pass through
+    unchanged.  ``"auto"`` must be resolved to a concrete method first
+    (``make_kernel`` does this).
+    """
+    if tier not in KERNEL_TIERS:
+        options = ", ".join(repr(t) for t in KERNEL_TIERS)
+        raise ValueError(f"unknown kernel tier {tier!r}; choose one of {options}")
+    if tier == "compiled":
+        return _COMPILED_METHODS.get(method, method)
+    return method
+
+
+class _CompiledRunMixin:
+    """Compiled ``run`` for propagation-blocking kernels (see module doc)."""
+
+    _prepared = None
+    _warned_fallback = False
+
+    def _prepare(self):
+        """Contiguous int32/int64 views of the layout, computed once.
+
+        ``pos`` is the inverse of ``layout.order``: edge ``e`` of the CSR
+        walk lands in bin slot ``pos[e]``.  Scattering through ``pos`` in
+        CSR order reads the contributions sequentially and writes each bin
+        as its own sequential stream — the access pattern the paper's
+        binning phase is designed around.
+        """
+        if self._prepared is None:
+            layout = self.layout
+            m = self.graph.num_edges
+            pos = np.empty(m, dtype=np.int32)
+            pos[layout.order] = np.arange(m, dtype=np.int32)
+            self._prepared = (
+                np.ascontiguousarray(self.graph.offsets, dtype=np.int64),
+                pos,
+                np.ascontiguousarray(layout.sorted_dst, dtype=np.int32),
+                np.ascontiguousarray(layout.bounds, dtype=np.int64),
+                np.empty(m, dtype=np.float32),  # reusable binned buffer
+            )
+        return self._prepared
+
+    @property
+    def backend(self) -> str:
+        """Backend ``run`` will use: ``"numba"``, ``"cc"``, or ``"numpy"``."""
+        if get_backend() is None or self.graph.num_edges >= 2**31:
+            return "numpy"
+        return backend_name()
+
+    def run(
+        self,
+        num_iterations: int = 1,
+        scores: np.ndarray | None = None,
+        damping: float = DAMPING,
+    ) -> np.ndarray:
+        backend = get_backend()
+        if backend is None or self.graph.num_edges >= 2**31:
+            if not type(self)._warned_fallback:
+                type(self)._warned_fallback = True
+                reason = (
+                    "no compiled backend available"
+                    if backend is None
+                    else "graph exceeds int32 edge indexing"
+                )
+                log.warning(
+                    "%s: %s; falling back to the pure-NumPy oracle "
+                    "(identical results, oracle speed)",
+                    self.name,
+                    reason,
+                )
+            return super().run(num_iterations, scores=scores, damping=damping)
+        offsets, pos, dst_sorted, bounds, binned = self._prepare()
+        scores = self._initial_scores(scores)
+        n = self.graph.num_vertices
+        sums = np.zeros(n, dtype=np.float64)
+        for _ in range(num_iterations):
+            with span("binning"):
+                contributions = compute_contributions(scores, self._out_degrees)
+                backend.pb_binning(contributions, offsets, pos, bounds, binned)
+            with span("accumulate"):
+                sums[:] = 0.0
+                backend.pb_accumulate(binned, dst_sorted, bounds, sums)
+            with span("apply"):
+                scores = apply_damping(sums.astype(np.float32), n, damping)
+        return scores
+
+
+class CompiledPBPageRank(_CompiledRunMixin, PropagationBlockingPageRank):
+    """Compiled tier of :class:`PropagationBlockingPageRank` (``"pb"``).
+
+    Accuracy contract: bit-identical scores to the ``pb`` oracle for any
+    graph, iteration count, and damping; identical ``trace()``/``measure()``
+    by inheritance.  Availability: a compiled backend and int32-indexable
+    edges, else transparent oracle fallback (see module docstring).
+    """
+
+    name = "pb-compiled"
+
+
+class CompiledDPBPageRank(_CompiledRunMixin, DeterministicPBPageRank):
+    """Compiled tier of :class:`DeterministicPBPageRank` (``"dpb"``).
+
+    Same accuracy contract as :class:`CompiledPBPageRank`; the DPB/PB
+    distinction is entirely in the inherited trace and instruction model
+    (the executable arithmetic is shared), so one compiled ``run`` serves
+    both.
+    """
+
+    name = "dpb-compiled"

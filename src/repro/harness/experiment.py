@@ -116,6 +116,10 @@ def evaluate_drift(
         c=machine.cache_words,
     )
     method = kernel.name
+    if method.endswith("-compiled"):
+        # Compiled-tier kernels inherit their oracle's trace unchanged, so
+        # the oracle's analytic model applies verbatim.
+        method = method[: -len("-compiled")]
     if method in ("baseline", "pull"):
         model_name = "detailed_pull"
         totals = detailed_pull(params)

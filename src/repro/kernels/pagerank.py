@@ -30,14 +30,36 @@ from repro.obs.trace import counter_sample, current_tracer
 
 __all__ = ["KERNELS", "PageRankResult", "make_kernel", "select_method", "pagerank"]
 
+def _compiled_pb(graph, machine=SIMULATED_MACHINE, **kwargs):
+    """Lazy factory for ``pb-compiled`` (avoids importing repro.compiled
+    unless the compiled tier is actually requested)."""
+    from repro.compiled.kernels import CompiledPBPageRank
+
+    return CompiledPBPageRank(graph, machine, **kwargs)
+
+
+def _compiled_dpb(graph, machine=SIMULATED_MACHINE, **kwargs):
+    """Lazy factory for ``dpb-compiled``."""
+    from repro.compiled.kernels import CompiledDPBPageRank
+
+    return CompiledDPBPageRank(graph, machine, **kwargs)
+
+
 #: Registry of the measured implementation strategies, keyed by table name.
-KERNELS: dict[str, type[PageRankKernel]] = {
+#: Values are the kernel class or an equivalent factory ``(graph, machine,
+#: **kwargs) -> PageRankKernel``.  The ``*-compiled`` entries run the
+#: compiled execution tier (:mod:`repro.compiled`): bit-identical scores
+#: and traces to their oracles, requiring Numba or a C compiler (they fall
+#: back to the oracle path with a warning when neither is available).
+KERNELS: dict[str, object] = {
     "baseline": PullPageRank,
     "pull": PullPageRank,
     "push": PushPageRank,
     "cb": CacheBlockedPageRank,
     "pb": PropagationBlockingPageRank,
     "dpb": DeterministicPBPageRank,
+    "pb-compiled": _compiled_pb,
+    "dpb-compiled": _compiled_dpb,
 }
 
 
@@ -93,15 +115,24 @@ def make_kernel(
     graph: CSRGraph,
     method: str = "auto",
     machine: MachineSpec = SIMULATED_MACHINE,
+    *,
+    tier: str = "numpy",
     **kwargs,
 ) -> PageRankKernel:
     """Instantiate a kernel by name (``"auto"`` applies :func:`select_method`).
 
-    Extra keyword arguments reach the kernel constructor (``bin_width`` for
-    PB/DPB, ``block_width`` for CB).
+    ``tier="compiled"`` maps the (possibly auto-selected) method to its
+    compiled variant where one exists (``pb``/``dpb`` →
+    ``pb-compiled``/``dpb-compiled``; others run unchanged) — the CLI's
+    ``--kernel-tier`` lands here.  Extra keyword arguments reach the
+    kernel constructor (``bin_width`` for PB/DPB, ``block_width`` for CB).
     """
     if method == "auto":
         method = select_method(graph, machine)
+    if tier != "numpy":
+        from repro.compiled.kernels import resolve_method
+
+        method = resolve_method(method, tier)
     if method not in KERNELS:
         raise KeyError(
             f"unknown method {method!r}; choose from {sorted(KERNELS)} or 'auto'"

@@ -81,14 +81,29 @@ def _make_plru(config: CacheConfig):
     return TreePLRUCache(config)
 
 
+def _make_compiled(config: CacheConfig):
+    """Lazy factory for the compiled exact-LRU engine (repro.compiled).
+
+    Exact: bit-identical counters to ``flru``/``stackdist``.  Availability:
+    Numba or a C compiler; otherwise it returns a ``stackdist`` engine with
+    a one-time warning (identical counters, oracle speed).
+    """
+    from repro.compiled.engine import make_compiled_engine
+
+    return make_compiled_engine(config)
+
+
 #: Engine registry: name -> factory taking a :class:`CacheConfig`.
 #: ``stackdist`` and ``flru`` are *exact* fully-associative LRU models with
 #: bit-identical counters (``flru`` is the per-access oracle loop kept for
-#: differential testing); ``set``/``plru`` model reduced associativity;
-#: ``dmap`` is approximate and banned from reported numbers.
+#: differential testing); ``compiled`` is the compiled tier of the same
+#: exact model (bit-identical counters; needs Numba or a C compiler, else
+#: it degrades to ``stackdist``); ``set``/``plru`` model reduced
+#: associativity; ``dmap`` is approximate and banned from reported numbers.
 ENGINES: dict[str, object] = {
     "stackdist": StackDistanceLRU,
     "flru": FullyAssociativeLRU,
+    "compiled": _make_compiled,
     "set": SetAssociativeLRU,
     "plru": _make_plru,
     "dmap": DirectMappedVectorized,

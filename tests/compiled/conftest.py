@@ -1,0 +1,41 @@
+"""Fixtures for the compiled-tier differential suite.
+
+Graph fixtures mirror ``tests/kernels/conftest.py`` so the compiled
+kernels face the same inputs as the oracle kernel tests.  The
+``requires_backend`` marker skips a test when neither Numba nor a C
+compiler is available — tier-1 stays green without the ``fast`` extra,
+the differentials just don't exercise a compiled backend there.
+"""
+
+import pytest
+
+from repro.compiled import available
+from repro.graphs import build_csr, uniform_random_graph, web_crawl_graph
+
+requires_backend = pytest.mark.skipif(
+    not available(),
+    reason="no compiled backend (install the 'fast' extra or a C compiler)",
+)
+
+
+@pytest.fixture()
+def random_graph():
+    """Symmetric uniform random graph, n >> tiny cache words."""
+    return build_csr(uniform_random_graph(8192, 8, seed=3))
+
+
+@pytest.fixture()
+def directed_graph():
+    return build_csr(uniform_random_graph(4096, 6, seed=4, symmetric=False))
+
+
+@pytest.fixture()
+def local_graph():
+    """High-locality banded graph (web stand-in)."""
+    return build_csr(web_crawl_graph(8192, 6, seed=5, window=128))
+
+
+@pytest.fixture(params=["random_graph", "directed_graph", "local_graph"])
+def any_graph(request):
+    """Each conftest graph in turn (differential sweeps run on all)."""
+    return request.getfixturevalue(request.param)

@@ -1,0 +1,189 @@
+"""Differential tests: compiled PB/DPB kernels vs their NumPy oracles.
+
+The compiled tier's contract is **bit-identical scores** (and, by
+inheritance, identical traces and simulated counters) to the pure-NumPy
+kernels, which remain the source of truth for every paper claim.  Every
+test builds both kernels on the same graph and compares exactly — the
+``tests/memsim/test_stackdist.py`` pattern applied to the kernel tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiled import backend_name
+from repro.compiled.kernels import KERNEL_TIERS, resolve_method
+from repro.kernels.pagerank import KERNELS, make_kernel, pagerank
+from repro.models.machine import SIMULATED_MACHINE
+
+from tests.compiled.conftest import requires_backend
+
+METHODS = ("pb", "dpb")
+
+
+def kernel_pair(graph, method, **kwargs):
+    oracle = make_kernel(graph, method, SIMULATED_MACHINE, **kwargs)
+    fast = make_kernel(graph, method, SIMULATED_MACHINE, tier="compiled", **kwargs)
+    return oracle, fast
+
+
+# ----------------------------------------------------------------------
+# registry and tier resolution (backend-independent)
+# ----------------------------------------------------------------------
+def test_registry_has_compiled_variants():
+    assert "pb-compiled" in KERNELS
+    assert "dpb-compiled" in KERNELS
+
+
+@pytest.mark.parametrize(
+    "method,expected",
+    [("pb", "pb-compiled"), ("dpb", "dpb-compiled"), ("baseline", "baseline")],
+)
+def test_resolve_method(method, expected):
+    assert resolve_method(method, "compiled") == expected
+    assert resolve_method(method, "numpy") == method
+
+
+def test_resolve_method_rejects_unknown_tier():
+    with pytest.raises(ValueError, match="unknown kernel tier"):
+        resolve_method("pb", "fortran")
+
+
+def test_cli_tier_choices_match_registry():
+    """The CLI's literal --kernel-tier choices stay in sync with
+    KERNEL_TIERS (the literal keeps repro.compiled lazily imported)."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["measure", "--kernel-tier", "compiled"])
+    assert args.kernel_tier in KERNEL_TIERS
+    for tier in KERNEL_TIERS:
+        parser.parse_args(["measure", "--kernel-tier", tier])
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_make_kernel_tier_maps_methods(random_graph, method):
+    kernel = make_kernel(random_graph, method, SIMULATED_MACHINE, tier="compiled")
+    assert kernel.name == f"{method}-compiled"
+    # Trace-facing attributes are inherited from the oracle unchanged.
+    oracle = make_kernel(random_graph, method, SIMULATED_MACHINE)
+    assert kernel.words_per_pair == oracle.words_per_pair
+    assert kernel.instruction_model == oracle.instruction_model
+
+
+# ----------------------------------------------------------------------
+# bit-identical scores
+# ----------------------------------------------------------------------
+@requires_backend
+@pytest.mark.parametrize("method", METHODS)
+def test_scores_bit_identical(any_graph, method):
+    oracle, fast = kernel_pair(any_graph, method)
+    assert fast.backend == backend_name()
+    for iterations in (1, 4):
+        expected = oracle.run(iterations)
+        actual = fast.run(iterations)
+        assert expected.dtype == actual.dtype
+        assert np.array_equal(expected, actual)
+
+
+@requires_backend
+def test_scores_bit_identical_chained_and_damped(random_graph):
+    """Continuation from prior scores and non-default damping stay exact."""
+    oracle, fast = kernel_pair(random_graph, "pb")
+    scores = oracle.run(2)
+    expected = oracle.run(3, scores=scores, damping=0.7)
+    actual = fast.run(3, scores=scores.copy(), damping=0.7)
+    assert np.array_equal(expected, actual)
+
+
+@requires_backend
+@pytest.mark.parametrize("method", METHODS)
+def test_scores_bit_identical_custom_bin_width(random_graph, method):
+    oracle, fast = kernel_pair(random_graph, method, bin_width=256)
+    assert np.array_equal(oracle.run(2), fast.run(2))
+
+
+@requires_backend
+def test_pagerank_driver_tier_identical(random_graph):
+    """Full convergence through the driver matches in every field."""
+    base = pagerank(random_graph, method="pb", max_iterations=20)
+    fast = pagerank(random_graph, method="pb", tier="compiled", max_iterations=20)
+    assert fast.method == "pb-compiled"
+    assert fast.iterations == base.iterations
+    assert fast.converged == base.converged
+    assert fast.deltas == base.deltas
+    assert np.array_equal(fast.scores, base.scores)
+
+
+# ----------------------------------------------------------------------
+# identical traces and simulated counters
+# ----------------------------------------------------------------------
+@requires_backend
+@pytest.mark.parametrize("method", METHODS)
+def test_measure_counters_identical(any_graph, method):
+    oracle, fast = kernel_pair(any_graph, method)
+    expected = oracle.measure(1, engine="stackdist")
+    actual = fast.measure(1, engine="stackdist")
+    assert actual.as_dict() == expected.as_dict()
+
+
+# ----------------------------------------------------------------------
+# fallback without a backend
+# ----------------------------------------------------------------------
+def test_fallback_without_backend(random_graph, monkeypatch):
+    """With the backend disabled, the compiled kernel runs the oracle path
+    (identical results) instead of failing."""
+    from repro.compiled import backend as backend_module
+
+    monkeypatch.setenv(backend_module.BACKEND_ENV, "none")
+    backend_module._reset_backend_for_tests()
+    try:
+        assert backend_module.backend_name() == "numpy"
+        oracle, fast = kernel_pair(random_graph, "pb")
+        assert fast.backend == "numpy"
+        assert np.array_equal(oracle.run(3), fast.run(3))
+    finally:
+        backend_module._reset_backend_for_tests()
+
+
+def test_warmup_span_recorded(monkeypatch):
+    """The first backend resolution records compiled_warmup[<backend>]."""
+    from repro.compiled import backend as backend_module
+    from repro.obs import recording
+
+    # An externally forced REPRO_COMPILED_BACKEND=none would skip every
+    # probe rung (and thus record no span); this test is about the probe.
+    monkeypatch.delenv(backend_module.BACKEND_ENV, raising=False)
+    backend_module._reset_backend_for_tests()
+    try:
+        with recording() as rec:
+            info = backend_module.warmup()
+        assert info["cached"] is False
+        assert info["backend"] in ("numba", "cc", "numpy")
+        assert info["seconds"] >= 0.0
+        spans = [
+            path
+            for path in rec.as_dict()
+            if path.startswith(backend_module.WARMUP_SPAN_PREFIX)
+        ]
+        # A span per attempted rung; at least one unless the probe found
+        # nothing to even try (never: the numba rung is always probed).
+        assert spans
+        # Second call is cached and records nothing new.
+        with recording() as rec2:
+            again = backend_module.warmup()
+        assert again["cached"] is True
+        assert not rec2.as_dict()
+    finally:
+        backend_module._reset_backend_for_tests()
+
+
+@requires_backend
+def test_drift_evaluated_for_compiled_methods(random_graph):
+    """Model-vs-simulation drift applies the oracle's model to the
+    compiled variant (same trace, same model)."""
+    from repro.harness import run_experiment
+
+    m = run_experiment(random_graph, "pb-compiled", graph_name="urand")
+    oracle = run_experiment(random_graph, "pb", graph_name="urand")
+    assert m.drift is not None
+    assert m.drift.to_dict() == oracle.drift.to_dict()

@@ -99,4 +99,13 @@ def test_property_scores_bounded_and_finite(edges):
 
 
 def test_registry_covers_expected_methods():
-    assert set(KERNELS) == {"baseline", "pull", "push", "cb", "pb", "dpb"}
+    assert set(KERNELS) == {
+        "baseline",
+        "pull",
+        "push",
+        "cb",
+        "pb",
+        "dpb",
+        "pb-compiled",
+        "dpb-compiled",
+    }

@@ -242,7 +242,7 @@ def test_registry_and_default():
     from repro.memsim import DEFAULT_ENGINE, ENGINES, make_engine
 
     assert DEFAULT_ENGINE == "stackdist"
-    assert set(ENGINES) == {"stackdist", "flru", "set", "plru", "dmap"}
+    assert set(ENGINES) == {"stackdist", "flru", "set", "plru", "dmap", "compiled"}
     engine = make_engine("stackdist", config_for(16))
     assert isinstance(engine, StackDistanceLRU)
     with pytest.raises(ValueError, match="unknown engine"):
