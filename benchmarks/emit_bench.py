@@ -10,12 +10,23 @@ same bench produce directly comparable documents.
 Shape of a bench document::
 
     {
-      "schema_version": "1",
+      "schema_version": "1.4",
       "kind": "bench",
       "bench": "fig4_speedup",
       "metrics": {"DPB/urand": 1.74, ...},   # flat name -> finite number
-      "meta": {"source": "bench_fig4_speedup"}
+      "meta": {"source": "bench_fig4_speedup",
+               "provenance": {"git_commit": ..., "timestamp_utc": ...,
+                              "python": ..., "numpy": ...,
+                              "default_engine": ...}}
     }
+
+Every document is stamped with provenance (git commit, UTC timestamp,
+schema version, python/numpy versions, default simulation engine) so the
+bench-regression sentinel (``repro-pb bench --check``) can attribute any
+number on the trajectory to the tree and toolchain that produced it.
+``REPRO_BENCH_DIR`` redirects emission away from the repository root —
+the CI sentinel job uses it to collect fresh documents for comparison
+without touching the committed baselines.
 
 Helpers flatten the harness result types: :func:`figure_metrics` turns a
 ``FigureResult`` into ``{"<series>/<x>": value}`` entries and
@@ -25,19 +36,63 @@ modelled-time numbers under a prefix.
 
 from __future__ import annotations
 
+import datetime
 import json
 import math
 import numbers
 import os
+import subprocess
 
 from repro.obs import SCHEMA_VERSION
 
-__all__ = ["emit_bench", "figure_metrics", "measurement_metrics", "BENCH_PREFIX"]
+__all__ = [
+    "emit_bench",
+    "figure_metrics",
+    "measurement_metrics",
+    "provenance",
+    "BENCH_PREFIX",
+    "BENCH_DIR_ENV",
+]
 
 #: File-name prefix of emitted bench documents.
 BENCH_PREFIX = "BENCH_"
 
+#: Environment variable overriding the emission directory (CI sentinel).
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def provenance() -> dict[str, object]:
+    """Attribution record stamped into every bench document.
+
+    Best-effort by design: a missing git binary or a tarball checkout
+    yields ``git_commit: None`` rather than a failed bench run.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "-C", _REPO_ROOT, "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 — no git, no repo, no problem
+        commit = None
+    import platform
+
+    import numpy
+
+    from repro.memsim import DEFAULT_ENGINE
+
+    return {
+        "git_commit": commit,
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "default_engine": DEFAULT_ENGINE,
+    }
 
 
 def figure_metrics(fig, *, series: list[str] | None = None) -> dict[str, float]:
@@ -72,7 +127,10 @@ def emit_bench(
 
     ``metrics`` must be a flat mapping of names to finite numbers — the
     comparable quantities of the bench.  ``meta`` carries free-form context
-    (source script, suite scale, units notes) and is never compared.
+    (source script, suite scale, units notes) and is never compared; a
+    ``provenance`` record (git commit, timestamp, toolchain, engine) is
+    stamped into it automatically.  ``directory`` defaults to the
+    ``REPRO_BENCH_DIR`` environment variable, then the repository root.
     """
     if not bench:
         raise ValueError("bench name must be non-empty")
@@ -86,14 +144,19 @@ def emit_bench(
         clean[name] = value
     if not clean:
         raise ValueError("a bench document needs at least one metric")
+    full_meta = dict(meta or {})
+    full_meta.setdefault("provenance", provenance())
     document = {
         "schema_version": SCHEMA_VERSION,
         "kind": "bench",
         "bench": bench,
         "metrics": clean,
-        "meta": dict(meta or {}),
+        "meta": full_meta,
     }
-    path = os.path.join(directory or _REPO_ROOT, f"{BENCH_PREFIX}{bench}.json")
+    if directory is None:
+        directory = os.environ.get(BENCH_DIR_ENV) or _REPO_ROOT
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{BENCH_PREFIX}{bench}.json")
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,0 +1,47 @@
+"""Bench-regression sentinel: gate the ``BENCH_*.json`` trajectory.
+
+The benchmark suite emits schema-versioned ``BENCH_<name>.json``
+documents (``benchmarks/emit_bench.py``) that, committed at the repo
+root, form the cross-commit performance trajectory.  Before this package
+they were an unread artifact; :mod:`repro.bench.sentinel` turns them
+into a CI gate: ``repro-pb bench --check`` compares freshly measured
+numbers against the committed baselines with configurable noise
+tolerances and exits nonzero naming every metric that moved beyond its
+tolerance.
+
+Policy (mirrors ``docs/metrics_schema.md``): **simulated quantities are
+deterministic** — DRAM line counts, modelled times, cell counts, dedup
+ratios reproduce bit-for-bit on any host — so they are gated two-sided
+at a tight default tolerance.  **Host wall-clock metrics**
+(``wall_seconds/*``, ``*accesses_per_sec``, kernel/engine host timings)
+vary machine to machine and are *reported but never gated*, exactly as
+the schema doc forbids regression-gating wall time.
+
+This lives outside :mod:`repro.obs` (which imports nothing from the rest
+of ``repro``) because re-measuring a baseline means running the plan
+layer and the harness.
+"""
+
+from repro.bench.sentinel import (
+    BENCH_GLOB,
+    WALL_CLOCK_PATTERNS,
+    BenchComparison,
+    MetricCheck,
+    compare_documents,
+    load_bench_documents,
+    measure_plan_dedup,
+    parse_noise_overrides,
+    run_bench_command,
+)
+
+__all__ = [
+    "BENCH_GLOB",
+    "WALL_CLOCK_PATTERNS",
+    "BenchComparison",
+    "MetricCheck",
+    "compare_documents",
+    "load_bench_documents",
+    "measure_plan_dedup",
+    "parse_noise_overrides",
+    "run_bench_command",
+]

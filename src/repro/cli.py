@@ -13,6 +13,12 @@ A thin front end over the library for the common workflows:
   flag traffic/time regressions;
 * ``repro-pb report --drift run.json`` — check the embedded
   model-vs-simulation drift records against a threshold;
+* ``repro-pb report --summary run.json`` — print the GAIL per-edge
+  decomposition (requests / reads / writes / instructions / seconds per
+  edge) of every measurement carrying simulated counters;
+* ``repro-pb bench --check`` — the bench-regression sentinel: compare
+  fresh benchmark numbers against the committed ``BENCH_*.json``
+  baselines with noise tolerances and exit nonzero on regression;
 * ``repro-pb plan`` — compile the reproduction's experiment specs into
   their deduplicated cell DAG and print it (cell counts per artifact,
   dedup ratio, cache hits) without executing anything;
@@ -271,7 +277,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also count how many cells an existing measurement cache "
-        "directory would satisfy",
+        "directory would satisfy (with --execute: warm this cache)",
+    )
+    p_plan.add_argument(
+        "--execute",
+        action="store_true",
+        help="execute the compiled plan's cells (typically with --cache "
+        "to warm it) with live fleet progress instead of only printing "
+        "the DAG",
+    )
+    p_plan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel workers for --execute (1 = serial, "
+        "0 = one per CPU)",
+    )
+    p_plan.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="with --execute: write the merged fleet Chrome trace "
+        "(per-worker tracks) to PATH",
+    )
+    p_plan.add_argument(
+        "--progress",
+        choices=("auto", "live", "plain", "off"),
+        default="auto",
+        help="with --execute: progress rendering (auto = live on a TTY, "
+        "plain lines otherwise; -q implies off)",
     )
 
     p_report = add_parser(
@@ -304,6 +337,63 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_DRIFT_THRESHOLD,
         help="relative model/simulation divergence that counts as drift "
         f"(default {DEFAULT_DRIFT_THRESHOLD:g})",
+    )
+    p_report.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the GAIL per-edge decomposition (requests / reads / "
+        "writes / instructions / seconds per edge) of every measurement "
+        "report instead of diffing two runs; reproduce reports list the "
+        "fleet's per-cell decompositions",
+    )
+
+    p_bench = add_parser(
+        "bench",
+        help="compare fresh BENCH_*.json numbers against committed "
+        "baselines with noise tolerances (--check exits nonzero on "
+        "regression)",
+    )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when any gated metric regresses beyond its "
+        "tolerance (the CI bench-sentinel gate)",
+    )
+    p_bench.add_argument(
+        "--baseline-dir",
+        metavar="DIR",
+        default=None,
+        help="directory holding committed BENCH_*.json baselines "
+        "(default: the repository root)",
+    )
+    p_bench.add_argument(
+        "--current",
+        metavar="DIR",
+        default=None,
+        help="directory of freshly emitted BENCH_*.json documents to "
+        "compare (default: re-measure the cheap plan-dedup bench "
+        "in-process)",
+    )
+    p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="default relative tolerance on gated metrics (default 0.01)",
+    )
+    p_bench.add_argument(
+        "--noise",
+        action="append",
+        metavar="PATTERN=TOL",
+        default=[],
+        help="per-metric tolerance override, fnmatch pattern on "
+        "'bench/metric' (repeatable), e.g. --noise 'plan_dedup/cells*=0'",
+    )
+    p_bench.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the full comparison document to PATH (the CI "
+        "artifact)",
     )
 
     # ``reproduce`` owns its full option surface in
@@ -605,7 +695,77 @@ def _report_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_summary(args: argparse.Namespace) -> int:
+    """``repro-pb report --summary``: GAIL per-edge ratios per report.
+
+    Any ``measure`` report carries MemCounters-derived totals, so its
+    whole GAIL decomposition (Beamer et al.) is recomputable from the
+    report alone; ``reproduce`` reports (schema 1.4) instead carry the
+    fleet collector's per-cell decompositions.
+    """
+    header = [
+        "run",
+        "req/edge",
+        "reads/edge",
+        "writes/edge",
+        "instr/edge",
+        "ns/edge",
+    ]
+    rows = []
+    skipped = []
+    for path in args.reports:
+        try:
+            reports = load_reports(path)
+        except (OSError, ValueError) as exc:
+            print(f"repro-pb report: error: {exc}", file=sys.stderr)
+            return 2
+        for report in reports:
+            if report.counters is not None:
+                m = max(report.graph.num_edges, 1)
+                seconds = report.time.modelled_seconds if report.time else 0.0
+                instructions = report.instructions or 0.0
+                rows.append(
+                    [
+                        report.key(),
+                        f"{report.counters.total_requests / m:.4f}",
+                        f"{report.counters.total_reads / m:.4f}",
+                        f"{report.counters.total_writes / m:.4f}",
+                        f"{instructions / m:.3f}",
+                        f"{seconds / m * 1e9:.4f}",
+                    ]
+                )
+            elif report.fleet and report.fleet.get("gail"):
+                for cell, ratios in sorted(report.fleet["gail"].items()):
+                    rows.append(
+                        [
+                            cell,
+                            f"{ratios.get('requests_per_edge', 0.0):.4f}",
+                            f"{ratios.get('reads_per_edge', 0.0):.4f}",
+                            f"{ratios.get('writes_per_edge', 0.0):.4f}",
+                            f"{ratios.get('instructions_per_edge', 0.0):.3f}",
+                            f"{ratios.get('seconds_per_edge', 0.0) * 1e9:.4f}",
+                        ]
+                    )
+            else:
+                skipped.append(f"{report.kind}:{report.key()} ({path})")
+    print(
+        format_table(
+            header,
+            rows,
+            title="GAIL per-edge decomposition (simulated DRAM lines, "
+            "modelled time)",
+        )
+    )
+    for key in skipped:
+        print(f"warning: {key} carries no per-edge counters")
+    if not rows:
+        print("warning: no GAIL-capable runs in the given report(s)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.summary:
+        return _report_summary(args)
     if args.drift:
         return _report_drift(args)
     if len(args.reports) != 2:
@@ -681,8 +841,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         f"\n{plan.cells_requested} cell(s) requested, "
         f"{plan.cells_unique} unique (dedup ratio {plan.dedup_ratio:.2f})"
     )
-    if args.cache:
-        cache = MeasurementCache(args.cache)
+    cache = MeasurementCache(args.cache) if args.cache else None
+    if cache is not None:
         hits = sum(1 for fingerprint in plan.cells if cache.has(fingerprint))
         print(
             f"cache {args.cache}: {hits} hit(s), "
@@ -690,13 +850,64 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         )
     else:
         print(f"{plan.cells_unique} cell(s) would execute (no --cache given)")
-    return 0
+    if not args.execute:
+        return 0
+    return _execute_plan_cli(args, plan, cache)
+
+
+def _execute_plan_cli(args: argparse.Namespace, plan, cache) -> int:
+    """``repro-pb plan --execute``: run the DAG with fleet telemetry."""
+    import contextlib
+
+    from repro.obs.events import EventBus
+    from repro.obs.events import collecting as collecting_events
+    from repro.obs.progress import attach_progress
+    from repro.obs.trace import TraceRecorder
+    from repro.parallel.resilience import CellFailedError
+    from repro.plan import execute_plan
+
+    bus = EventBus()
+    tracer = TraceRecorder() if args.trace else None
+    renderer = attach_progress(bus, mode=args.progress, quiet=args.quiet > 0)
+    failed = False
+    with collecting_events(bus):
+        scope = tracing(tracer) if tracer is not None else contextlib.nullcontext()
+        with scope:
+            try:
+                execute_plan(plan, workers=args.workers, cache=cache)
+            except CellFailedError as exc:
+                print(f"repro-pb plan: error: {exc}", file=sys.stderr)
+                failed = True
+    bus.pump()
+    if renderer is not None:
+        renderer.finish()
+    fleet = bus.fleet_summary()
+    if tracer is not None:
+        bus.merge_into_trace(tracer)
+        tracer.save(args.trace)
+        print(f"[trace written to {args.trace}]")
+    bus.close()
+    cells = fleet["cells"]
+    print(
+        f"\nexecuted {cells['executed']}, cached {cells['cached']}, "
+        f"resumed {cells['resumed']} of {cells['total']} cell(s) "
+        f"({cells['retries']} retried, {cells['faults']} fault(s)) "
+        f"across {fleet['workers']['spawned']} worker(s)"
+    )
+    return 1 if failed else 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.harness.reproduce import main as reproduce_main
 
     return reproduce_main(args.reproduce_args)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro-pb bench``: the bench-regression sentinel (lazy import)."""
+    from repro.bench import run_bench_command
+
+    return run_bench_command(args)
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -761,6 +972,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "plan": _cmd_plan,
     "reproduce": _cmd_reproduce,
+    "bench": _cmd_bench,
 }
 
 

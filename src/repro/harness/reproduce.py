@@ -29,7 +29,13 @@ Options::
     --inject-faults P   deterministic fault plan (test hook), e.g.
                         "seed=7,rate=0.3,kinds=crash|timeout|corrupt"
     --report PATH       write a schema-versioned RunReport of the run
-                        (wall spans + plan dedup/cache + retry counters)
+                        (wall spans + plan dedup/cache + retry counters
+                        + the fleet section's cross-process accounting)
+    --trace PATH        write one merged Chrome trace of the whole fleet:
+                        parent spans plus every worker's cell spans,
+                        lifecycle events, and resource counter tracks
+    --progress MODE     live progress rendering: auto (default; live on
+                        a TTY, plain lines otherwise), live, plain, off
 
 Artifact ids: table1 table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 fig10 fig11.  A run interrupted by a crash or a permanently failing cell
@@ -40,6 +46,7 @@ exits nonzero naming the cell; rerunning the same command with the same
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -58,10 +65,14 @@ from repro.harness.figures import (
 )
 from repro.harness.tables import table1_spec, table2_spec, table3_spec
 from repro.memsim import DEFAULT_ENGINE, ENGINES
+from repro.obs.events import EventBus
+from repro.obs.events import collecting as collecting_events
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
+from repro.obs.progress import attach_progress
 from repro.obs.report import GraphMeta, RunConfig, RunReport
 from repro.obs.spans import recording
+from repro.obs.trace import TraceRecorder, tracing
 from repro.parallel.faults import FaultPlan
 from repro.parallel.resilience import (
     CellFailedError,
@@ -179,7 +190,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write a RunReport (docs/metrics_schema.md) of this "
-        "reproduction run: wall spans plus plan/cache and retry counters",
+        "reproduction run: wall spans plus plan/cache and retry counters "
+        "and the fleet section's cross-process cell accounting",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write one merged Chrome trace (chrome://tracing / Perfetto) "
+        "of the whole fleet: parent spans plus per-worker tracks with "
+        "worker-side cell spans, lifecycle events, and resource counters",
+    )
+    parser.add_argument(
+        "--progress",
+        choices=("auto", "live", "plain", "off"),
+        default="auto",
+        help="progress rendering: auto picks an in-place live line on a "
+        "TTY and plain append-only lines otherwise (never ANSI escapes "
+        "in redirected output); -q implies off",
     )
     parser.add_argument(
         "-v",
@@ -277,6 +305,7 @@ def _write_run_report(
     wall_spans: dict,
     *,
     completed: bool,
+    fleet: dict | None = None,
 ) -> None:
     """Honour ``--report``: one run-level RunReport with plan + resilience."""
     if not args.report:
@@ -303,6 +332,7 @@ def _write_run_report(
         wall_spans=wall_spans,
         plan=plan.stats.as_dict() if plan is not None else None,
         resilience=options.stats.as_dict() if options.stats else None,
+        fleet=fleet,
     )
     report.save(args.report)
     log.info("wrote run report %s", args.report)
@@ -326,30 +356,46 @@ def main(argv: list[str] | None = None) -> int:
         log.info("wrote %s", path)
 
     holder: dict = {"plan": None}
-    with recording() as rec:
-        try:
-            _generate(args, scale, wanted, options, emit, holder)
-        except CellFailedError as exc:
-            log.error("%s", exc)
-            if args.resume:
-                log.error(
-                    "completed cells are checkpointed under %s; rerun the "
-                    "same command to resume",
-                    args.resume,
-                )
-            else:
-                log.error(
-                    "rerun with --resume DIR to make progress durable "
-                    "across failures"
-                )
-            _write_run_report(
-                args, scale, wanted, options, holder["plan"], rec.as_dict(),
-                completed=False,
-            )
-            return 1
+    bus = EventBus()
+    tracer = TraceRecorder() if args.trace else None
+    renderer = attach_progress(bus, mode=args.progress, quiet=args.quiet > 0)
+    failure: CellFailedError | None = None
+    with recording() as rec, collecting_events(bus):
+        trace_scope = tracing(tracer) if tracer is not None else contextlib.nullcontext()
+        with trace_scope:
+            try:
+                _generate(args, scale, wanted, options, emit, holder)
+            except CellFailedError as exc:
+                failure = exc
+                log.error("%s", exc)
+                if args.resume:
+                    log.error(
+                        "completed cells are checkpointed under %s; rerun the "
+                        "same command to resume",
+                        args.resume,
+                    )
+                else:
+                    log.error(
+                        "rerun with --resume DIR to make progress durable "
+                        "across failures"
+                    )
+    # The engine drained the worker queue before returning; this final
+    # pump only matters when it aborted mid-sweep.
+    bus.pump()
+    if renderer is not None:
+        renderer.finish()
+    fleet = bus.fleet_summary()
+    if tracer is not None:
+        bus.merge_into_trace(tracer)
+        tracer.save(args.trace)
+        log.info("wrote fleet trace %s", args.trace)
+    bus.close()
     _write_run_report(
-        args, scale, wanted, options, holder["plan"], rec.as_dict(), completed=True
+        args, scale, wanted, options, holder["plan"], rec.as_dict(),
+        completed=failure is None, fleet=fleet,
     )
+    if failure is not None:
+        return 1
     log.info("done.")
     return 0
 

@@ -12,6 +12,13 @@ counters, :mod:`repro.obs` is the *recording* substrate around them —
   publishes counter samples (DRAM transfers, miss rate, residual, drift),
   and the whole timeline exports as Chrome-trace/Perfetto JSON
   (``--trace out.json``);
+* :mod:`repro.obs.events` — the fleet flight recorder: schema-versioned
+  lifecycle events and resource samples emitted by sweep worker
+  processes over a multiprocessing queue, collected parent-side into a
+  merged per-worker Chrome trace, the report's ``fleet`` section, and a
+  live progress feed;
+* :mod:`repro.obs.progress` — renderer over the event stream (live
+  TTY line / plain CI lines / off) behind ``reproduce``/``plan``;
 * :mod:`repro.obs.metrics` — histogram/time-series registry that memsim
   and the kernels publish distributions into (reuse distances, bin
   occupancy, per-iteration miss rate), serialized into reports;
@@ -50,6 +57,15 @@ from repro.obs.trace import (
     current_tracer,
     tracing,
 )
+from repro.obs.events import (
+    EVENTS_SCHEMA_VERSION,
+    Event,
+    EventBus,
+    current_bus,
+)
+from repro.obs.events import collecting as collecting_events
+from repro.obs.events import emit as emit_event
+from repro.obs.progress import ProgressRenderer, attach_progress
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -99,6 +115,14 @@ __all__ = [
     "counter_sample",
     "current_tracer",
     "tracing",
+    "EVENTS_SCHEMA_VERSION",
+    "Event",
+    "EventBus",
+    "current_bus",
+    "collecting_events",
+    "emit_event",
+    "ProgressRenderer",
+    "attach_progress",
     "Histogram",
     "MetricsRegistry",
     "Series",

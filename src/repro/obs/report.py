@@ -50,7 +50,14 @@ __all__ = [
 #: :class:`repro.plan.compiler.PlanStats`: cells requested / unique /
 #: cache hits / resumed / executed plus the dedup ratio, written by
 #: ``reproduce --report`` since artifacts compile to one shared plan).
-SCHEMA_VERSION = "1.3"
+#:
+#: 1.4 added the optional ``fleet`` section (the cross-process event
+#: collector's fold from :meth:`repro.obs.events.EventBus.fleet_summary`:
+#: terminal per-cell accounting — executed + cached + resumed = total —
+#: with retries/faults/timeouts itemized, per-worker busy time and
+#: resource peaks, event counts by kind, and per-cell GAIL per-edge
+#: decompositions).
+SCHEMA_VERSION = "1.4"
 
 
 @dataclass(frozen=True)
@@ -252,6 +259,11 @@ class RunReport:
     the run's compiled experiment plan
     (:meth:`repro.plan.compiler.PlanStats.as_dict`: cells requested /
     unique / cache hits / resumed / executed and the dedup ratio).
+
+    Since schema 1.4, ``fleet`` optionally holds the cross-process event
+    collector's summary
+    (:meth:`repro.obs.events.EventBus.fleet_summary`: per-cell terminal
+    accounting, per-worker state, event counts, GAIL decompositions).
     """
 
     graph: GraphMeta
@@ -266,6 +278,7 @@ class RunReport:
     drift: dict[str, Any] | None = None
     resilience: dict[str, Any] | None = None
     plan: dict[str, Any] | None = None
+    fleet: dict[str, Any] | None = None
     schema_version: str = SCHEMA_VERSION
 
     def key(self) -> str:
@@ -292,6 +305,7 @@ class RunReport:
             "drift": self.drift,
             "resilience": self.resilience,
             "plan": self.plan,
+            "fleet": self.fleet,
         }
 
     @classmethod
@@ -330,6 +344,8 @@ class RunReport:
             resilience=data.get("resilience"),
             # 1.3 section; absent in older reports.
             plan=data.get("plan"),
+            # 1.4 section; absent in older reports.
+            fleet=data.get("fleet"),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -69,6 +69,12 @@ class TraceRecorder:
         self._origin = time.perf_counter()
         self._events: list[dict] = []
         self._tids: dict[int, int] = {}
+        self._processes: dict[int, str] = {}
+
+    @property
+    def origin(self) -> float:
+        """``perf_counter`` reading at recorder creation (timestamp zero)."""
+        return self._origin
 
     # ------------------------------------------------------------------
     # recording (called from instrumented code)
@@ -97,20 +103,93 @@ class TraceRecorder:
             event["tid"] = self._tid()
             self._events.append(event)
 
-    def counter(self, track: str, values: dict[str, float]) -> None:
+    def counter(
+        self,
+        track: str,
+        values: dict[str, float],
+        *,
+        pid: int = 0,
+        at: float | None = None,
+    ) -> None:
         """Log one sample on counter track ``track``.
 
         ``values`` maps series names to numbers; viewers stack multiple
-        series of one track (e.g. ``{"reads": r, "writes": w}``).
+        series of one track (e.g. ``{"reads": r, "writes": w}``).  The
+        fleet collector passes ``pid``/``at`` to place worker resource
+        samples on that worker's own track at the emitter's (aligned)
+        timestamp; native in-process samples use the defaults.
         """
+        when = time.perf_counter() if at is None else at
         event = {
             "name": track,
             "cat": "counter",
             "ph": "C",
-            "ts": (time.perf_counter() - self._origin) * 1e6,
-            "pid": 0,
+            "ts": (when - self._origin) * 1e6,
+            "pid": pid,
             "tid": 0,
             "args": {k: float(v) for k, v in values.items()},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # fleet merging (called by repro.obs.events.EventBus.merge_into_trace)
+    # ------------------------------------------------------------------
+    def add_process(self, pid: int, name: str) -> None:
+        """Announce a named process track (one per fleet worker)."""
+        with self._lock:
+            self._processes[pid] = name
+
+    def complete_event(
+        self,
+        *,
+        pid: int,
+        name: str,
+        start: float,
+        end: float,
+        tid: int = 0,
+        cat: str = "span",
+        args: dict | None = None,
+    ) -> None:
+        """Log a complete ("X") event on an explicit process track.
+
+        ``start``/``end`` are ``perf_counter`` readings already aligned
+        to this recorder's clock (the collector applies worker offsets
+        before calling).
+        """
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": (start - self._origin) * 1e6,
+            "dur": max(0.0, (end - start)) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(args or {}),
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def instant_event(
+        self,
+        *,
+        pid: int,
+        name: str,
+        ts: float,
+        tid: int = 0,
+        cat: str = "event",
+        args: dict | None = None,
+    ) -> None:
+        """Log an instant ("i") event — a fleet lifecycle marker."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",  # thread-scoped flag line in viewers
+            "ts": (ts - self._origin) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": dict(args or {}),
         }
         with self._lock:
             self._events.append(event)
@@ -130,14 +209,18 @@ class TraceRecorder:
 
     def to_chrome(self) -> dict:
         """The Chrome-trace JSON object (``traceEvents`` array format)."""
+        with self._lock:
+            processes = dict(self._processes)
+        processes.setdefault(0, TRACE_PROCESS_NAME)
         metadata = [
             {
                 "name": "process_name",
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": 0,
-                "args": {"name": TRACE_PROCESS_NAME},
+                "args": {"name": name},
             }
+            for pid, name in sorted(processes.items())
         ]
         return {
             "traceEvents": metadata + self.events(),

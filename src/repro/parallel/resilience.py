@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from time import monotonic, perf_counter
 from typing import Any, Callable
 
+from repro.obs import events as _events
 from repro.obs.log import get_logger
 from repro.obs.spans import current_recorder, span
 from repro.obs.trace import counter_sample
@@ -197,6 +198,12 @@ class SweepOptions:
 # ----------------------------------------------------------------------
 def _attempt_cell(cell, attempt: int, plan: FaultPlan | None, fingerprint: str):
     """Run one attempt of one cell, honouring the fault plan."""
+    # Spans left over from a previous failed attempt on this worker would
+    # otherwise be attributed to this cell's finish event.
+    _events.drain_worker_buffers()
+    _events.emit(
+        "cell_started", cell=cell.key, fingerprint=fingerprint, attempt=attempt
+    )
     start = perf_counter()
     if plan is not None:
         kind = plan.decide(fingerprint, attempt)
@@ -211,9 +218,25 @@ def _attempt_cell(cell, attempt: int, plan: FaultPlan | None, fingerprint: str):
         if kind == "corrupt":
             from repro.parallel.faults import CORRUPT_RESULT
 
+            # No cell_finished: the parent charges this attempt as a fault.
             return CORRUPT_RESULT, perf_counter() - start
     result = cell.fn(*cell.args, **cell.kwargs)
-    return result, perf_counter() - start
+    seconds = perf_counter() - start
+    payload: dict = {"seconds": seconds}
+    payload.update(_events.drain_worker_buffers())
+    gail = _events.gail_payload(result)
+    if gail is not None:
+        payload["gail"] = gail
+    if _events.in_worker():
+        payload["resources"] = _events.resource_snapshot()
+    _events.emit(
+        "cell_finished",
+        cell=cell.key,
+        fingerprint=fingerprint,
+        attempt=attempt,
+        **payload,
+    )
+    return result, seconds
 
 
 class _CellRun:
@@ -278,6 +301,16 @@ class _Engine:
                 self.outcomes[index] = record.result
                 self.stats.resumed += 1
                 self.note(f"resumed[{cell.key}]", record.seconds)
+                resumed_payload: dict = {"seconds": record.seconds}
+                gail = _events.gail_payload(record.result)
+                if gail is not None:
+                    resumed_payload["gail"] = gail
+                _events.emit(
+                    "checkpoint_resumed",
+                    cell=cell.key,
+                    fingerprint=fingerprint,
+                    **resumed_payload,
+                )
                 continue
             runs.append(_CellRun(index, cell, fingerprint))
         if self.stats.resumed:
@@ -293,6 +326,13 @@ class _Engine:
             self._run_serial(runs)
         else:
             self._run_pool(runs, nworkers)
+
+        # Workers enqueue an attempt's events before its future resolves
+        # (a manager-queue put is a synchronous RPC), so one drain here
+        # leaves the bus complete and causally ordered for this sweep.
+        bus = _events.current_bus()
+        if bus is not None:
+            bus.pump()
 
         counter_sample(
             "sweep_resilience",
@@ -332,9 +372,31 @@ class _Engine:
             self.stats.injected_faults += 1
         if isinstance(exc, (InjectedTimeout, CellTimeoutError)):
             self.stats.timeouts += 1
-        if run.attempt < self.policy.max_retries:
+        will_retry = run.attempt < self.policy.max_retries
+        _events.emit(
+            "cell_timeout"
+            if isinstance(exc, (InjectedTimeout, CellTimeoutError))
+            else "cell_faulted",
+            cell=run.cell.key,
+            fingerprint=run.fingerprint,
+            attempt=run.attempt,
+            error=type(exc).__name__,
+            message=str(exc),
+            injected=isinstance(exc, FaultInjected),
+            permanent=not will_retry,
+            seconds=elapsed,
+        )
+        if will_retry:
             self.stats.retries += 1
             self.note(f"retry[{run.cell.key}]", elapsed)
+            _events.emit(
+                "cell_retried",
+                cell=run.cell.key,
+                fingerprint=run.fingerprint,
+                attempt=run.attempt,
+                next_attempt=run.attempt + 1,
+                backoff=self.policy.delay(run.attempt),
+            )
             log.warning(
                 "%s: cell [%r] attempt %d failed (%s: %s); retrying",
                 self.label,
@@ -385,11 +447,22 @@ class _Engine:
                 break
 
     # ------------------------------------------------------------------
+    def _new_pool(self, nworkers: int) -> ProcessPoolExecutor:
+        """A worker pool, wired to the event bus when one is collecting."""
+        bus = _events.current_bus()
+        if bus is not None:
+            initializer, initargs = bus.worker_initializer()
+            return ProcessPoolExecutor(
+                max_workers=nworkers, initializer=initializer, initargs=initargs
+            )
+        return ProcessPoolExecutor(max_workers=nworkers)
+
     def _run_pool(self, runs: list[_CellRun], nworkers: int) -> None:
         log.debug(
             "%s: %d cells across %d workers", self.label, len(runs), nworkers
         )
-        pool = ProcessPoolExecutor(max_workers=nworkers)
+        bus = _events.current_bus()
+        pool = self._new_pool(nworkers)
         restarts_left = self.policy.max_pool_restarts
         ready: deque[_CellRun] = deque(runs)
         pending: dict[Future, tuple[_CellRun, float]] = {}
@@ -449,9 +522,23 @@ class _Engine:
                     wait_timeout = (
                         max(0.0, min(wake_times) - monotonic()) if wake_times else None
                     )
+                    if bus is not None:
+                        # Wake periodically so queued worker events reach
+                        # subscribers (the live progress renderer) while
+                        # long cells are still running.
+                        cap = bus.pump_interval
+                        wait_timeout = (
+                            cap if wait_timeout is None else min(wait_timeout, cap)
+                        )
                     done, _ = wait(
                         set(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
                     )
+                    if bus is not None:
+                        # Drain *before* reacting to completions: a worker's
+                        # events are enqueued before its future resolves, so
+                        # this keeps arrival order causal per cell (started
+                        # precedes the parent's faulted/retried verdict).
+                        bus.pump()
 
                     for future in done:
                         run, started = pending.pop(future)
@@ -486,6 +573,10 @@ class _Engine:
                     pending.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     self.stats.pool_restarts += 1
+                    if bus is not None:
+                        # The manager outlives the pool: events the dead
+                        # workers managed to enqueue are still collectable.
+                        bus.pump()
                     if restarts_left > 0:
                         restarts_left -= 1
                         log.warning(
@@ -493,7 +584,12 @@ class _Engine:
                             self.label,
                             restarts_left,
                         )
-                        pool = ProcessPoolExecutor(max_workers=nworkers)
+                        _events.emit(
+                            "worker_replaced",
+                            reason="broken_pool",
+                            requeued=len(ready),
+                        )
+                        pool = self._new_pool(nworkers)
                         continue
                     log.warning(
                         "%s: worker pool died repeatedly; degrading to "
@@ -534,13 +630,21 @@ class _Engine:
                     for run, _ in pending.values():
                         ready.append(run)
                     pending.clear()
+                    if bus is not None:
+                        # Collect everything the wedged pool's workers
+                        # enqueued before they are terminated — nothing
+                        # already sent is lost with the replacement.
+                        bus.pump()
                     self._abandon_pool(pool)
                     self.stats.pool_restarts += 1
                     log.warning(
                         "%s: replacing worker pool wedged by a timed-out cell",
                         self.label,
                     )
-                    pool = ProcessPoolExecutor(max_workers=nworkers)
+                    _events.emit(
+                        "worker_replaced", reason="wedged", requeued=len(ready)
+                    )
+                    pool = self._new_pool(nworkers)
         finally:
             # Never wait=True: if anything above raised while a worker was
             # stuck on a cell, joining it would hang the whole engine.

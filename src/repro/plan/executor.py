@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import events as _events
 from repro.obs.spans import current_recorder, span
 from repro.parallel.resilience import SweepOptions
 from repro.parallel.sweep import SweepCell, run_cells
@@ -124,6 +125,13 @@ def execute_plan(
         base = getattr(plan_span, "path", None)
         prefix = f"{base}/" if base else ""
 
+        _events.emit(
+            "plan_started",
+            cell=label,
+            cells_unique=plan.cells_unique,
+            cells_requested=plan.cells_requested,
+            workers=options.workers if options.workers is not None else workers,
+        )
         results: dict[str, Any] = {}
         misses: list[str] = []
         for fingerprint in plan.cells:
@@ -136,6 +144,16 @@ def execute_plan(
                         f"{prefix}cache_hit[{plan.labels[fingerprint]}]",
                         entry.seconds,
                     )
+                hit_payload: dict[str, Any] = {"seconds": entry.seconds}
+                gail = _events.gail_payload(entry.result)
+                if gail is not None:
+                    hit_payload["gail"] = gail
+                _events.emit(
+                    "cache_hit",
+                    cell=plan.labels[fingerprint],
+                    fingerprint=fingerprint,
+                    **hit_payload,
+                )
             else:
                 misses.append(fingerprint)
 

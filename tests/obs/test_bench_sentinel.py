@@ -1,0 +1,322 @@
+"""Tests for the bench-regression sentinel (repro.bench.sentinel).
+
+Pins the gate semantics the CI job relies on: two-sided tolerance on
+deterministic metrics, wall-clock metrics reported but never gated,
+``--noise`` overrides with last-match-wins (able to both loosen and
+*gate* a pattern), loader rejection of malformed baselines, and the
+exit-code contract of ``repro-pb bench --check``.  The in-process
+re-measure path is covered by the acceptance run, not here — these
+tests work on synthetic documents so they stay fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_GLOB,
+    WALL_CLOCK_PATTERNS,
+    compare_documents,
+    load_bench_documents,
+    parse_noise_overrides,
+    run_bench_command,
+)
+from repro.obs.report import SCHEMA_VERSION
+
+
+def _doc(bench, metrics, schema=SCHEMA_VERSION, kind="bench"):
+    return {
+        "schema_version": schema,
+        "kind": kind,
+        "bench": bench,
+        "metrics": metrics,
+        "meta": {"source": "test"},
+    }
+
+
+def _write(directory, document, name=None):
+    name = name or document.get("bench", "anon")
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return path
+
+
+def _args(**overrides):
+    defaults = dict(
+        check=True, baseline_dir=None, current=None,
+        tolerance=0.01, noise=[], json=None,
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+# ----------------------------------------------------------------------
+# comparison semantics
+# ----------------------------------------------------------------------
+def test_identical_documents_have_no_regressions():
+    base = {"fig": _doc("fig", {"DPB/urand": 1.74, "PB/kron": 2.0})}
+    comparison = compare_documents(base, base)
+    assert comparison.ok
+    assert {c.status for c in comparison.checks} == {"ok"}
+
+
+def test_movement_beyond_tolerance_is_a_regression_both_ways():
+    base = {"fig": _doc("fig", {"up": 1.0, "down": 1.0, "steady": 1.0})}
+    cur = {"fig": _doc("fig", {"up": 1.05, "down": 0.95, "steady": 1.005})}
+    comparison = compare_documents(base, cur, tolerance=0.01)
+    status = {c.metric: c.status for c in comparison.checks}
+    # Two-sided: an unexplained improvement is also a behavior change.
+    assert status == {"up": "regression", "down": "regression", "steady": "ok"}
+    assert not comparison.ok
+    assert sorted(c.key for c in comparison.regressions) == ["fig/down", "fig/up"]
+
+
+def test_wall_clock_metrics_are_reported_but_never_gated():
+    base = {"plan_dedup": _doc("plan_dedup", {"wall_seconds/cold": 4.0,
+                                              "dedup_ratio": 3.5})}
+    cur = {"plan_dedup": _doc("plan_dedup", {"wall_seconds/cold": 40.0,
+                                             "dedup_ratio": 3.5})}
+    comparison = compare_documents(base, cur)
+    status = {c.metric: c.status for c in comparison.checks}
+    assert status["wall_seconds/cold"] == "ungated"  # 10x slower, still green
+    assert status["dedup_ratio"] == "ok"
+    assert comparison.ok
+
+
+def test_entirely_host_timing_benches_are_ungated():
+    base = {"engine_speed": _doc("engine_speed", {"flru/urand": 1e6})}
+    cur = {"engine_speed": _doc("engine_speed", {"flru/urand": 5e5})}
+    comparison = compare_documents(base, cur)
+    assert all(c.status == "ungated" for c in comparison.checks)
+    assert comparison.ok
+
+
+def test_zero_baseline_still_admits_a_tolerance_band():
+    base = {"b": _doc("b", {"faults": 0.0})}
+    assert compare_documents(base, {"b": _doc("b", {"faults": 0.0})}).ok
+    assert not compare_documents(base, {"b": _doc("b", {"faults": 1.0})}).ok
+
+
+def test_gated_metric_appearing_or_vanishing_is_a_regression():
+    base = {"b": _doc("b", {"kept": 1.0, "gone": 2.0})}
+    cur = {"b": _doc("b", {"kept": 1.0, "born": 3.0})}
+    comparison = compare_documents(base, cur)
+    status = {c.metric: c.status for c in comparison.checks}
+    assert status == {"kept": "ok", "gone": "regression", "born": "regression"}
+
+
+def test_ungated_metric_appearing_or_vanishing_is_only_noted():
+    base = {"b": _doc("b", {"wall_seconds/cold": 4.0})}
+    cur = {"b": _doc("b", {"wall_seconds/warm": 1.0})}
+    comparison = compare_documents(base, cur)
+    status = {c.metric: c.status for c in comparison.checks}
+    assert status == {"wall_seconds/cold": "missing", "wall_seconds/warm": "new"}
+    assert comparison.ok
+
+
+def test_unpaired_benches_land_in_the_leftover_lists():
+    base = {"old": _doc("old", {"m": 1.0})}
+    cur = {"new": _doc("new", {"m": 1.0})}
+    comparison = compare_documents(base, cur)
+    assert comparison.baseline_only == ["old"]
+    assert comparison.current_only == ["new"]
+    assert comparison.ok  # unpaired benches are warnings, not regressions
+    assert comparison.checks == []
+
+
+def test_comparison_as_dict_is_a_schema_versioned_artifact():
+    base = {"b": _doc("b", {"m": 1.0})}
+    record = compare_documents(base, base).as_dict()
+    assert record["schema_version"] == SCHEMA_VERSION
+    assert record["kind"] == "bench_comparison"
+    assert record["ok"] is True
+    assert record["regressions"] == []
+    assert record["checks"][0]["relative_delta"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# noise overrides
+# ----------------------------------------------------------------------
+def test_noise_override_loosens_a_gated_metric():
+    base = {"b": _doc("b", {"ratio": 1.0})}
+    cur = {"b": _doc("b", {"ratio": 1.1})}
+    assert not compare_documents(base, cur).ok
+    loosened = compare_documents(
+        base, cur, overrides=parse_noise_overrides(["b/ratio=0.2"])
+    )
+    assert loosened.ok
+    assert loosened.checks[0].tolerance == 0.2
+
+
+def test_noise_override_can_gate_a_wall_clock_metric():
+    base = {"b": _doc("b", {"wall_seconds/cold": 4.0})}
+    cur = {"b": _doc("b", {"wall_seconds/cold": 40.0})}
+    assert compare_documents(base, cur).ok  # ungated by default
+    gated = compare_documents(
+        base, cur, overrides=parse_noise_overrides(["b/wall_seconds/*=0.5"])
+    )
+    assert not gated.ok  # the override takes precedence over the wall list
+
+
+def test_noise_overrides_last_match_wins():
+    base = {"b": _doc("b", {"ratio": 1.0})}
+    cur = {"b": _doc("b", {"ratio": 1.1})}
+    comparison = compare_documents(
+        base, cur,
+        overrides=parse_noise_overrides(["b/*=0.001", "b/ratio=0.5"]),
+    )
+    assert comparison.ok
+    assert comparison.checks[0].tolerance == 0.5
+
+
+def test_parse_noise_overrides_rejects_malformed_entries():
+    assert parse_noise_overrides(["a/b=0.1", "c=2"]) == [("a/b", 0.1), ("c", 2.0)]
+    for bad in ["no-equals", "=0.1", "a/b=", "a/b=nope", "a/b=-0.1", "a/b=inf"]:
+        with pytest.raises(ValueError):
+            parse_noise_overrides([bad])
+
+
+def test_wall_clock_patterns_cover_the_committed_baselines():
+    # The patterns must keep matching the metric names the benches emit.
+    for key in [
+        "plan_dedup/wall_seconds/cold",
+        "fig4_speedup/accesses_per_sec/DPB",
+        "engine_speed/flru/urand",
+        "kernel_speed/gather/kron",
+    ]:
+        import fnmatch
+
+        assert any(fnmatch.fnmatch(key, p) for p in WALL_CLOCK_PATTERNS), key
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def test_load_bench_documents_reads_every_bench_file(tmp_path):
+    _write(tmp_path, _doc("alpha", {"m": 1.0}))
+    _write(tmp_path, _doc("beta", {"m": 2.0}))
+    (tmp_path / "not_a_bench.json").write_text("{}")
+    documents = load_bench_documents(str(tmp_path))
+    assert sorted(documents) == ["alpha", "beta"]
+    assert documents["beta"]["metrics"]["m"] == 2.0
+
+
+def test_load_bench_documents_rejects_bad_documents(tmp_path):
+    _write(tmp_path, _doc("bad", {"m": 1.0}, kind="report"))
+    with pytest.raises(ValueError, match="not a bench document"):
+        load_bench_documents(str(tmp_path))
+    os.remove(tmp_path / "BENCH_bad.json")
+
+    _write(tmp_path, _doc("old", {"m": 1.0}, schema="99.0"))
+    with pytest.raises(ValueError, match="unsupported bench schema"):
+        load_bench_documents(str(tmp_path))
+    os.remove(tmp_path / "BENCH_old.json")
+
+    _write(tmp_path, _doc("", {"m": 1.0}), name="anonymous")
+    with pytest.raises(ValueError, match="without a bench name"):
+        load_bench_documents(str(tmp_path))
+
+
+def test_emitted_bench_documents_load_and_carry_provenance(tmp_path, monkeypatch):
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+    from benchmarks.emit_bench import BENCH_DIR_ENV, emit_bench
+
+    monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+    path = emit_bench("round_trip", {"m": 1.5})
+    assert os.path.dirname(path) == str(tmp_path)  # env redirect honoured
+    documents = load_bench_documents(str(tmp_path))
+    provenance = documents["round_trip"]["meta"]["provenance"]
+    assert provenance["schema_version"] == SCHEMA_VERSION
+    assert "timestamp_utc" in provenance
+    assert "git_commit" in provenance
+    assert "default_engine" in provenance
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes (repro-pb bench)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def bench_dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    _write(baseline, _doc("plan_dedup", {"dedup_ratio": 3.5,
+                                         "wall_seconds/cold": 4.0}))
+    _write(current, _doc("plan_dedup", {"dedup_ratio": 3.5,
+                                        "wall_seconds/cold": 8.0}))
+    return str(baseline), str(current)
+
+
+def test_bench_check_passes_on_an_unchanged_tree(bench_dirs, capsys):
+    baseline, current = bench_dirs
+    code = run_bench_command(_args(baseline_dir=baseline, current=current))
+    assert code == 0
+    assert "no bench regressions" in capsys.readouterr().out
+
+
+def test_bench_check_fails_nonzero_naming_the_metric(bench_dirs, capsys):
+    baseline, current = bench_dirs
+    _write(current, _doc("plan_dedup", {"dedup_ratio": 3.85,  # +10%
+                                        "wall_seconds/cold": 4.0}))
+    code = run_bench_command(_args(baseline_dir=baseline, current=current))
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "plan_dedup/dedup_ratio" in out
+    assert "beyond tolerance" in out
+
+
+def test_bench_without_check_reports_but_exits_zero(bench_dirs, capsys):
+    baseline, current = bench_dirs
+    _write(current, _doc("plan_dedup", {"dedup_ratio": 3.85,
+                                        "wall_seconds/cold": 4.0}))
+    code = run_bench_command(
+        _args(check=False, baseline_dir=baseline, current=current)
+    )
+    assert code == 0  # report-only mode never reddens a build
+    assert "beyond tolerance" in capsys.readouterr().out
+
+
+def test_bench_noise_override_rescues_a_regression(bench_dirs):
+    baseline, current = bench_dirs
+    _write(current, _doc("plan_dedup", {"dedup_ratio": 3.85,
+                                        "wall_seconds/cold": 4.0}))
+    code = run_bench_command(
+        _args(baseline_dir=baseline, current=current,
+              noise=["plan_dedup/dedup_ratio=0.2"])
+    )
+    assert code == 0
+
+
+def test_bench_writes_the_comparison_artifact(bench_dirs, tmp_path):
+    baseline, current = bench_dirs
+    artifact = str(tmp_path / "comparison.json")
+    code = run_bench_command(
+        _args(baseline_dir=baseline, current=current, json=artifact)
+    )
+    assert code == 0
+    with open(artifact) as handle:
+        record = json.load(handle)
+    assert record["kind"] == "bench_comparison"
+    assert record["ok"] is True
+
+
+def test_bench_usage_errors_exit_two(bench_dirs, tmp_path, capsys):
+    baseline, current = bench_dirs
+    assert run_bench_command(
+        _args(baseline_dir=baseline, current=current, noise=["garbage"])
+    ) == 2
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert run_bench_command(
+        _args(baseline_dir=str(empty), current=current)
+    ) == 2
+    out = capsys.readouterr().out
+    assert BENCH_GLOB in out
