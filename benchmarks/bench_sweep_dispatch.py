@@ -1,0 +1,171 @@
+"""Sweep-dispatch benchmark — what the shared-memory graph plane buys.
+
+Runs the figure 9/10 bin-width sweep (the canonical shared-graph plan:
+every width cell re-uses one of the eight suite graphs) twice at scale
+0.25 with a two-worker pool — once shipping graphs by value through the
+pickle pipe, once through :class:`repro.parallel.shm.GraphStore` refs —
+and records the control-plane cost of each:
+
+* **dispatch bytes per cell**: pickled submission size, by value vs by
+  ref.  The by-ref side must be at least 10x smaller (in practice it is
+  thousands of times smaller: a ref is ~250 bytes regardless of graph
+  size);
+* **cold wall clock**: end-to-end plan execution, no cache, same
+  workers — the by-ref side avoids serializing every graph once per
+  dispatched cell.  The two modes alternate for ``ROUNDS`` rounds and
+  each side reports its minimum (the low-noise estimator: dispatch
+  savings are a few percent of a compute-dominated sweep at this scale,
+  well inside single-run jitter);
+* **peak aggregate RSS**: sum of per-worker peak RSS from the fleet
+  telemetry — by-ref workers map one shared copy of each graph instead
+  of owning private deserialized copies.
+
+The two runs must also produce byte-identical rendered artifacts — the
+plane is a transport, not a semantic change.
+
+Emits ``BENCH_sweep_dispatch.json``.  The bytes metrics are
+deterministic and gated by the bench sentinel; wall times land in the
+ungated ``wall_seconds/*`` namespace per the metrics schema.
+"""
+
+import pickle
+import time
+
+from repro.graphs import load_suite
+from repro.harness import figure9_spec, figure10_spec
+from repro.obs import events as _events
+from repro.parallel.shm import GraphStore
+from repro.parallel.sweep import SweepCell
+from repro.plan import compile_plan, execute_plan
+
+from benchmarks.conftest import SUITE_SEED
+from benchmarks.emit_bench import emit_bench
+
+DISPATCH_SCALE = 0.25
+DISPATCH_WORKERS = 2
+#: Subset of the fig9/10 width sweep: enough cells (8 graphs x 5 widths)
+#: to exercise affinity lanes while keeping the repeated cold runs cheap.
+DISPATCH_WIDTHS = [64, 256, 1024, 4096, 16384]
+#: Cold-run repetitions per dispatch mode (min taken per side).
+ROUNDS = 3
+
+
+def _plan(graphs):
+    return compile_plan(
+        [
+            figure9_spec(graphs, DISPATCH_WIDTHS),
+            figure10_spec(graphs, DISPATCH_WIDTHS),
+        ]
+    )
+
+
+def _sweep_cells(plan):
+    return [
+        SweepCell(
+            key=plan.labels[fingerprint],
+            fn=cell.fn,
+            args=cell.args,
+            kwargs=cell.kwargs,
+        )
+        for fingerprint, cell in plan.cells.items()
+    ]
+
+
+def _mean_pickled_bytes(cells):
+    return sum(len(pickle.dumps(cell)) for cell in cells) / len(cells)
+
+
+def _timed_run(graphs, *, shm, label):
+    """One cold plan execution; returns (artifacts, seconds, fleet)."""
+    plan = _plan(graphs)
+    with _events.collecting() as bus:
+        start = time.perf_counter()
+        results = execute_plan(plan, workers=DISPATCH_WORKERS, shm=shm, label=label)
+        seconds = time.perf_counter() - start
+    renders = {
+        name: results.artifact(name).render() for name in ("fig9", "fig10")
+    }
+    return renders, seconds, bus.fleet_summary()
+
+
+def _aggregate_rss(fleet):
+    return sum(w["peak_rss_bytes"] for w in fleet["per_worker"].values())
+
+
+def test_sweep_dispatch(benchmark, report):
+    graphs = load_suite(seed=SUITE_SEED, scale=DISPATCH_SCALE)
+
+    # -- control-plane bytes: what one dispatched cell costs on the wire
+    plan = _plan(graphs)
+    value_cells = _sweep_cells(plan)
+    with GraphStore(label="bench_dispatch") as store:
+        ref_cells = [store.publish_cell(cell) for cell in value_cells]
+        value_bytes = _mean_pickled_bytes(value_cells)
+        ref_bytes = _mean_pickled_bytes(ref_cells)
+    reduction = value_bytes / ref_bytes
+
+    # -- cold wall clock + worker RSS, by value vs by ref, alternating
+    # rounds so slow host drift hits both modes equally
+    def measurement_rounds():
+        value_runs, shm_runs = [], []
+        for _ in range(ROUNDS):
+            value_runs.append(_timed_run(graphs, shm=False, label="dispatch_value"))
+            shm_runs.append(_timed_run(graphs, shm=True, label="dispatch_shm"))
+        return value_runs, shm_runs
+
+    value_runs, shm_runs = benchmark.pedantic(
+        measurement_rounds, rounds=1, iterations=1
+    )
+    value_renders, value_seconds, value_fleet = min(
+        value_runs, key=lambda run: run[1]
+    )
+    shm_renders, shm_seconds, shm_fleet = min(shm_runs, key=lambda run: run[1])
+    # Every round of every mode must render the same bytes.
+    for renders, _, _ in value_runs + shm_runs:
+        assert renders == value_renders
+
+    lines = [
+        f"cells:            {plan.cells_unique} "
+        f"({len(graphs)} graphs x {len(DISPATCH_WIDTHS)} widths)",
+        f"bytes per cell:   {value_bytes:,.0f} (value) / {ref_bytes:,.0f} (ref)",
+        f"bytes reduction:  {reduction:,.1f}x",
+        f"cold wall time:   {value_seconds:.3f}s (value) / {shm_seconds:.3f}s (shm)"
+        f"  [min of {ROUNDS}]",
+        f"aggregate RSS:    {_aggregate_rss(value_fleet) / 2**20:,.1f} MiB (value) / "
+        f"{_aggregate_rss(shm_fleet) / 2**20:,.1f} MiB (shm)",
+        f"shm telemetry:    {shm_fleet['shm']['published']} published, "
+        f"{shm_fleet['shm']['attached']} attaches, "
+        f"peak {shm_fleet['shm']['peak_resident_graphs']} resident/worker",
+    ]
+    report("sweep_dispatch", "sweep dispatch cost\n" + "\n".join(lines))
+    emit_bench(
+        "sweep_dispatch",
+        {
+            "cells": plan.cells_unique,
+            "bytes_per_cell/value": value_bytes,
+            "bytes_per_cell/ref": ref_bytes,
+            "bytes_reduction": reduction,
+            "shm/published": shm_fleet["shm"]["published"],
+            "shm/peak_resident_graphs": shm_fleet["shm"]["peak_resident_graphs"],
+            "wall_seconds/cold_value": value_seconds,
+            "wall_seconds/cold_shm": shm_seconds,
+            "wall_seconds/speedup": value_seconds / shm_seconds,
+            "host_rss/aggregate_value_mib": _aggregate_rss(value_fleet) / 2**20,
+            "host_rss/aggregate_shm_mib": _aggregate_rss(shm_fleet) / 2**20,
+        },
+        meta={
+            "source": "bench_sweep_dispatch",
+            "scale": DISPATCH_SCALE,
+            "workers": DISPATCH_WORKERS,
+            "rounds": ROUNDS,
+            "units": "bytes / seconds / MiB",
+        },
+    )
+
+    # The acceptance bar: handles beat pickled arrays by >= 10x per cell.
+    assert reduction >= 10.0
+    # The plane is pure transport: rendered artifacts are byte-identical.
+    assert shm_renders == value_renders
+    # The graph plane actually ran: every suite graph published exactly once.
+    assert shm_fleet["shm"]["published"] == len(graphs)
+    assert shm_fleet["shm"]["evicted"] == len(graphs)

@@ -291,7 +291,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="process-parallel workers for --execute (1 = serial, "
-        "0 = one per CPU)",
+        "0 = one per usable CPU)",
+    )
+    p_plan.add_argument(
+        "--shm",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="with --execute: shared-memory graph plane for pooled "
+        "sweeps (default: auto — on whenever a process pool runs; "
+        "--no-shm ships graphs by value; outputs are byte-identical "
+        "either way)",
     )
     p_plan.add_argument(
         "--trace",
@@ -874,7 +883,7 @@ def _execute_plan_cli(args: argparse.Namespace, plan, cache) -> int:
         scope = tracing(tracer) if tracer is not None else contextlib.nullcontext()
         with scope:
             try:
-                execute_plan(plan, workers=args.workers, cache=cache)
+                execute_plan(plan, workers=args.workers, cache=cache, shm=args.shm)
             except CellFailedError as exc:
                 print(f"repro-pb plan: error: {exc}", file=sys.stderr)
                 failed = True

@@ -66,7 +66,9 @@ __all__ = [
 #: Version of the event wire/report schema (``docs/metrics_schema.md``).
 #: Major bump on incompatible change, minor on additive; a collector
 #: drops messages from a different major (counted in ``dropped``).
-EVENTS_SCHEMA_VERSION = "1.0"
+#: 1.1: shm_* lifecycle events, affinity_assigned, fleet ``shm``
+#: section and per-worker ``resident_graphs``.
+EVENTS_SCHEMA_VERSION = "1.1"
 
 #: Every recognised event kind.
 EVENT_KINDS = (
@@ -81,6 +83,10 @@ EVENT_KINDS = (
     "worker_spawned",      # worker: a pool worker came up
     "worker_replaced",     # parent: a pool was restarted or replaced
     "resource_sample",     # worker: periodic RSS / CPU-time sample
+    "shm_published",       # parent: a graph entered the shared-memory plane
+    "shm_attached",        # worker: a graph was mapped zero-copy, first touch
+    "shm_evicted",         # parent: a segment was unlinked
+    "affinity_assigned",   # parent: cells grouped into worker lanes
 )
 
 #: Worker name used for events emitted by the parent process.
@@ -397,12 +403,16 @@ class EventBus:
         spawned = 0
         replaced = 0
         seconds: list[float] = []
+        shm_published = 0
+        shm_published_bytes = 0.0
+        shm_attaches = 0
+        shm_evicted = 0
 
         def worker_record(name: str) -> dict[str, float]:
             return per_worker.setdefault(
                 name,
                 {"cells": 0, "busy_seconds": 0.0, "peak_rss_bytes": 0.0,
-                 "cpu_seconds": 0.0},
+                 "cpu_seconds": 0.0, "resident_graphs": 0},
             )
 
         for event in events:
@@ -432,6 +442,18 @@ class EventBus:
                 spawned += 1
             elif event.kind == "worker_replaced":
                 replaced += 1
+            elif event.kind == "shm_published":
+                shm_published += 1
+                shm_published_bytes += float(event.payload.get("bytes", 0.0))
+            elif event.kind == "shm_attached":
+                shm_attaches += 1
+                record = worker_record(event.worker)
+                record["resident_graphs"] = max(
+                    record["resident_graphs"],
+                    int(event.payload.get("resident", record["resident_graphs"] + 1)),
+                )
+            elif event.kind == "shm_evicted":
+                shm_evicted += 1
             if event.kind in ("cell_finished", "cache_hit", "checkpoint_resumed"):
                 decomposition = event.payload.get("gail")
                 if decomposition and event.cell:
@@ -484,6 +506,16 @@ class EventBus:
                 "total": float(sum(seconds)),
                 "max": float(max(seconds, default=0.0)),
                 "mean": float(sum(seconds) / len(seconds)) if seconds else 0.0,
+            },
+            "shm": {
+                "published": shm_published,
+                "published_bytes": shm_published_bytes,
+                "attached": shm_attaches,
+                "evicted": shm_evicted,
+                "peak_resident_graphs": max(
+                    (int(w["resident_graphs"]) for w in per_worker.values()),
+                    default=0,
+                ),
             },
             "per_worker": {name: dict(rec) for name, rec in sorted(per_worker.items())},
             "gail": {label: dict(ratios) for label, ratios in sorted(gail.items())},

@@ -18,11 +18,14 @@ additional threads contend for the same cache capacity"
 """
 
 from repro.parallel.scheduling import (
+    affinity_lanes,
+    cell_affinity,
     edge_balanced_ranges,
     greedy_assign,
     range_edge_counts,
     imbalance,
 )
+from repro.parallel.shm import GraphRef, GraphStore, resolve_graph
 from repro.parallel.model import (
     recommended_bin_width,
     thread_scaling,
@@ -61,6 +64,11 @@ __all__ = [
     "RetryPolicy",
     "SweepOptions",
     "SweepStats",
+    "GraphRef",
+    "GraphStore",
+    "resolve_graph",
+    "affinity_lanes",
+    "cell_affinity",
     "edge_balanced_ranges",
     "greedy_assign",
     "range_edge_counts",

@@ -63,6 +63,7 @@ from repro.parallel.faults import (
     InjectedTimeout,
     is_corrupt,
 )
+from repro.parallel.scheduling import affinity_lanes, cell_affinity
 from repro.utils.fingerprint import cell_fingerprint
 
 __all__ = [
@@ -73,9 +74,23 @@ __all__ = [
     "CorruptResultError",
     "CellTimeoutError",
     "execute_cells",
+    "default_workers",
 ]
 
 log = get_logger("parallel.resilience")
+
+
+def default_workers() -> int:
+    """Worker count used for ``--workers 0`` (auto): one per *usable* CPU.
+
+    ``sched_getaffinity`` sees cgroup/affinity masks (CI containers,
+    ``taskset``), so a 2-CPU runner on a 64-core host gets 2 workers,
+    not 64; platforms without it fall back to ``os.cpu_count()``.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 class CellFailedError(RuntimeError):
@@ -184,6 +199,10 @@ class SweepOptions:
     ``checkpoint_dir`` makes every sweep open (or resume) a per-label
     checkpoint file under that directory; ``stats`` accumulates across
     every sweep of a reproduce run so the final report shows one total.
+    ``shm`` controls the shared-memory graph plane in plan execution:
+    ``None`` (auto) enables it exactly when a process pool will run,
+    ``False`` forces graphs by value, ``True`` requests it explicitly
+    (still skipped on the serial path, which never touches shm).
     """
 
     workers: int | None = None
@@ -191,6 +210,7 @@ class SweepOptions:
     fault_plan: FaultPlan | None = None
     checkpoint_dir: str | None = None
     stats: SweepStats | None = None
+    shm: bool | None = None
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +273,112 @@ class _CellRun:
         self.not_before = 0.0  # monotonic() before which a retry must not start
 
 
+class _FifoQueue:
+    """Plain FIFO ready queue — the engine's historical dispatch order."""
+
+    def __init__(self, runs: list[_CellRun]) -> None:
+        self._queue: deque[_CellRun] = deque(runs)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pop_eligible(self, now: float, in_flight=()) -> _CellRun | None:
+        """Next run whose backoff has expired, or ``None``."""
+        for _ in range(len(self._queue)):
+            run = self._queue.popleft()
+            if run.not_before <= now:
+                return run
+            self._queue.append(run)
+        return None
+
+    def push(self, run: _CellRun) -> None:
+        self._queue.append(run)
+
+    def push_front(self, run: _CellRun) -> None:
+        self._queue.appendleft(run)
+
+    def backoff_times(self) -> list[float]:
+        return [run.not_before for run in self._queue if run.not_before > 0.0]
+
+    def min_not_before(self) -> float:
+        return min(run.not_before for run in self._queue)
+
+    def drain(self) -> list[_CellRun]:
+        runs = list(self._queue)
+        self._queue.clear()
+        return runs
+
+
+class _LaneQueue:
+    """Graph-affinity ready queue: one FIFO lane per worker slot.
+
+    Submissions are throttled to one in-flight future per worker, so at
+    steady state the worker that just finished is the only idle one and
+    receives the next submission.  Serving lanes by ascending in-flight
+    count therefore pins each lane's cells to (approximately) one
+    worker — a graph is materialized on as few processes as possible —
+    without touching the pool's own scheduler.  Correctness never
+    depends on the pinning: results fold by submission index, and any
+    lane's cell can run anywhere (refs resolve in every worker).
+    """
+
+    def __init__(self, lanes: list[list[_CellRun]]) -> None:
+        self._lanes: list[deque[_CellRun]] = [deque(lane) for lane in lanes]
+        self._lane_of: dict[int, int] = {
+            id(run): index
+            for index, lane in enumerate(lanes)
+            for run in lane
+        }
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes)
+
+    def pop_eligible(self, now: float, in_flight=()) -> _CellRun | None:
+        """Next eligible run from the least-busy lane."""
+        counts = [0] * len(self._lanes)
+        for run in in_flight:
+            lane = self._lane_of.get(id(run))
+            if lane is not None:
+                counts[lane] += 1
+        order = sorted(range(len(self._lanes)), key=lambda i: (counts[i], i))
+        for index in order:
+            lane = self._lanes[index]
+            for _ in range(len(lane)):
+                run = lane.popleft()
+                if run.not_before <= now:
+                    return run
+                lane.append(run)
+        return None
+
+    def push(self, run: _CellRun) -> None:
+        self._lanes[self._lane_of.get(id(run), 0)].append(run)
+
+    def push_front(self, run: _CellRun) -> None:
+        self._lanes[self._lane_of.get(id(run), 0)].appendleft(run)
+
+    def backoff_times(self) -> list[float]:
+        return [
+            run.not_before
+            for lane in self._lanes
+            for run in lane
+            if run.not_before > 0.0
+        ]
+
+    def min_not_before(self) -> float:
+        return min(run.not_before for lane in self._lanes for run in lane)
+
+    def drain(self) -> list[_CellRun]:
+        # Back to submission order: the serial fallback must complete
+        # cells in the same order a never-pooled run would have.
+        runs = sorted(
+            (run for lane in self._lanes for run in lane),
+            key=lambda run: run.index,
+        )
+        for lane in self._lanes:
+            lane.clear()
+        return runs
+
+
 class _Engine:
     """One resilient sweep execution (single use)."""
 
@@ -267,9 +393,11 @@ class _Engine:
         checkpoint,
         stats: SweepStats | None,
         note: Callable[[str, float], None],
+        affinity: bool = False,
     ) -> None:
         self.cells = cells
         self.label = label
+        self.affinity = affinity
         self.plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         # With faults flying, a no-retry default would be self-defeating:
         # cover the plan's per-cell budget unless the caller chose a policy.
@@ -283,7 +411,7 @@ class _Engine:
         self.stats = stats if stats is not None else SweepStats()
         self.note = note
         if workers == 0:
-            workers = os.cpu_count() or 1
+            workers = default_workers()
         self.workers = workers or 1
         self.outcomes: dict[int, Any] = {}
         self.failures: list[tuple[_CellRun, BaseException]] = []
@@ -457,6 +585,31 @@ class _Engine:
             )
         return ProcessPoolExecutor(max_workers=nworkers)
 
+    def _make_ready(self, runs: list[_CellRun], nworkers: int):
+        """The ready queue: affinity lanes when enabled, else plain FIFO."""
+        if self.affinity and nworkers > 1 and len(runs) > 1:
+            hints = cell_affinity([run.cell for run in runs])
+            lanes = affinity_lanes(hints, nworkers)
+            populated = sum(1 for lane in lanes if lane)
+            groups = len({key for key, _ in hints})
+            _events.emit(
+                "affinity_assigned",
+                cell=self.label,
+                cells=len(runs),
+                groups=groups,
+                lanes=populated,
+                workers=nworkers,
+            )
+            log.debug(
+                "%s: %d cells in %d affinity group(s) across %d lane(s)",
+                self.label,
+                len(runs),
+                groups,
+                populated,
+            )
+            return _LaneQueue([[runs[i] for i in lane] for lane in lanes])
+        return _FifoQueue(runs)
+
     def _run_pool(self, runs: list[_CellRun], nworkers: int) -> None:
         log.debug(
             "%s: %d cells across %d workers", self.label, len(runs), nworkers
@@ -464,10 +617,10 @@ class _Engine:
         bus = _events.current_bus()
         pool = self._new_pool(nworkers)
         restarts_left = self.policy.max_pool_restarts
-        ready: deque[_CellRun] = deque(runs)
+        ready = self._make_ready(runs, nworkers)
         pending: dict[Future, tuple[_CellRun, float]] = {}
         try:
-            while ready or pending:
+            while len(ready) or pending:
                 broken = False
 
                 # Throttled submission: at most one in-flight future per
@@ -476,12 +629,11 @@ class _Engine:
                 # behind other cells.  Runs still inside their backoff window
                 # are held back until ``not_before`` passes.
                 now = monotonic()
-                held: list[_CellRun] = []
-                while ready and len(pending) < nworkers:
-                    run = ready.popleft()
-                    if run.not_before > now:
-                        held.append(run)
-                        continue
+                in_flight = [run for run, _ in pending.values()]
+                while len(ready) and len(pending) < nworkers:
+                    run = ready.pop_eligible(now, in_flight)
+                    if run is None:  # everything left is backing off
+                        break
                     try:
                         future = pool.submit(
                             _attempt_cell,
@@ -493,19 +645,19 @@ class _Engine:
                     except BrokenProcessPool:
                         # The pool died between completions; route this the
                         # same way as a broken in-flight future.
-                        ready.appendleft(run)
+                        ready.push_front(run)
                         broken = True
                         break
                     started = monotonic()
                     if self.policy.cell_timeout is not None:
                         run.deadline = started + self.policy.cell_timeout
                     pending[future] = (run, started)
-                ready.extend(held)
+                    in_flight.append(run)
 
                 if not broken and not pending:
                     # Every remaining cell is backing off; sleep until the
                     # earliest becomes eligible.
-                    wake = min(run.not_before for run in ready)
+                    wake = ready.min_not_before()
                     time.sleep(max(0.0, wake - monotonic()))
                     continue
 
@@ -518,7 +670,7 @@ class _Engine:
                         if run.deadline is not None
                     ]
                     if len(pending) < nworkers:
-                        wake_times += [run.not_before for run in ready if run.not_before > 0.0]
+                        wake_times += ready.backoff_times()
                     wait_timeout = (
                         max(0.0, min(wake_times) - monotonic()) if wake_times else None
                     )
@@ -548,12 +700,12 @@ class _Engine:
                             # Worker death kills every in-flight future;
                             # requeue this run and let the pool-level
                             # handling below deal with the rest.
-                            ready.appendleft(run)
+                            ready.push_front(run)
                             broken = True
                             continue
                         if exc is not None:
                             if self._record_failure(run, exc, elapsed):
-                                ready.append(run)
+                                ready.push(run)
                             continue
                         result, seconds = future.result()
                         if is_corrupt(result):
@@ -561,7 +713,7 @@ class _Engine:
                                 f"cell [{run.cell.key!r}] returned a corrupt result"
                             )
                             if self._record_failure(run, corrupt, elapsed):
-                                ready.append(run)
+                                ready.push(run)
                             continue
                         self._complete(run, result, seconds)
 
@@ -569,7 +721,7 @@ class _Engine:
                     # Move every other in-flight run back to the queue; their
                     # futures are dead with the pool.
                     for run, _ in pending.values():
-                        ready.append(run)
+                        ready.push(run)
                     pending.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
                     self.stats.pool_restarts += 1
@@ -598,8 +750,7 @@ class _Engine:
                         len(ready),
                     )
                     self.stats.serial_fallback = True
-                    self._run_serial(list(ready))
-                    ready.clear()
+                    self._run_serial(ready.drain())
                     return
 
                 # Deadline sweep: charge overrun cells a failed attempt and
@@ -618,7 +769,7 @@ class _Engine:
                                 f"{self.policy.cell_timeout:g}s deadline"
                             )
                             if self._record_failure(run, timeout_exc, now - started):
-                                ready.append(run)
+                                ready.push(run)
                             if not future.cancel():
                                 hung = True
                 if hung:
@@ -628,7 +779,7 @@ class _Engine:
                     # against max_pool_restarts: each replacement charges
                     # the overrun cell an attempt, so retries bound it.
                     for run, _ in pending.values():
-                        ready.append(run)
+                        ready.push(run)
                     pending.clear()
                     if bus is not None:
                         # Collect everything the wedged pool's workers
@@ -678,13 +829,19 @@ def execute_cells(
     fault_plan: FaultPlan | None = None,
     checkpoint=None,
     stats: SweepStats | None = None,
+    affinity: bool = False,
 ) -> dict[Any, Any]:
     """Run sweep cells resiliently and return ``{cell.key: result}``.
 
     This is the engine behind :func:`repro.parallel.sweep.run_cells`;
     see that function for the caller-facing contract.  ``checkpoint`` is
     duck-typed (``has`` / ``result_for`` / ``record``) — in practice a
-    :class:`repro.harness.checkpoint.SweepCheckpoint`.
+    :class:`repro.harness.checkpoint.SweepCheckpoint`.  ``affinity``
+    groups cells by the graph they reference and dispatches each group
+    through a per-worker lane (:class:`_LaneQueue`), so a shared graph
+    is materialized on as few workers as possible; results are
+    unaffected either way (folded by submission index, never by
+    placement).
     """
     recorder = current_recorder()
     with span(f"sweep[{label}]") as sweep_span:
@@ -704,5 +861,6 @@ def execute_cells(
             checkpoint=checkpoint,
             stats=stats,
             note=note,
+            affinity=affinity,
         )
         return engine.run()

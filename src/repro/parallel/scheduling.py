@@ -10,15 +10,26 @@ Two schedulers mirror the paper's choices:
 * :func:`greedy_assign` — the *dynamic* schedule for the accumulate phase,
   modelled offline as greedy longest-processing-time assignment of
   per-range costs to threads (what a dynamic work queue converges to).
+
+The same blocking insight applies to the harness itself: sweep cells
+that share a graph should land on the same worker so the graph is
+materialized on as few processes as possible.  :func:`cell_affinity`
+extracts a ``(graph key, edge cost)`` hint per sweep cell and
+:func:`affinity_lanes` assigns whole affinity groups to worker lanes
+with the very same :func:`greedy_assign` balancer (cost = estimated
+edges × cells), which the resilient engine's lane queue turns into
+de-facto worker pinning (:mod:`repro.parallel.resilience`).
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import Any, Hashable, Sequence
 
 import numpy as np
 
 from repro.graphs.csr import CSRGraph
+from repro.parallel.shm import GraphRef
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -26,6 +37,8 @@ __all__ = [
     "range_edge_counts",
     "greedy_assign",
     "imbalance",
+    "cell_affinity",
+    "affinity_lanes",
 ]
 
 
@@ -104,3 +117,72 @@ def imbalance(costs: np.ndarray, num_threads: int, *, dynamic: bool = True) -> f
             loads[i % num_threads] += cost
         makespan = float(loads.max())
     return makespan / ideal
+
+
+# ----------------------------------------------------------------------
+# sweep-cell graph affinity (the harness-side blocking schedule)
+# ----------------------------------------------------------------------
+def _graph_hint(value: Any) -> tuple[Hashable, float] | None:
+    """``(affinity key, edge cost)`` if ``value`` is a graph argument."""
+    if isinstance(value, GraphRef):
+        return ("shm", value.fingerprint), float(value.num_edges)
+    if isinstance(value, CSRGraph):
+        # By identity, not content digest: hashing a multi-MB graph per
+        # cell would cost more than the locality buys, and plan-compiled
+        # sweeps pass the same object for equal content anyway.
+        return ("mem", id(value)), float(value.num_edges)
+    return None
+
+
+def cell_affinity(cells: Sequence[Any]) -> list[tuple[Hashable, float]]:
+    """Affinity hint ``(group key, cost)`` for every sweep cell.
+
+    Cells are grouped by the first graph argument they carry (a
+    :class:`~repro.parallel.shm.GraphRef` groups by content fingerprint,
+    a by-value :class:`CSRGraph` by object identity) with the graph's
+    edge count as the cost estimate.  A cell with no graph argument —
+    e.g. the scaling cells, which generate their own graph — forms a
+    singleton group of unit cost, so it still load-balances but never
+    constrains placement.
+    """
+    hints: list[tuple[Hashable, float]] = []
+    for index, cell in enumerate(cells):
+        hint = None
+        for value in (*cell.args, *cell.kwargs.values()):
+            hint = _graph_hint(value)
+            if hint is not None:
+                break
+        if hint is None:
+            hints.append((("cell", index), 1.0))
+        else:
+            key, edges = hint
+            hints.append((key, max(edges, 1.0)))
+    return hints
+
+
+def affinity_lanes(
+    hints: Sequence[tuple[Hashable, float]], num_workers: int
+) -> list[list[int]]:
+    """Assign affinity groups to ``num_workers`` lanes, cost-balanced.
+
+    ``hints`` is one ``(group key, cost)`` pair per cell (see
+    :func:`cell_affinity`).  Whole groups are assigned to lanes via
+    :func:`greedy_assign` on total group cost (cost per cell × cells in
+    the group), so cells sharing a key always co-locate and lane loads
+    stay within the greedy 4/3 bound.  Returns exactly ``num_workers``
+    lists of cell indices (possibly empty), each in submission order.
+    """
+    check_positive("num_workers", num_workers)
+    groups: dict[Hashable, list[int]] = {}
+    for index, (key, _) in enumerate(hints):
+        groups.setdefault(key, []).append(index)
+    keys = list(groups)
+    costs = np.array(
+        [sum(hints[index][1] for index in groups[key]) for key in keys],
+        dtype=np.float64,
+    )
+    assignment, _ = greedy_assign(costs, num_workers)
+    return [
+        sorted(index for g in lane for index in groups[keys[g]])
+        for lane in assignment
+    ]

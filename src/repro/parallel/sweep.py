@@ -31,13 +31,13 @@ letting every other cell finish, never leaving a hung pool.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.parallel.resilience import (
     RetryPolicy,
     SweepStats,
+    default_workers,
     execute_cells,
 )
 from repro.parallel.faults import FaultPlan
@@ -67,11 +67,6 @@ class SweepCell:
     kwargs: dict = field(default_factory=dict)
 
 
-def default_workers() -> int:
-    """Worker count used for ``--workers 0`` (auto): one per CPU."""
-    return os.cpu_count() or 1
-
-
 def run_cells(
     cells: list[SweepCell],
     *,
@@ -81,21 +76,25 @@ def run_cells(
     fault_plan: FaultPlan | None = None,
     checkpoint=None,
     stats: SweepStats | None = None,
+    affinity: bool = False,
 ) -> dict[Any, Any]:
     """Run every cell and return ``{cell.key: result}``.
 
     ``workers=None`` or ``1`` runs serially in-process (no executor, no
-    pickling); ``workers=0`` means one worker per CPU; ``workers >= 2``
-    uses a process pool.  Results are identical either way — cells are
-    deterministic functions of their arguments — and identical with or
-    without recovered faults.
+    pickling); ``workers=0`` means one worker per usable CPU
+    (:func:`default_workers`); ``workers >= 2`` uses a process pool.
+    Results are identical either way — cells are deterministic functions
+    of their arguments — and identical with or without recovered faults.
 
     ``policy`` defaults to no retries (or to a plan-covering policy when
     a fault plan is active); ``checkpoint`` is an opened
     :class:`repro.harness.checkpoint.SweepCheckpoint` whose completed
     cells are skipped and into which new completions are appended;
     ``stats`` (a :class:`~repro.parallel.resilience.SweepStats`)
-    accumulates retry/resume counters for run reports.
+    accumulates retry/resume counters for run reports; ``affinity``
+    dispatches cells sharing a graph argument through the same worker
+    lane so each graph is materialized on as few processes as possible
+    (placement only — results never depend on it).
     """
     return execute_cells(
         cells,
@@ -105,4 +104,5 @@ def run_cells(
         fault_plan=fault_plan,
         checkpoint=checkpoint,
         stats=stats,
+        affinity=affinity,
     )

@@ -31,13 +31,29 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs import events as _events
+from repro.obs.log import get_logger
 from repro.obs.spans import current_recorder, span
-from repro.parallel.resilience import SweepOptions
+from repro.parallel.resilience import SweepOptions, default_workers
+from repro.parallel.shm import GraphStore
 from repro.parallel.sweep import SweepCell, run_cells
 from repro.plan.compiler import CompiledPlan, PlanStats
 from repro.utils.fingerprint import cell_fingerprint
 
 __all__ = ["PlanResults", "execute_plan"]
+
+log = get_logger("plan.executor")
+
+
+def _pool_mode(workers: int | None, cells: int) -> bool:
+    """Whether this sweep will actually run on a process pool.
+
+    Mirrors the resilient engine's own resolution (``0`` = auto, ``None``
+    / ``1`` = serial, capped by the cell count) so the executor can
+    decide *before* dispatch whether the shared-memory graph plane will
+    pay for itself — the serial path must never touch shm.
+    """
+    resolved = default_workers() if workers == 0 else (workers or 1)
+    return min(resolved, cells) > 1
 
 
 class PlanResults:
@@ -103,6 +119,7 @@ def execute_plan(
     options: SweepOptions | None = None,
     cache=None,
     label: str = "plan",
+    shm: bool | None = None,
 ) -> PlanResults:
     """Execute every unique cell of ``plan`` once and return the results.
 
@@ -113,6 +130,16 @@ def execute_plan(
     ``cache`` is an optional content-addressed result store with
     ``get(fingerprint) -> entry | None`` (entry carries ``result`` and
     ``seconds``) and ``put(fingerprint, result, seconds)``.
+
+    ``shm`` (``options.shm`` wins when set) controls the shared-memory
+    graph plane: in pool mode every distinct graph argument is published
+    once into a :class:`~repro.parallel.shm.GraphStore` and cells ship
+    :class:`~repro.parallel.shm.GraphRef` handles instead of pickled
+    arrays — cell fingerprints, checkpoints, caches, and results are
+    identical either way.  The default (``None``, auto) enables it
+    exactly when a pool will run; the serial path never touches shm.
+    Pool dispatch also groups cells by graph into affinity lanes so each
+    graph is materialized on as few workers as possible.
 
     A failing cell propagates :class:`repro.parallel.resilience.
     CellFailedError` after the other cells finish; everything completed
@@ -170,6 +197,28 @@ def execute_plan(
                     cell_fingerprint(cell.fn, key, cell.args, cell.kwargs)
                 ] = fingerprint
 
+            effective_workers = (
+                options.workers if options.workers is not None else workers
+            )
+            use_shm = options.shm if options.shm is not None else shm
+            store = None
+            if use_shm is not False and _pool_mode(effective_workers, len(sweep_cells)):
+                try:
+                    store = GraphStore(label=label)
+                except Exception as exc:  # noqa: BLE001 — no shm on this platform
+                    log.warning(
+                        "%s: shared-memory graph plane unavailable (%s); "
+                        "shipping graphs by value",
+                        label,
+                        exc,
+                    )
+                    store = None
+            if store is not None:
+                # Publish each distinct graph once; the sweep fingerprints
+                # are unchanged (a ref hashes as its graph), so checkpoint
+                # resume and fault plans line up with by-value runs.
+                sweep_cells = [store.publish_cell(cell) for cell in sweep_cells]
+
             checkpoint = None
             if options.checkpoint_dir:
                 from repro.harness.checkpoint import open_checkpoint
@@ -186,7 +235,7 @@ def execute_plan(
             try:
                 outcomes = run_cells(
                     sweep_cells,
-                    workers=options.workers if options.workers is not None else workers,
+                    workers=effective_workers,
                     label=label,
                     policy=options.policy,
                     fault_plan=options.fault_plan,
@@ -194,6 +243,7 @@ def execute_plan(
                     if (checkpoint is not None or cache is not None)
                     else None,
                     stats=sweep_stats,
+                    affinity=True,
                 )
             finally:
                 # Count execution even when a cell failed permanently: the
@@ -201,6 +251,8 @@ def execute_plan(
                 # happen (and was checkpointed/cached) before the abort.
                 stats.executed += sweep_stats.completed - completed_before
                 stats.resumed += sweep_stats.resumed - resumed_before
+                if store is not None:
+                    store.close()
             for fingerprint in misses:
                 results[fingerprint] = outcomes[plan.labels[fingerprint]]
 

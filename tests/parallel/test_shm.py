@@ -1,0 +1,285 @@
+"""Shared-memory graph plane: round trips, identity, lifecycle, leaks.
+
+The contract under test (:mod:`repro.parallel.shm`):
+
+* a published graph round-trips bit-exactly through a pickled
+  :class:`GraphRef` and a zero-copy attach;
+* a ref hashes as its graph (fingerprint proxy), so sweep/checkpoint
+  fingerprints are identical with the plane on or off;
+* the parent owns teardown — context manager, explicit ``close``, and
+  the ``atexit`` guard all unlink, including on SIGINT mid-run and with
+  pool workers attached (workers never unlink);
+* plan execution through the plane produces byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import build_csr
+from repro.graphs.generators import uniform_random_graph
+from repro.obs import events as _events
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    GraphRef,
+    GraphStore,
+    graph_fingerprint,
+    resolve_graph,
+)
+from repro.parallel.sweep import SweepCell, run_cells
+from repro.utils.fingerprint import cell_fingerprint, stable_digest
+
+
+def _graph(seed=1, n=500, degree=6):
+    return build_csr(uniform_random_graph(n, degree, seed=seed))
+
+
+def _segments():
+    try:
+        return [n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)]
+    except FileNotFoundError:  # non-Linux: can't scan, tests still pass
+        return []
+
+
+# ----------------------------------------------------------------------
+# publish / attach round trip
+# ----------------------------------------------------------------------
+def test_ref_round_trips_bit_exactly():
+    graph = _graph()
+    with GraphStore() as store:
+        ref = store.publish(graph)
+        wire = pickle.loads(pickle.dumps(ref))
+        assert "_graph" not in wire.__dict__  # refs never ship array bytes
+        attached = wire.materialize()
+        assert np.array_equal(attached.offsets, graph.offsets)
+        assert np.array_equal(attached.targets, graph.targets)
+        assert attached.weights is None
+        assert attached.symmetric == graph.symmetric
+        # zero-copy views are read-only: a worker cannot corrupt the plane
+        with pytest.raises(ValueError):
+            attached.targets[0] = 0
+
+
+def test_weighted_graph_round_trips():
+    from repro.graphs.csr import CSRGraph
+
+    base = build_csr(uniform_random_graph(300, 5, seed=3))
+    rng = np.random.default_rng(7)
+    weights = rng.random(base.num_edges).astype(np.float32)
+    weighted = CSRGraph(base.offsets, base.targets, weights=weights)
+    with GraphStore() as store:
+        ref = store.publish(weighted)
+        assert ref.weighted
+        attached = pickle.loads(pickle.dumps(ref)).materialize()
+        assert np.array_equal(attached.weights, weighted.weights)
+
+
+def test_publish_is_content_addressed_and_refcounted():
+    graph = _graph()
+    twin = build_csr(uniform_random_graph(500, 6, seed=1))  # equal content
+    with GraphStore() as store:
+        ref1 = store.publish(graph)
+        ref2 = store.publish(graph)  # same object: id fast path
+        ref3 = store.publish(twin)  # equal content: fingerprint dedup
+        assert ref1.segment == ref2.segment == ref3.segment
+        assert len(store) == 1
+        store.release(ref1)
+        store.release(ref2)
+        assert len(store) == 1  # one reference still held
+        store.release(ref3)
+        assert len(store) == 0
+        assert not _segments()
+
+
+def test_parent_materialize_is_the_source_graph():
+    graph = _graph()
+    with GraphStore() as store:
+        ref = store.publish(graph)
+        assert ref.materialize() is graph  # serial fallback costs nothing
+
+
+def test_resolve_graph_passthrough():
+    graph = _graph()
+    assert resolve_graph(graph) is graph
+    with GraphStore() as store:
+        ref = store.publish(graph)
+        assert resolve_graph(ref) is graph
+
+
+# ----------------------------------------------------------------------
+# identity: refs hash as their graph
+# ----------------------------------------------------------------------
+def test_ref_fingerprints_match_graph_fingerprints():
+    graph = _graph()
+    with GraphStore() as store:
+        ref = store.publish(graph)
+        assert stable_digest(ref) == stable_digest(graph)
+        by_value = cell_fingerprint(_echo_cell, "k", (graph, 3), {})
+        by_ref = cell_fingerprint(_echo_cell, "k", (ref, 3), {})
+        assert by_value == by_ref
+
+
+def test_publish_cell_rewrites_only_graph_args():
+    graph = _graph()
+    cell = SweepCell(key="k", fn=_echo_cell, args=(graph, 3), kwargs={"x": graph})
+    plain = SweepCell(key="p", fn=_echo_cell, args=(1, 2))
+    with GraphStore() as store:
+        rewritten = store.publish_cell(cell)
+        assert isinstance(rewritten.args[0], GraphRef)
+        assert rewritten.args[1] == 3
+        assert isinstance(rewritten.kwargs["x"], GraphRef)
+        assert store.publish_cell(plain) is plain  # untouched: no graphs
+        assert len(store) == 1  # both occurrences share one segment
+
+
+# ----------------------------------------------------------------------
+# pool execution: transparent, observable, leak-free
+# ----------------------------------------------------------------------
+def _echo_cell(graph, scale, x=None):
+    graph = resolve_graph(graph)
+    return float(graph.num_edges) * scale
+
+
+def test_pool_run_with_refs_matches_by_value(tmp_path):
+    graphs = [_graph(seed=s) for s in (1, 2)]
+    cells = [
+        SweepCell(key=(s, scale), fn=_echo_cell, args=(graphs[s], scale))
+        for s in range(2)
+        for scale in (1.0, 2.0)
+    ]
+    by_value = run_cells(cells, workers=2)
+    with _events.collecting() as bus:
+        with GraphStore() as store:
+            ref_cells = [store.publish_cell(cell) for cell in cells]
+            by_ref = run_cells(ref_cells, workers=2, affinity=True)
+            # Pool workers have exited by now; forked workers inherit the
+            # store's atexit hook and must NOT have unlinked its segments.
+            assert len(_segments()) == 2
+    assert by_ref == by_value
+    fleet = bus.fleet_summary()
+    assert fleet["shm"]["published"] == 2
+    assert fleet["shm"]["attached"] >= 2  # every worker that touched a graph
+    assert fleet["shm"]["evicted"] == 2
+    assert fleet["shm"]["peak_resident_graphs"] >= 1
+    assert not _segments()
+
+
+def test_checkpoint_resume_across_shm_modes(tmp_path):
+    """A checkpoint written by a by-value run satisfies a by-ref run:
+    the fingerprints are mode-independent."""
+    from repro.harness.checkpoint import open_checkpoint
+
+    graph = _graph()
+    cells = [
+        SweepCell(key=("c", scale), fn=_echo_cell, args=(graph, scale))
+        for scale in (1.0, 2.0)
+    ]
+    first = run_cells(
+        cells, workers=1, checkpoint=open_checkpoint(str(tmp_path), "shm")
+    )
+    checkpoint = open_checkpoint(str(tmp_path), "shm")
+    with GraphStore() as store:
+        ref_cells = [store.publish_cell(cell) for cell in cells]
+        stats_holder = []
+        from repro.parallel.resilience import SweepStats
+
+        stats = SweepStats()
+        second = run_cells(ref_cells, workers=1, checkpoint=checkpoint, stats=stats)
+        stats_holder.append(stats)
+    assert second == first
+    assert stats_holder[0].resumed == len(cells)  # nothing re-executed
+
+
+# ----------------------------------------------------------------------
+# teardown guarantees
+# ----------------------------------------------------------------------
+def test_close_is_idempotent_and_unlinks():
+    graph = _graph()
+    store = GraphStore()
+    ref = store.publish(graph)
+    assert any(ref.segment == name for name in _segments())
+    store.close()
+    store.close()
+    assert not any(ref.segment == name for name in _segments())
+    with pytest.raises(RuntimeError):
+        store.publish(graph)
+
+
+_SIGINT_DRIVER = textwrap.dedent(
+    """
+    import signal, sys, time
+    from repro.graphs.builder import build_csr
+    from repro.graphs.generators import uniform_random_graph
+    from repro.parallel.shm import GraphStore
+
+    store = GraphStore()
+    ref = store.publish(build_csr(uniform_random_graph(2000, 8, seed=1)))
+    print(ref.segment, flush=True)
+    time.sleep(60)  # parent SIGINTs us here; atexit must unlink
+    """
+)
+
+
+def test_sigint_mid_plan_leaves_no_orphan_segments():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), os.path.join(os.getcwd(), "src")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SIGINT_DRIVER],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        segment = proc.stdout.readline().strip()
+        assert segment.startswith(SEGMENT_PREFIX)
+        assert segment in _segments()
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    deadline = time.monotonic() + 10
+    while segment in _segments() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert segment not in _segments(), "KeyboardInterrupt leaked a segment"
+
+
+def test_fault_injected_pool_run_leaks_nothing():
+    """Worker crashes (injected) + retries + shm refs: segments all die."""
+    from repro.parallel.faults import FaultPlan
+    from repro.parallel.resilience import RetryPolicy
+
+    graph = _graph()
+    cells = [
+        SweepCell(key=("f", scale), fn=_echo_cell, args=(graph, scale))
+        for scale in (1.0, 2.0, 3.0, 4.0)
+    ]
+    plan = FaultPlan.from_string("seed=5,rate=0.4,kinds=crash|corrupt,max=2")
+    with GraphStore() as store:
+        ref_cells = [store.publish_cell(cell) for cell in cells]
+        results = run_cells(
+            ref_cells,
+            workers=2,
+            affinity=True,
+            fault_plan=plan,
+            policy=RetryPolicy(max_retries=3),
+        )
+    assert results == {("f", s): graph.num_edges * s for s in (1.0, 2.0, 3.0, 4.0)}
+    assert not _segments()
+
+
+def test_graph_fingerprint_matches_stable_digest():
+    graph = _graph()
+    assert graph_fingerprint(graph) == stable_digest(graph)
