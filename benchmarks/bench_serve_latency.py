@@ -1,0 +1,115 @@
+"""Serve-layer benchmark — query latency and throughput vs batch size.
+
+Drives the asyncio PPR query server (:mod:`repro.serve`) with a seeded
+load-generator workload at several coalescing batch sizes and records the
+latency distribution (p50/p99) and throughput of each.  Batch size is the
+serving analogue of a propagation-blocking bin width: larger batches
+amortize the per-solve graph-wide work across more concurrent queries at
+the cost of per-query queueing delay, so the sweep exposes the same
+locality-vs-latency trade the paper's bin-width sweep does.
+
+A second phase replays the identical workload against a warm
+content-addressed cache: every answer must come from disk without a
+kernel run, so the warm hit rate is deterministically 1.0 — the one
+gated metric in the emitted ``BENCH_serve_latency.json`` (latencies and
+throughput are host timing and stay ungated under the sentinel's
+``wall_seconds/*`` / ``*_per_sec*`` patterns).
+"""
+
+import numpy as np
+
+from repro.graphs import build_csr, uniform_random_graph
+from repro.serve import (
+    BatchPolicy,
+    ServeCache,
+    ServeConfig,
+    generate_queries,
+    run_load,
+)
+
+from benchmarks.conftest import SUITE_SEED
+from benchmarks.emit_bench import emit_bench
+
+#: Coalescing limits swept by the bench (1 = no coalescing, the serial
+#: baseline every larger batch is compared against).
+BATCH_SIZES = [1, 4, 16]
+
+NUM_VERTICES = 2048
+DEGREE = 8
+NUM_QUERIES = 64
+CONCURRENCY = 8
+
+#: Generous sanity ceiling: tail latency of a 2048-vertex PPR solve must
+#: stay far below this on any host.  A failure means the serve loop is
+#: wedged, not that the host is slow.
+P99_CEILING_SECONDS = 30.0
+
+
+def _config(max_batch: int) -> ServeConfig:
+    return ServeConfig(
+        policy=BatchPolicy(window_seconds=0.002, max_batch=max_batch)
+    )
+
+
+def test_serve_latency(tmp_path, report):
+    graph = build_csr(
+        uniform_random_graph(NUM_VERTICES, DEGREE, seed=SUITE_SEED)
+    )
+    queries = generate_queries(
+        NUM_QUERIES, graph.num_vertices, seed=SUITE_SEED, repeat_fraction=0.5
+    )
+
+    metrics: dict[str, float] = {}
+    lines = []
+    for max_batch in BATCH_SIZES:
+        load = run_load(
+            graph, queries, config=_config(max_batch), concurrency=CONCURRENCY
+        )
+        metrics[f"wall_seconds/p50/batch{max_batch}"] = load.p50_seconds
+        metrics[f"wall_seconds/p99/batch{max_batch}"] = load.p99_seconds
+        metrics[f"queries_per_sec/batch{max_batch}"] = load.queries_per_sec
+        lines.append(
+            f"max_batch {max_batch:3d}:  p50 {load.p50_seconds * 1e3:8.2f} ms"
+            f"   p99 {load.p99_seconds * 1e3:8.2f} ms"
+            f"   {load.queries_per_sec:8.1f} q/s"
+            f"   occupancy {load.mean_occupancy:.2f}"
+        )
+        assert load.num_queries == NUM_QUERIES
+        assert load.p99_seconds < P99_CEILING_SECONDS
+        assert load.p50_seconds <= load.p99_seconds <= load.max_seconds
+
+    # Warm phase: populate the cache with one full pass, then replay the
+    # identical workload — every query must be served from the cache.
+    cache = ServeCache(str(tmp_path / "serve-cache"))
+    run_load(graph, queries, config=_config(8), cache=cache, concurrency=CONCURRENCY)
+    warm = run_load(
+        graph, queries, config=_config(8), cache=cache, concurrency=CONCURRENCY
+    )
+    assert warm.cache_hit_rate == 1.0
+    assert warm.batches == 0  # no kernel ran at all
+    metrics["cache_hit_rate/warm"] = warm.cache_hit_rate
+    metrics["queries_per_sec/warm_cache"] = warm.queries_per_sec
+    lines.append(
+        f"warm cache:     hit rate {warm.cache_hit_rate:.2f}"
+        f"   {warm.queries_per_sec:8.1f} q/s"
+    )
+
+    report(
+        "serve_latency",
+        "serve latency vs batch size "
+        f"({NUM_QUERIES} queries, concurrency {CONCURRENCY}, "
+        f"urand n={NUM_VERTICES} d={DEGREE})\n" + "\n".join(lines),
+    )
+    emit_bench(
+        "serve_latency",
+        metrics,
+        meta={
+            "source": "bench_serve_latency",
+            "num_vertices": NUM_VERTICES,
+            "degree": DEGREE,
+            "num_queries": NUM_QUERIES,
+            "concurrency": CONCURRENCY,
+            "batch_sizes": BATCH_SIZES,
+            "units": "seconds / queries per second / hit rate",
+        },
+    )

@@ -22,6 +22,13 @@ A thin front end over the library for the common workflows:
 * ``repro-pb plan`` — compile the reproduction's experiment specs into
   their deduplicated cell DAG and print it (cell counts per artifact,
   dedup ratio, cache hits) without executing anything;
+* ``repro-pb serve --seeds 0,5 --seeds 17`` — answer personalized-
+  PageRank queries through the batched query layer
+  (:mod:`repro.serve`: request coalescing + content-addressed result
+  cache);
+* ``repro-pb loadgen --queries 200 --max-batch 16`` — replay a seeded
+  query stream against the serve layer and report p50/p99 latency,
+  throughput, and the warm-cache hit rate;
 * ``repro-pb reproduce --resume ckpt/`` — regenerate every table and
   figure as one deduplicated plan with fault-tolerant, checkpointed,
   cacheable sweeps (forwards to :mod:`repro.harness.reproduce`).
@@ -168,6 +175,43 @@ def _metrics_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _serve_parent() -> argparse.ArgumentParser:
+    """Serve-layer knobs shared by ``serve`` and ``loadgen``."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--method",
+        choices=("pull", "dpb"),
+        default="dpb",
+        help="personalized-PageRank propagation strategy (default: dpb)",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="how long the first request of a batch waits for company "
+        "(default: 0.002)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="maximum queries coalesced into one multi-source kernel run "
+        "(default: 16)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache directory (default: no cache)",
+    )
+    p.add_argument("--tolerance", type=float, default=1e-8)
+    p.add_argument(
+        "--top", type=int, default=5, help="top-k vertices per answer"
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -186,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     tier = _tier_parent()
     report = _report_parent()
     metrics = _metrics_parent()
+    serve = _serve_parent()
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -314,6 +359,70 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="with --execute: progress rendering (auto = live on a TTY, "
         "plain lines otherwise; -q implies off)",
+    )
+
+    p_serve = add_parser(
+        "serve",
+        graph,
+        tier,
+        serve,
+        help="answer personalized-PageRank queries through the batched "
+        "query layer (coalescing + result cache)",
+    )
+    p_serve.add_argument(
+        "--seeds",
+        action="append",
+        metavar="IDS",
+        default=None,
+        help="one query as comma-separated seed vertex ids (repeatable, "
+        "e.g. --seeds 0,5 --seeds 17); default: 8 generated queries",
+    )
+    p_serve.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write a kind='serve' run report with the server's counter "
+        "snapshot (docs/metrics_schema.md)",
+    )
+
+    p_loadgen = add_parser(
+        "loadgen",
+        graph,
+        tier,
+        serve,
+        help="replay a seeded query stream against the serve layer and "
+        "report the latency/throughput distribution",
+    )
+    p_loadgen.add_argument(
+        "--queries", type=int, default=64, help="number of queries to replay"
+    )
+    p_loadgen.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of queries re-issuing an earlier seed set "
+        "(drives the warm-cache hit rate; default 0.5)",
+    )
+    p_loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop client concurrency (default 8)",
+    )
+    p_loadgen.add_argument(
+        "--p99-bound",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit nonzero when p99 latency exceeds this bound "
+        "(the CI serve-smoke gate)",
+    )
+    p_loadgen.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the load report (latencies, throughput, hit rate) "
+        "as JSON",
     )
 
     p_report = add_parser(
@@ -906,6 +1015,160 @@ def _execute_plan_cli(args: argparse.Namespace, plan, cache) -> int:
     return 1 if failed else 0
 
 
+def _serve_config(args: argparse.Namespace):
+    """Build a :class:`repro.serve.ServeConfig` from CLI options."""
+    from repro.serve import BatchPolicy, ServeConfig
+
+    return ServeConfig(
+        method=args.method,
+        tier=args.kernel_tier,
+        tolerance=args.tolerance,
+        top_k=max(args.top, 1),
+        policy=BatchPolicy(
+            window_seconds=args.batch_window, max_batch=args.max_batch
+        ),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-pb serve``: batched personalized-PageRank answers."""
+    import asyncio
+
+    from repro.serve import PPRServer, ServeCache, generate_queries
+
+    graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    config = _serve_config(args)
+    cache = ServeCache(args.cache_dir) if args.cache_dir else None
+    if args.seeds:
+        queries = []
+        for spec in args.seeds:
+            try:
+                queries.append(tuple(int(part) for part in spec.split(",")))
+            except ValueError:
+                print(
+                    f"repro-pb serve: error: bad --seeds value {spec!r} "
+                    "(expected comma-separated vertex ids)",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        queries = generate_queries(
+            8, graph.num_vertices, seed=args.seed, repeat_fraction=0.25
+        )
+
+    async def _answer():
+        async with PPRServer(graph, config, cache=cache) as server:
+            results = await asyncio.gather(
+                *(server.query(seeds) for seeds in queries)
+            )
+            return results, server.stats()
+
+    try:
+        results, stats = asyncio.run(_answer())
+    except ValueError as exc:
+        print(f"repro-pb serve: error: {exc}", file=sys.stderr)
+        return 2
+    for result in results:
+        seeds = ",".join(str(s) for s in result.seeds)
+        source = "cache" if result.from_cache else f"batch[{result.batch_size}]"
+        rows = [[int(v), f"{score:.3e}"] for v, score in result.top]
+        print(
+            format_table(
+                ["vertex", "score"],
+                rows,
+                title=f"seeds [{seeds}] via {source}",
+            )
+        )
+    s = stats.to_dict()
+    print(
+        f"\n{s['requests']} request(s) in {s['batches']} batch(es) "
+        f"(mean occupancy {s['mean_occupancy']:.2f}, "
+        f"{s['coalesced']} coalesced, cache hit rate "
+        f"{s['cache_hit_rate']:.2f})"
+    )
+    if args.json:
+        report = RunReport(
+            kind="serve",
+            graph=GraphMeta(
+                name=args.graph,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                scale=args.scale,
+                seed=args.seed,
+            ),
+            config=RunConfig(
+                method=args.method,
+                options={
+                    "kernel_tier": args.kernel_tier,
+                    "batch_window": args.batch_window,
+                    "max_batch": args.max_batch,
+                    "cached": args.cache_dir is not None,
+                },
+            ),
+            serve=s,
+        )
+        report.save(args.json)
+        print(f"[report written to {args.json}]")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro-pb loadgen``: seeded load replay with a latency report."""
+    import json as json_module
+
+    from repro.serve import ServeCache, generate_queries, run_load
+
+    graph = load_graph(args.graph, scale=args.scale, seed=args.seed)
+    config = _serve_config(args)
+    cache = ServeCache(args.cache_dir) if args.cache_dir else None
+    queries = generate_queries(
+        args.queries,
+        graph.num_vertices,
+        seed=args.seed,
+        repeat_fraction=args.repeat_fraction,
+    )
+    report = run_load(
+        graph,
+        queries,
+        config=config,
+        cache=cache,
+        concurrency=args.concurrency,
+    )
+    rows = [
+        ["queries", report.num_queries],
+        ["wall seconds", f"{report.wall_seconds:.4f}"],
+        ["queries / sec", f"{report.queries_per_sec:.1f}"],
+        ["p50 latency (ms)", f"{report.p50_seconds * 1e3:.3f}"],
+        ["p99 latency (ms)", f"{report.p99_seconds * 1e3:.3f}"],
+        ["max latency (ms)", f"{report.max_seconds * 1e3:.3f}"],
+        ["cache hit rate", f"{report.cache_hit_rate:.3f}"],
+        ["mean batch occupancy", f"{report.mean_occupancy:.2f}"],
+        ["batches", report.batches],
+        ["coalesced", report.coalesced],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"load replay on {args.graph} "
+            f"(max_batch {args.max_batch}, concurrency {args.concurrency})",
+        )
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[report written to {args.json}]")
+    if args.p99_bound is not None and report.p99_seconds > args.p99_bound:
+        print(
+            f"repro-pb loadgen: p99 latency {report.p99_seconds:.4f}s exceeds "
+            f"bound {args.p99_bound:.4f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.harness.reproduce import main as reproduce_main
 
@@ -980,6 +1243,8 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "report": _cmd_report,
     "plan": _cmd_plan,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "reproduce": _cmd_reproduce,
     "bench": _cmd_bench,
 }

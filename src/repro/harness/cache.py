@@ -160,6 +160,20 @@ class MeasurementCache:
                 pass
             raise
 
+    def drop(self, fingerprint: str) -> bool:
+        """Delete one entry; returns whether it existed.
+
+        Invalidation hook for callers whose entries can go stale — the
+        serving layer (:mod:`repro.serve.cache`) drops results whose
+        inputs were touched by a graph update.  Plan measurements never
+        need this (their fingerprints cover the full input content).
+        """
+        try:
+            os.unlink(self._path(fingerprint))
+        except FileNotFoundError:
+            return False
+        return True
+
     def __len__(self) -> int:
         objects = os.path.join(self.directory, "objects")
         if not os.path.isdir(objects):

@@ -59,7 +59,18 @@ from repro.kernels.partial import (
     partial_propagate,
     partial_trace,
 )
-from repro.kernels.delta import DeltaPageRankResult, DeltaRound, pagerank_delta
+from repro.kernels.delta import (
+    DeltaPageRankResult,
+    DeltaRound,
+    delta_repropagate,
+    pagerank_delta,
+)
+from repro.kernels.personalized import (
+    multi_personalized_pagerank,
+    personalized_pagerank,
+    restart_teleport,
+    uniform_teleport,
+)
 
 __all__ = [
     "DAMPING",
@@ -97,4 +108,9 @@ __all__ = [
     "DeltaPageRankResult",
     "DeltaRound",
     "pagerank_delta",
+    "delta_repropagate",
+    "personalized_pagerank",
+    "multi_personalized_pagerank",
+    "restart_teleport",
+    "uniform_teleport",
 ]

@@ -31,7 +31,12 @@ from repro.graphs.csr import CSRGraph
 from repro.kernels.base import DAMPING, init_scores
 from repro.kernels.partial import active_edge_count
 
-__all__ = ["DeltaRound", "DeltaPageRankResult", "pagerank_delta"]
+__all__ = [
+    "DeltaRound",
+    "DeltaPageRankResult",
+    "pagerank_delta",
+    "delta_repropagate",
+]
 
 
 @dataclass(frozen=True)
@@ -113,6 +118,63 @@ def pagerank_delta(
     new_scores = base + damping * sums
     pending = new_scores - scores  # residual delta not yet propagated
     scores = new_scores
+
+    return delta_repropagate(
+        graph,
+        scores,
+        pending,
+        damping=damping,
+        tolerance=tolerance,
+        frontier_tolerance=frontier_tolerance,
+        max_rounds=max_rounds,
+    )
+
+
+def delta_repropagate(
+    graph: CSRGraph,
+    scores: np.ndarray,
+    pending: np.ndarray,
+    *,
+    damping: float = DAMPING,
+    tolerance: float = 1e-7,
+    frontier_tolerance: float | None = None,
+    max_rounds: int = 200,
+) -> DeltaPageRankResult:
+    """Run the delta rounds from a warm ``(scores, pending)`` state.
+
+    This is the incremental-maintenance entry point (the non-blocking
+    dynamic-PageRank pattern): a caller that already holds converged
+    scores and knows the *residual* introduced by a change — an
+    edge-update batch (:func:`repro.serve.updates.update_residual`), a
+    teleport tweak — re-propagates only that residual from its dirty
+    frontier instead of recomputing from scratch.  ``pending[v]`` is the
+    score change at ``v`` that has been *applied to* ``scores`` but not
+    yet propagated to ``v``'s out-neighbors; callers seeding from an
+    un-applied residual must add it into ``scores`` first.
+
+    The returned rounds are the shrinking dirty-frontier series; the
+    union of their frontiers is exactly the set of vertices whose scores
+    moved by at least ``frontier_tolerance`` during re-propagation.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if frontier_tolerance is None:
+        frontier_tolerance = tolerance
+    if frontier_tolerance < tolerance:
+        raise ValueError("frontier_tolerance must be >= tolerance")
+    n = graph.num_vertices
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    pending = np.asarray(pending, dtype=np.float64).copy()
+    if scores.shape != (n,) or pending.shape != (n,):
+        raise ValueError(
+            f"scores and pending must have shape ({n},), got "
+            f"{scores.shape} and {pending.shape}"
+        )
+    degrees = np.asarray(graph.out_degrees(), dtype=np.float64)
+    sources = graph.edge_sources()
+    targets = graph.targets
 
     rounds: list[DeltaRound] = []
     converged = False

@@ -10,9 +10,31 @@ memory behaviour — is unchanged; only the final per-vertex apply differs.
 This module provides the general driver over the same two delivery
 strategies (pull gather vs propagation-blocked binning), demonstrating
 that the optimization composes with the standard PageRank variants.
+
+Multi-source batching
+---------------------
+:func:`multi_personalized_pagerank` answers a *batch* of personalized
+queries in one kernel invocation.  The graph-wide preprocessing — the
+propagation-blocking :class:`~repro.kernels.bins.BinLayout` (an
+``O(m log m)`` destination sort) for ``dpb``, the transpose for ``pull``
+— is built **once** and shared by every query in the batch: exactly the
+paper's amortization argument (binning setup is paid in advance and
+reused), applied across concurrent queries instead of across iterations.
+Each query's iteration loop is the *same code path* as a single-seed
+:func:`personalized_pagerank` run over the shared structures, so batched
+answers are bit-identical to one-at-a-time runs by construction; the
+differential suite ``tests/serve/test_batch_equivalence.py`` pins that
+contract so future vectorized batch paths must preserve it.
+
+``tier="compiled"`` routes the ``dpb`` propagate through the compiled
+backend's ``pb_binning``/``pb_accumulate`` primitives when one is
+available (:mod:`repro.compiled.backend`) — bit-identical sums, see
+``docs/performance.md`` — and falls back to the NumPy oracle otherwise.
 """
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,7 +45,12 @@ from repro.kernels.pagerank import PageRankResult
 from repro.models.machine import SIMULATED_MACHINE, MachineSpec
 from repro.utils.validation import pow2_at_least
 
-__all__ = ["personalized_pagerank", "uniform_teleport", "restart_teleport"]
+__all__ = [
+    "personalized_pagerank",
+    "multi_personalized_pagerank",
+    "uniform_teleport",
+    "restart_teleport",
+]
 
 
 def uniform_teleport(num_vertices: int) -> np.ndarray:
@@ -36,12 +63,17 @@ def restart_teleport(num_vertices: int, seeds) -> np.ndarray:
 
     This is the personalization used for similarity search ("rank pages
     relative to my bookmarks"): the walker always restarts at a seed.
+    Duplicate seeds are rejected (they would silently lose restart mass
+    under the uniform assignment); callers coalescing user input should
+    deduplicate first (:func:`repro.serve.canonical_seeds` does).
     """
     seeds = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
     if seeds.size == 0:
         raise ValueError("seeds must be non-empty")
     if seeds.min() < 0 or seeds.max() >= num_vertices:
         raise ValueError(f"seeds must be in [0, {num_vertices})")
+    if np.unique(seeds).size != seeds.size:
+        raise ValueError("seeds must be distinct")
     teleport = np.zeros(num_vertices, dtype=np.float64)
     teleport[seeds] = 1.0 / seeds.size
     return teleport
@@ -80,6 +112,119 @@ def _propagate_pb(
     return sums
 
 
+class _Propagator:
+    """One batch's shared propagation state: layout, degrees, buffers.
+
+    Building this once and reusing it across every query of a batch (and
+    every iteration of every query) is the multi-source amortization —
+    the bin layout is the expensive part of ``dpb`` and depends only on
+    the graph, never on the teleport.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        method: str,
+        machine: MachineSpec,
+        tier: str = "numpy",
+    ) -> None:
+        if method not in ("pull", "dpb"):
+            raise ValueError(f"method must be 'pull' or 'dpb', got {method!r}")
+        self.graph = graph
+        self.method = method
+        self.degrees = graph.out_degrees()
+        self.layout = None
+        self._compiled = None
+        if method == "dpb":
+            n = graph.num_vertices
+            self.layout = BinLayout(
+                graph, min(default_bin_width(machine), pow2_at_least(max(n, 1)))
+            )
+            if tier == "compiled":
+                self._compiled = self._prepare_compiled()
+        if method == "pull":
+            graph.transposed()  # build (or alias) the transpose once
+
+    def _prepare_compiled(self):
+        """Compiled-backend scatter/drain state, or ``None`` to fall back.
+
+        Same availability rule as the compiled kernels: a backend must be
+        importable and edges must be int32-indexable; otherwise the NumPy
+        oracle runs (identical sums, oracle speed).
+        """
+        try:
+            from repro.compiled.backend import get_backend
+        except Exception:  # pragma: no cover - compiled tier unimportable
+            return None
+        backend = get_backend()
+        if backend is None or self.graph.num_edges >= 2**31:
+            return None
+        m = self.graph.num_edges
+        pos = np.empty(m, dtype=np.int32)
+        pos[self.layout.order] = np.arange(m, dtype=np.int32)
+        return (
+            backend,
+            np.ascontiguousarray(self.graph.offsets, dtype=np.int64),
+            pos,
+            np.ascontiguousarray(self.layout.sorted_dst, dtype=np.int32),
+            np.ascontiguousarray(self.layout.bounds, dtype=np.int64),
+            np.empty(m, dtype=np.float32),
+        )
+
+    def propagate(self, contributions: np.ndarray) -> np.ndarray:
+        if self.method == "pull":
+            return _propagate_pull(self.graph, contributions)
+        if self._compiled is not None:
+            backend, offsets, pos, dst_sorted, bounds, binned = self._compiled
+            sums = np.zeros(self.graph.num_vertices, dtype=np.float64)
+            backend.pb_binning(contributions, offsets, pos, bounds, binned)
+            backend.pb_accumulate(binned, dst_sorted, bounds, sums)
+            return sums
+        return _propagate_pb(self.graph, self.layout, contributions)
+
+
+def _check_teleport(teleport: np.ndarray, n: int) -> np.ndarray:
+    teleport = np.asarray(teleport, dtype=np.float64)
+    if teleport.shape != (n,):
+        raise ValueError(f"teleport must have shape ({n},), got {teleport.shape}")
+    if teleport.min() < 0 or not np.isclose(teleport.sum(), 1.0, atol=1e-6):
+        raise ValueError("teleport must be a probability distribution")
+    return teleport
+
+
+def _solve_one(
+    propagator: _Propagator,
+    teleport: np.ndarray,
+    damping: float,
+    tolerance: float,
+    max_iterations: int,
+) -> PageRankResult:
+    """The per-query iteration loop, over shared propagation state.
+
+    This is the *only* solve loop — single-seed and batched entry points
+    both run it, which is what makes batched answers bit-identical to
+    serial ones.
+    """
+    scores = teleport.astype(np.float32)  # start at the restart distribution
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        contributions = compute_contributions(scores, propagator.degrees)
+        sums = propagator.propagate(contributions)
+        new_scores = ((1.0 - damping) * teleport + damping * sums).astype(np.float32)
+        if score_delta(new_scores, scores) < tolerance:
+            scores = new_scores
+            converged = True
+            break
+        scores = new_scores
+    return PageRankResult(
+        scores=scores,
+        iterations=iterations,
+        converged=converged,
+        method=propagator.method,
+    )
+
+
 def personalized_pagerank(
     graph: CSRGraph,
     teleport: np.ndarray | None = None,
@@ -89,49 +234,57 @@ def personalized_pagerank(
     tolerance: float = 1e-8,
     max_iterations: int = 200,
     machine: MachineSpec = SIMULATED_MACHINE,
+    tier: str = "numpy",
 ) -> PageRankResult:
     """Personalized PageRank (random walk with restart).
 
     ``teleport`` is any probability distribution over vertices (defaults
     to uniform, recovering standard PageRank).  ``method`` selects the
     propagation strategy: ``"pull"`` or ``"dpb"`` — identical results, the
-    usual different memory behaviour.
+    usual different memory behaviour.  ``tier="compiled"`` routes the
+    ``dpb`` propagate through the compiled backend when available
+    (bit-identical scores, oracle fallback otherwise).
     """
     n = graph.num_vertices
     if teleport is None:
         teleport = uniform_teleport(n)
-    teleport = np.asarray(teleport, dtype=np.float64)
-    if teleport.shape != (n,):
-        raise ValueError(f"teleport must have shape ({n},), got {teleport.shape}")
-    if teleport.min() < 0 or not np.isclose(teleport.sum(), 1.0, atol=1e-6):
-        raise ValueError("teleport must be a probability distribution")
-    if method not in ("pull", "dpb"):
-        raise ValueError(f"method must be 'pull' or 'dpb', got {method!r}")
+    teleport = _check_teleport(teleport, n)
     if not 0.0 < damping < 1.0:
         raise ValueError(f"damping must be in (0, 1), got {damping}")
+    propagator = _Propagator(graph, method, machine, tier=tier)
+    return _solve_one(propagator, teleport, damping, tolerance, max_iterations)
 
-    layout = None
-    if method == "dpb":
-        layout = BinLayout(
-            graph, min(default_bin_width(machine), pow2_at_least(max(n, 1)))
-        )
-    degrees = graph.out_degrees()
-    scores = teleport.astype(np.float32)  # start at the restart distribution
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        contributions = compute_contributions(scores, degrees)
-        if method == "pull":
-            sums = _propagate_pull(graph, contributions)
-        else:
-            sums = _propagate_pb(graph, layout, contributions)
-        new_scores = ((1.0 - damping) * teleport + damping * sums).astype(np.float32)
-        if score_delta(new_scores, scores) < tolerance:
-            scores = new_scores
-            converged = True
-            break
-        scores = new_scores
-    return PageRankResult(
-        scores=scores, iterations=iterations, converged=converged, method=method
-    )
 
+def multi_personalized_pagerank(
+    graph: CSRGraph,
+    teleports: Sequence[np.ndarray],
+    *,
+    method: str = "dpb",
+    damping: float = DAMPING,
+    tolerance: float = 1e-8,
+    max_iterations: int = 200,
+    machine: MachineSpec = SIMULATED_MACHINE,
+    tier: str = "numpy",
+) -> list[PageRankResult]:
+    """A batch of personalized-PageRank queries as one multi-source run.
+
+    ``teleports`` is a sequence of teleport distributions (one per query;
+    build them with :func:`restart_teleport`).  All queries share one
+    graph preprocessing pass (bin layout / transpose — see the module
+    docstring) and run the identical per-query solve loop, so the ``i``-th
+    result is **bit-identical** to
+    ``personalized_pagerank(graph, teleports[i], ...)`` with the same
+    parameters.  Returns one :class:`PageRankResult` per query, in input
+    order.
+    """
+    n = graph.num_vertices
+    if len(teleports) == 0:
+        return []
+    checked = [_check_teleport(t, n) for t in teleports]
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    propagator = _Propagator(graph, method, machine, tier=tier)
+    return [
+        _solve_one(propagator, teleport, damping, tolerance, max_iterations)
+        for teleport in checked
+    ]

@@ -68,7 +68,9 @@ __all__ = [
 #: drops messages from a different major (counted in ``dropped``).
 #: 1.1: shm_* lifecycle events, affinity_assigned, fleet ``shm``
 #: section and per-worker ``resident_graphs``.
-EVENTS_SCHEMA_VERSION = "1.1"
+#: 1.2: serve_* events from the query layer (:mod:`repro.serve`) —
+#: per-request, per-batch, cache-hit, and graph-update telemetry.
+EVENTS_SCHEMA_VERSION = "1.2"
 
 #: Every recognised event kind.
 EVENT_KINDS = (
@@ -87,6 +89,10 @@ EVENT_KINDS = (
     "shm_attached",        # worker: a graph was mapped zero-copy, first touch
     "shm_evicted",         # parent: a segment was unlinked
     "affinity_assigned",   # parent: cells grouped into worker lanes
+    "serve_request",       # server: one PPR query accepted (hit or miss)
+    "serve_batch",         # server: one coalesced batch solved (occupancy)
+    "serve_cache_hit",     # server: a query answered from the result cache
+    "serve_graph_updated", # server: an edge-update batch was applied
 )
 
 #: Worker name used for events emitted by the parent process.

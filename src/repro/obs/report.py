@@ -57,7 +57,13 @@ __all__ = [
 #: with retries/faults/timeouts itemized, per-worker busy time and
 #: resource peaks, event counts by kind, and per-cell GAIL per-edge
 #: decompositions).
-SCHEMA_VERSION = "1.4"
+#:
+#: 1.5 added the optional ``serve`` section (the query layer's counter
+#: snapshot from :meth:`repro.serve.server.ServeStats.to_dict`:
+#: requests, batches, coalescing and occupancy, cache hit rate, injected
+#: faults/retries, and update/invalidation accounting) and the
+#: ``"serve"`` report kind.
+SCHEMA_VERSION = "1.5"
 
 
 @dataclass(frozen=True)
@@ -264,6 +270,10 @@ class RunReport:
     collector's summary
     (:meth:`repro.obs.events.EventBus.fleet_summary`: per-cell terminal
     accounting, per-worker state, event counts, GAIL decompositions).
+
+    Since schema 1.5, ``kind`` may also be ``"serve"`` (a query-serving
+    session) and ``serve`` optionally holds the server's counter
+    snapshot (:meth:`repro.serve.server.ServeStats.to_dict`).
     """
 
     graph: GraphMeta
@@ -279,6 +289,7 @@ class RunReport:
     resilience: dict[str, Any] | None = None
     plan: dict[str, Any] | None = None
     fleet: dict[str, Any] | None = None
+    serve: dict[str, Any] | None = None
     schema_version: str = SCHEMA_VERSION
 
     def key(self) -> str:
@@ -306,6 +317,7 @@ class RunReport:
             "resilience": self.resilience,
             "plan": self.plan,
             "fleet": self.fleet,
+            "serve": self.serve,
         }
 
     @classmethod
@@ -346,6 +358,8 @@ class RunReport:
             plan=data.get("plan"),
             # 1.4 section; absent in older reports.
             fleet=data.get("fleet"),
+            # 1.5 section; absent in older reports.
+            serve=data.get("serve"),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -1,0 +1,64 @@
+"""PageRank-as-a-service: the batched async query layer.
+
+The paper's propagation-blocking insight is that irregular access is
+cheapest when work is coalesced into locality-friendly batches.  This
+package applies the same insight to *serving*: concurrent personalized-
+PageRank queries are coalesced into single multi-source kernel runs
+(:func:`repro.kernels.personalized.multi_personalized_pagerank`), results
+are cached content-addressed on disk, and evolving graphs are maintained
+incrementally through :mod:`repro.kernels.delta` dirty-frontier
+re-propagation.  See ``docs/serving.md`` for the architecture.
+
+Modules
+-------
+:mod:`repro.serve.batching`
+    The coalescing policy (batch window + max batch size) as pure,
+    property-testable functions, plus the live asyncio batch queue.
+:mod:`repro.serve.cache`
+    Sharded content-addressed result cache over the
+    :class:`repro.harness.cache.MeasurementCache` on-disk layout, keyed
+    by :func:`repro.utils.fingerprint.stable_digest` of
+    (graph, seeds, solver params).
+:mod:`repro.serve.updates`
+    Edge-update application, the exact structural invalidation frontier
+    (reverse reachability of changed vertices), and the numeric residual
+    that seeds :func:`repro.kernels.delta.delta_repropagate`.
+:mod:`repro.serve.server`
+    The asyncio :class:`PPRServer`: request coalescing, exactly-once
+    answers under injected faults, cache maintenance, serve telemetry.
+:mod:`repro.serve.loadgen`
+    Deterministic workload generation and the latency/throughput report
+    behind ``repro-pb loadgen`` and ``BENCH_serve_latency.json``.
+"""
+
+from repro.serve.batching import BatchPolicy, plan_batches
+from repro.serve.cache import ServeCache, canonical_seeds, serve_fingerprint
+from repro.serve.loadgen import LoadReport, generate_queries, run_load
+from repro.serve.server import PPRServer, QueryResult, ServeConfig, ServeStats
+from repro.serve.updates import (
+    EdgeUpdate,
+    UpdateReport,
+    apply_edge_updates,
+    dirty_ancestors,
+    update_residual,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "plan_batches",
+    "ServeCache",
+    "canonical_seeds",
+    "serve_fingerprint",
+    "PPRServer",
+    "QueryResult",
+    "ServeConfig",
+    "ServeStats",
+    "EdgeUpdate",
+    "UpdateReport",
+    "apply_edge_updates",
+    "dirty_ancestors",
+    "update_residual",
+    "LoadReport",
+    "generate_queries",
+    "run_load",
+]

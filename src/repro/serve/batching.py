@@ -1,0 +1,141 @@
+"""Request coalescing: the serve tier's batching policy.
+
+A batch is the serving analogue of a propagation-blocking bin: requests
+that arrive close together are answered by one multi-source kernel run,
+amortizing the graph-wide preprocessing (bin layout, transpose) the same
+way PB amortizes its binning pass.  The policy has two knobs:
+
+``window_seconds``
+    How long the first request of a batch may wait for company.  A batch
+    *opens* when a request arrives with no batch pending and *closes*
+    when the window expires.
+``max_batch``
+    Hard occupancy cap; a batch that fills up dispatches immediately,
+    without waiting out its window.
+
+:func:`plan_batches` is the policy's *reference semantics* — a pure
+function from arrival times to batch assignments, with no clocks or
+tasks — so properties (every request in exactly one batch, occupancy
+bounds, window bounds, FIFO order) are testable without an event loop.
+The live :class:`BatchQueue` implements the same semantics over asyncio
+and is what :class:`repro.serve.server.PPRServer` dispatches from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BatchPolicy", "plan_batches", "BatchQueue"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing policy: batch window plus maximum batch size."""
+
+    window_seconds: float = 0.002
+    max_batch: int = 16
+
+    def __post_init__(self) -> None:
+        if self.window_seconds < 0:
+            raise ValueError(
+                f"window_seconds must be >= 0, got {self.window_seconds}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+def plan_batches(
+    arrivals: Sequence[float], policy: BatchPolicy
+) -> list[list[int]]:
+    """Partition request indices into batches under ``policy``.
+
+    ``arrivals`` are non-decreasing arrival times (seconds, any origin).
+    Returns batches of indices in arrival order.  Invariants (pinned by
+    ``tests/serve/test_batching.py``):
+
+    * every index appears in exactly one batch, batches preserve order;
+    * no batch exceeds ``max_batch``;
+    * within a batch, every arrival is within ``window_seconds`` of the
+      batch's first arrival (the batch *opened* at its first request);
+    * batches are maximal: the first request of batch ``k+1`` either
+      arrived after batch ``k``'s window closed or found batch ``k``
+      already full.
+    """
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        raise ValueError("arrival times must be non-decreasing")
+    batches: list[list[int]] = []
+    current: list[int] = []
+    opened = 0.0
+    for index, ts in enumerate(arrivals):
+        if current and (
+            len(current) >= policy.max_batch
+            or ts - opened > policy.window_seconds
+        ):
+            batches.append(current)
+            current = []
+        if not current:
+            opened = ts
+        current.append(index)
+    if current:
+        batches.append(current)
+    return batches
+
+
+class BatchQueue:
+    """Asyncio implementation of the batching policy.
+
+    Producers :meth:`put` items; one consumer awaits :meth:`next_batch`,
+    which returns a non-empty list of items dispatched per the policy:
+    the first item opens the window, the batch closes on window expiry
+    or on reaching ``max_batch``, whichever comes first.
+    """
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self._items: list[Any] = []
+        self._arrived = asyncio.Event()
+        self._closed = False
+
+    def put(self, item: Any) -> None:
+        if self._closed:
+            raise RuntimeError("BatchQueue is closed")
+        self._items.append(item)
+        self._arrived.set()
+
+    def close(self) -> None:
+        """No more puts; pending items still drain via next_batch."""
+        self._closed = True
+        self._arrived.set()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    async def next_batch(self) -> list[Any]:
+        """The next batch, or ``[]`` once closed and drained."""
+        while not self._items:
+            if self._closed:
+                return []
+            self._arrived.clear()
+            await self._arrived.wait()
+        # The window opens at the first queued item.  Wait out the window
+        # (in max_batch-aware slices) unless the batch fills first.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.policy.window_seconds
+        while (
+            len(self._items) < self.policy.max_batch
+            and not self._closed
+        ):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._arrived.clear()
+            try:
+                await asyncio.wait_for(self._arrived.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                break
+        batch = self._items[: self.policy.max_batch]
+        del self._items[: len(batch)]
+        return batch

@@ -1,0 +1,246 @@
+"""Edge updates for the serve tier: apply, invalidate exactly, re-seed.
+
+Three pieces, matching the three costs of an evolving served graph:
+
+:func:`apply_edge_updates`
+    Deterministically rebuild the CSR after a batch of edge
+    additions/removals (lexicographic edge order, multiplicity
+    preserved), growing the vertex range when an update names a new id.
+
+:func:`dirty_ancestors`
+    The *exact* structural invalidation frontier for cached personalized
+    results.  A personalized-PageRank trajectory from seed set ``S``
+    places teleport mass only on ``S``, so its scores depend on exactly
+    the part of the graph forward-reachable from ``S``.  A cached entry
+    is therefore bit-identical on the new graph iff no seed can reach a
+    changed vertex in the old *or* new graph — i.e. iff
+    ``S ∩ dirty_ancestors = ∅``, where ``dirty_ancestors`` is the
+    reverse reachability of the changed edge sources on both graphs.
+    Entries passing this test are *carried forward* (re-keyed to the new
+    graph fingerprint) without recomputation; the rest are dropped.
+
+:func:`update_residual`
+    Numeric warm start for the maintained *global* (uniform-teleport)
+    scores: one power step on the new graph from the old scores yields
+    ``(refreshed, pending)`` such that
+    :func:`repro.kernels.delta.delta_repropagate` converges to the new
+    fixed point from any old state — the seeding identity behind
+    ``pagerank_delta``.  The first step is O(m); every later round is
+    confined to the shrinking dirty frontier.
+
+The exactness split matters: carry-forward uses the *structural* rule
+(reachability — safe for bit-identity claims), while delta maintenance
+uses the *numeric* frontier (cheap, tolerance-bounded).  Never swap
+them; see ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.builder import build_csr
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import VERTEX_DTYPE, EdgeList
+from repro.kernels.base import DAMPING
+
+__all__ = [
+    "EdgeUpdate",
+    "UpdateReport",
+    "apply_edge_updates",
+    "dirty_ancestors",
+    "update_residual",
+]
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One directed edge mutation: add ``src -> dst`` or remove it."""
+
+    src: int
+    dst: int
+    remove: bool = False
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"edge endpoints must be >= 0, got {self}")
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What a batch of edge updates actually did to the graph."""
+
+    added: int
+    removed: int
+    noops: int
+    old_num_vertices: int
+    new_num_vertices: int
+    #: Sources of every edge that was added or removed — the set whose
+    #: reverse reachability defines the invalidation frontier (a change
+    #: to edge (u, v) alters u's out-degree and hence every contribution
+    #: u sends, so the *source* is the perturbed vertex).
+    changed_sources: tuple[int, ...]
+
+    @property
+    def grew(self) -> bool:
+        return self.new_num_vertices != self.old_num_vertices
+
+
+def apply_edge_updates(
+    graph: CSRGraph, updates: Sequence[EdgeUpdate]
+) -> tuple[CSRGraph, UpdateReport]:
+    """Apply ``updates`` in order and rebuild the CSR deterministically.
+
+    Semantics per update: an addition inserts one copy of ``(src, dst)``
+    unless the edge is already present (then it is a no-op); a removal
+    deletes *all* copies (no-op if absent).  Updates naming a vertex id
+    ``>= num_vertices`` grow the vertex range to ``max id + 1``.  The
+    result is rebuilt in lexicographic ``(src, dst)`` order with
+    multiplicity preserved, so equal edge multisets always produce
+    byte-identical CSR arrays (and hence equal graph fingerprints).
+
+    Weighted graphs are rejected — serve-tier maintenance is defined for
+    the paper's unweighted PageRank workload.
+    """
+    if graph.is_weighted:
+        raise ValueError("edge updates are not supported on weighted graphs")
+    multiplicity = Counter(
+        zip(graph.edge_sources().tolist(), graph.targets.tolist())
+    )
+    num_vertices = graph.num_vertices
+    added = removed = noops = 0
+    changed: set[int] = set()
+    for update in updates:
+        num_vertices = max(num_vertices, update.src + 1, update.dst + 1)
+        key = (update.src, update.dst)
+        if update.remove:
+            count = multiplicity.pop(key, 0)
+            if count:
+                removed += count
+                changed.add(update.src)
+            else:
+                noops += 1
+        else:
+            if multiplicity[key]:
+                noops += 1
+            else:
+                multiplicity[key] = 1
+                added += 1
+                changed.add(update.src)
+    pairs = sorted(
+        (src, dst)
+        for (src, dst), count in multiplicity.items()
+        for _ in range(count)
+    )
+    src = np.fromiter((p[0] for p in pairs), dtype=VERTEX_DTYPE, count=len(pairs))
+    dst = np.fromiter((p[1] for p in pairs), dtype=VERTEX_DTYPE, count=len(pairs))
+    new_graph = build_csr(
+        EdgeList(num_vertices, src, dst),
+        dedup=False,
+        drop_self_loops=False,
+        sort_neighbors=True,
+    )
+    report = UpdateReport(
+        added=added,
+        removed=removed,
+        noops=noops,
+        old_num_vertices=graph.num_vertices,
+        new_num_vertices=num_vertices,
+        changed_sources=tuple(sorted(changed)),
+    )
+    return new_graph, report
+
+
+def _reverse_reachable(graph: CSRGraph, mask: np.ndarray) -> np.ndarray:
+    """Vertices that can reach any masked vertex (BFS on the transpose)."""
+    transpose = graph.transposed()
+    visited = mask.copy()
+    frontier = np.flatnonzero(visited)
+    while frontier.size:
+        starts = transpose.offsets[frontier]
+        ends = transpose.offsets[frontier + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if not total:
+            break
+        # Gather all frontier in-neighbors in one vectorized pass:
+        # positions = start_of_each_run + offset_within_run.
+        run_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        positions = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(run_starts, counts)
+            + np.repeat(starts, counts)
+        )
+        neighbors = transpose.targets[positions]
+        fresh = neighbors[~visited[neighbors]]
+        if not fresh.size:
+            break
+        visited[fresh] = True
+        frontier = np.unique(fresh)
+    return visited
+
+
+def dirty_ancestors(
+    old: CSRGraph, new: CSRGraph, changed_sources: Sequence[int]
+) -> np.ndarray:
+    """Boolean mask of vertices whose personalized scores *may* change.
+
+    ``True`` at ``v`` iff ``v`` can reach a changed edge source in the
+    old or the new graph.  A cached entry survives a graph update
+    bit-identically iff none of its seeds are in this mask (module doc
+    has the argument).  Both graphs must have the same vertex count —
+    when an update grows the graph, the caller invalidates everything
+    instead (tie-order over newborn zero-score vertices is not provably
+    preserved).
+    """
+    if old.num_vertices != new.num_vertices:
+        raise ValueError(
+            "dirty_ancestors requires equal vertex counts "
+            f"({old.num_vertices} != {new.num_vertices}); "
+            "a grown graph invalidates all entries"
+        )
+    n = old.num_vertices
+    mask = np.zeros(n, dtype=bool)
+    sources = np.asarray(sorted(set(int(s) for s in changed_sources)), dtype=np.int64)
+    if not sources.size:
+        return mask
+    if sources.min() < 0 or sources.max() >= n:
+        raise ValueError(f"changed sources must be in [0, {n})")
+    mask[sources] = True
+    return _reverse_reachable(old, mask) | _reverse_reachable(new, mask)
+
+
+def update_residual(
+    graph: CSRGraph, scores: np.ndarray, *, damping: float = DAMPING
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seed delta maintenance of global scores after a graph change.
+
+    One full power step on the (new) ``graph`` from the old ``scores``
+    (zero-padded if the graph grew) returns ``(refreshed, pending)``
+    ready for :func:`repro.kernels.delta.delta_repropagate`: ``pending``
+    is applied to ``refreshed`` but not yet propagated, and the delta
+    rounds converge to the new graph's exact fixed point from *any*
+    starting scores — the closer the start, the fewer the rounds.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+    n = graph.num_vertices
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size > n:
+        raise ValueError(
+            f"scores must be a 1-D array of length <= {n}, got shape {scores.shape}"
+        )
+    if scores.size < n:
+        scores = np.concatenate([scores, np.zeros(n - scores.size)])
+    degrees = np.asarray(graph.out_degrees(), dtype=np.float64)
+    contributions = np.divide(
+        scores, degrees, out=np.zeros_like(scores), where=degrees > 0
+    )
+    sums = np.bincount(
+        graph.targets, weights=contributions[graph.edge_sources()], minlength=n
+    )
+    refreshed = (1.0 - damping) / n + damping * sums
+    return refreshed, refreshed - scores

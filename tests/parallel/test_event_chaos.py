@@ -25,9 +25,16 @@ from repro.parallel import (
     RetryPolicy,
     SweepCell,
     SweepStats,
+    default_workers,
     run_cells,
 )
 from repro.utils.fingerprint import cell_fingerprint
+
+
+def _pool_workers(wanted: int) -> int:
+    """Cap a test's pool size to the runner's usable CPUs (min 2 so the
+    process-pool path stays exercised even on single-core CI)."""
+    return max(2, min(wanted, default_workers()))
 
 
 # ----------------------------------------------------------------------
@@ -195,7 +202,7 @@ def test_pool_mode_records_the_same_schedule_as_serial():
     with collecting() as bus:
         result = run_cells(
             cells,
-            workers=4,
+            workers=_pool_workers(4),
             fault_plan=plan,
             policy=RetryPolicy.covering(plan),
         )
@@ -232,7 +239,7 @@ def test_pool_causal_order_verdict_follows_start(monkeypatch):
     with collecting() as bus:
         run_cells(
             cells,
-            workers=3,
+            workers=_pool_workers(3),
             fault_plan=plan,
             policy=RetryPolicy.covering(plan),
         )

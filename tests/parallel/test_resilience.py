@@ -28,6 +28,7 @@ from repro.parallel import (
     RetryPolicy,
     SweepCell,
     SweepStats,
+    default_workers,
     run_cells,
 )
 from repro.parallel.faults import CORRUPT_RESULT, is_corrupt
@@ -137,7 +138,9 @@ def test_pool_mode_recovers_faults_identically():
     stats = SweepStats()
     result = run_cells(
         _cells(),
-        workers=3,
+        # Capped to the runner's usable CPUs (min 2 keeps pool mode live
+        # on single-core CI) so low-core runners aren't oversubscribed.
+        workers=max(2, min(3, default_workers())),
         fault_plan=plan,
         policy=RetryPolicy.covering(plan),
         stats=stats,

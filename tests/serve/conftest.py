@@ -1,0 +1,31 @@
+"""Fixtures for the serve-tier suites.
+
+Graphs mirror the kernel differential fixtures at smaller scale: the
+serve suites run many solves per test (batched vs serial, updated vs
+cold), so the graphs stay small enough for the full property sweeps
+while still covering directed, symmetric, and high-locality shapes.
+"""
+
+import pytest
+
+from repro.graphs import build_csr, uniform_random_graph, web_crawl_graph
+
+
+@pytest.fixture()
+def random_graph():
+    return build_csr(uniform_random_graph(512, 6, seed=3))
+
+
+@pytest.fixture()
+def directed_graph():
+    return build_csr(uniform_random_graph(384, 5, seed=4, symmetric=False))
+
+
+@pytest.fixture()
+def local_graph():
+    return build_csr(web_crawl_graph(512, 5, seed=5, window=64))
+
+
+@pytest.fixture(params=["random_graph", "directed_graph", "local_graph"])
+def any_graph(request):
+    return request.getfixturevalue(request.param)

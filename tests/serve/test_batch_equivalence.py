@@ -1,0 +1,159 @@
+"""Differential suite: coalesced multi-source runs vs serial solves.
+
+The serve layer's correctness rests on one contract: answering queries
+as a batch (:func:`repro.kernels.personalized.multi_personalized_pagerank`)
+is *bit-identical* to answering them one at a time
+(:func:`~repro.kernels.personalized.personalized_pagerank`).  Today that
+holds by construction (both paths share one iteration loop); this suite
+pins the contract so a future vectorized batch path must preserve it,
+across methods (pull vs dpb), kernel tiers (numpy vs compiled), graph
+shapes/scales, and randomized seed sets — and end-to-end through the
+asyncio server.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.compiled import available as compiled_available
+from repro.graphs import build_csr, uniform_random_graph
+from repro.kernels import (
+    multi_personalized_pagerank,
+    personalized_pagerank,
+    restart_teleport,
+)
+from repro.serve import BatchPolicy, PPRServer, ServeConfig
+
+requires_backend = pytest.mark.skipif(
+    not compiled_available(),
+    reason="no compiled backend (install the 'fast' extra or a C compiler)",
+)
+
+TIERS = ["numpy", pytest.param("compiled", marks=requires_backend)]
+
+
+def random_seed_sets(num_vertices, *, count, rng):
+    """Randomized distinct seed sets of size 1..4."""
+    sets = []
+    for _ in range(count):
+        size = int(rng.integers(1, 5))
+        sets.append(
+            np.sort(rng.choice(num_vertices, size=size, replace=False))
+        )
+    return sets
+
+
+@pytest.mark.parametrize("method", ["pull", "dpb"])
+@pytest.mark.parametrize("tier", TIERS)
+def test_batched_equals_serial_bit_for_bit(any_graph, method, tier):
+    rng = np.random.default_rng(11)
+    seed_sets = random_seed_sets(any_graph.num_vertices, count=6, rng=rng)
+    teleports = [
+        restart_teleport(any_graph.num_vertices, seeds) for seeds in seed_sets
+    ]
+    batched = multi_personalized_pagerank(
+        any_graph, teleports, method=method, tier=tier
+    )
+    assert len(batched) == len(seed_sets)
+    for teleport, result in zip(teleports, batched):
+        serial = personalized_pagerank(
+            any_graph, teleport, method=method, tier=tier
+        )
+        assert result.iterations == serial.iterations
+        assert result.converged == serial.converged
+        assert np.array_equal(result.scores, serial.scores)
+
+
+@pytest.mark.parametrize("scale", [64, 512, 2048])
+def test_batched_equals_serial_across_scales(scale):
+    graph = build_csr(uniform_random_graph(scale, 6, seed=scale))
+    rng = np.random.default_rng(scale)
+    seed_sets = random_seed_sets(graph.num_vertices, count=4, rng=rng)
+    teleports = [restart_teleport(graph.num_vertices, s) for s in seed_sets]
+    for teleport, result in zip(
+        teleports, multi_personalized_pagerank(graph, teleports)
+    ):
+        serial = personalized_pagerank(graph, teleport)
+        assert np.array_equal(result.scores, serial.scores)
+
+
+@requires_backend
+def test_compiled_tier_matches_numpy_tier_batched(any_graph):
+    rng = np.random.default_rng(7)
+    teleports = [
+        restart_teleport(any_graph.num_vertices, s)
+        for s in random_seed_sets(any_graph.num_vertices, count=4, rng=rng)
+    ]
+    numpy_results = multi_personalized_pagerank(
+        any_graph, teleports, method="dpb", tier="numpy"
+    )
+    compiled_results = multi_personalized_pagerank(
+        any_graph, teleports, method="dpb", tier="compiled"
+    )
+    for a, b in zip(numpy_results, compiled_results):
+        assert np.array_equal(a.scores, b.scores)
+
+
+def test_mixed_batch_convergence_is_per_query(random_graph):
+    """Each query in a batch converges on its own schedule."""
+    n = random_graph.num_vertices
+    teleports = [restart_teleport(n, [0]), restart_teleport(n, list(range(16)))]
+    results = multi_personalized_pagerank(random_graph, teleports)
+    for teleport, result in zip(teleports, results):
+        serial = personalized_pagerank(random_graph, teleport)
+        assert result.iterations == serial.iterations
+
+
+def test_server_coalesced_answers_equal_serial(random_graph):
+    """End to end: concurrent queries through the asyncio server return
+    exactly the serial kernel's scores and a deterministic top-k."""
+    config = ServeConfig(
+        policy=BatchPolicy(window_seconds=0.01, max_batch=8), top_k=5
+    )
+    rng = np.random.default_rng(23)
+    seed_sets = random_seed_sets(random_graph.num_vertices, count=8, rng=rng)
+
+    async def scenario():
+        async with PPRServer(random_graph, config) as server:
+            return await asyncio.gather(
+                *(server.query(list(seeds)) for seeds in seed_sets)
+            )
+
+    results = asyncio.run(scenario())
+    for seeds, result in zip(seed_sets, results):
+        teleport = restart_teleport(random_graph.num_vertices, seeds)
+        serial = personalized_pagerank(
+            random_graph,
+            teleport,
+            method=config.method,
+            damping=config.damping,
+            tolerance=config.tolerance,
+            max_iterations=config.max_iterations,
+        )
+        assert np.array_equal(result.scores, serial.scores)
+        # Deterministic ranking: descending score, vertex id on ties.
+        expected = sorted(
+            range(random_graph.num_vertices),
+            key=lambda v: (-float(serial.scores[v]), v),
+        )[:5]
+        assert [v for v, _ in result.top] == expected
+
+
+def test_duplicate_queries_coalesce_to_one_solve(random_graph):
+    """Identical concurrent queries share one kernel run and one answer."""
+    config = ServeConfig(policy=BatchPolicy(window_seconds=0.01, max_batch=8))
+
+    async def scenario():
+        async with PPRServer(random_graph, config) as server:
+            results = await asyncio.gather(
+                *(server.query([3, 5]) for _ in range(6))
+            )
+            return results, server.stats()
+
+    results, stats = asyncio.run(scenario())
+    reference = results[0].scores
+    for result in results:
+        assert np.array_equal(result.scores, reference)
+    assert stats.coalesced >= 5 - (stats.batches - 1)
+    assert stats.batches <= 2

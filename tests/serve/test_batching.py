@@ -1,0 +1,116 @@
+"""Property tests for the coalescing policy (pure reference semantics).
+
+:func:`repro.serve.batching.plan_batches` is the policy's executable
+specification; these hypothesis sweeps pin its invariants so the live
+asyncio queue (tested in ``test_chaos.py`` through the server) has a
+fixed contract to match.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.batching import BatchPolicy, BatchQueue, plan_batches
+
+
+def arrivals_strategy():
+    """Non-decreasing arrival times built from non-negative gaps."""
+    return st.lists(
+        st.floats(min_value=0.0, max_value=0.01, allow_nan=False), max_size=40
+    ).map(
+        lambda gaps: [sum(gaps[: i + 1]) for i in range(len(gaps))]
+    )
+
+
+policy_strategy = st.builds(
+    BatchPolicy,
+    window_seconds=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    max_batch=st.integers(min_value=1, max_value=8),
+)
+
+
+@given(arrivals=arrivals_strategy(), policy=policy_strategy)
+@settings(max_examples=200, deadline=None)
+def test_every_request_in_exactly_one_batch_in_order(arrivals, policy):
+    batches = plan_batches(arrivals, policy)
+    flattened = [index for batch in batches for index in batch]
+    assert flattened == list(range(len(arrivals)))
+    assert all(batch for batch in batches)
+
+
+@given(arrivals=arrivals_strategy(), policy=policy_strategy)
+@settings(max_examples=200, deadline=None)
+def test_occupancy_never_exceeds_max_batch(arrivals, policy):
+    for batch in plan_batches(arrivals, policy):
+        assert len(batch) <= policy.max_batch
+
+
+@given(arrivals=arrivals_strategy(), policy=policy_strategy)
+@settings(max_examples=200, deadline=None)
+def test_members_arrive_within_the_open_window(arrivals, policy):
+    for batch in plan_batches(arrivals, policy):
+        opened = arrivals[batch[0]]
+        for index in batch:
+            assert arrivals[index] - opened <= policy.window_seconds + 1e-12
+
+
+@given(arrivals=arrivals_strategy(), policy=policy_strategy)
+@settings(max_examples=200, deadline=None)
+def test_batches_are_maximal(arrivals, policy):
+    """A new batch only opens because the last one closed for a reason."""
+    batches = plan_batches(arrivals, policy)
+    for previous, current in zip(batches, batches[1:]):
+        full = len(previous) == policy.max_batch
+        expired = (
+            arrivals[current[0]] - arrivals[previous[0]] > policy.window_seconds
+        )
+        assert full or expired
+
+
+def test_zero_window_batches_only_simultaneous_arrivals():
+    policy = BatchPolicy(window_seconds=0.0, max_batch=8)
+    batches = plan_batches([0.0, 0.0, 0.1, 0.2, 0.2], policy)
+    assert batches == [[0, 1], [2], [3, 4]]
+
+
+def test_rejects_decreasing_arrivals():
+    with pytest.raises(ValueError, match="non-decreasing"):
+        plan_batches([1.0, 0.5], BatchPolicy())
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="window_seconds"):
+        BatchPolicy(window_seconds=-1.0)
+    with pytest.raises(ValueError, match="max_batch"):
+        BatchPolicy(max_batch=0)
+
+
+def test_batch_queue_caps_and_drains():
+    """The live queue honours max_batch and drains fully after close."""
+
+    async def scenario():
+        queue = BatchQueue(BatchPolicy(window_seconds=0.001, max_batch=3))
+        for item in range(7):
+            queue.put(item)
+        queue.close()
+        seen = []
+        while True:
+            batch = await queue.next_batch()
+            if not batch:
+                break
+            assert len(batch) <= 3
+            seen.extend(batch)
+        return seen
+
+    assert asyncio.run(scenario()) == list(range(7))
+
+
+def test_batch_queue_rejects_put_after_close():
+    async def scenario():
+        queue = BatchQueue(BatchPolicy())
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.put(1)
+
+    asyncio.run(scenario())

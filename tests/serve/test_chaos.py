@@ -1,0 +1,169 @@
+"""Chaos suite: the serve loop under deterministic fault injection.
+
+Reuses :mod:`repro.parallel.faults` seeded fault plans — the same
+machinery the resilient sweep engine is tested with — around the
+server's batch kernel runs.  The invariant under test is exactly-once
+delivery: injected crashes, timeouts, and corrupted results may retry a
+batch, but every in-flight query is answered exactly once (one result
+*or* one exception, never zero, never two), and every answer that does
+arrive is bit-identical to the fault-free solve.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.kernels import personalized_pagerank, restart_teleport
+from repro.parallel.faults import FaultPlan
+from repro.serve import BatchPolicy, PPRServer, ServeConfig
+
+
+def chaos_config(plan: FaultPlan) -> ServeConfig:
+    return ServeConfig(
+        policy=BatchPolicy(window_seconds=0.005, max_batch=4), fault_plan=plan
+    )
+
+
+def test_every_fault_kind_retries_to_the_correct_answer(random_graph):
+    """rate=1.0 with max_per_cell=2: every batch faults exactly twice,
+    then the third attempt is clean — fully deterministic chaos."""
+    for kind in ("crash", "timeout", "corrupt"):
+        plan = FaultPlan(seed=7, rate=1.0, kinds=(kind,), max_per_cell=2)
+
+        async def scenario():
+            async with PPRServer(random_graph, chaos_config(plan)) as server:
+                results = await asyncio.gather(
+                    *(server.query([v]) for v in range(6))
+                )
+                return results, server.stats()
+
+        results, stats = asyncio.run(scenario())
+        assert len(results) == 6
+        for vertex, result in enumerate(results):
+            serial = personalized_pagerank(
+                random_graph,
+                restart_teleport(random_graph.num_vertices, [vertex]),
+                tolerance=1e-8,
+            )
+            assert np.array_equal(result.scores, serial.scores)
+        # Every batch burned exactly max_per_cell faulty attempts.
+        assert stats.faults_injected == 2 * stats.batches
+        assert stats.retries == stats.faults_injected
+
+
+def test_mixed_fault_storm_answers_every_query_exactly_once(random_graph):
+    """A high-rate mixed plan across many concurrent queries: no query
+    is lost, none answered twice, all answers correct."""
+    plan = FaultPlan(
+        seed=13, rate=0.7, kinds=("crash", "timeout", "corrupt"), max_per_cell=3
+    )
+    queries = [[v % random_graph.num_vertices, (v * 7 + 1) % random_graph.num_vertices]
+               for v in range(0, 24, 2)]
+    queries = [sorted(set(q)) for q in queries]
+
+    async def scenario():
+        answered = []
+
+        async def one(seeds):
+            result = await asyncio.wait_for(
+                server.query(seeds), timeout=60.0
+            )
+            answered.append(tuple(seeds))
+            return result
+
+        async with PPRServer(random_graph, chaos_config(plan)) as server:
+            results = await asyncio.gather(*(one(q) for q in queries))
+            return results, answered, server.stats()
+
+    results, answered, stats = asyncio.run(scenario())
+    # Exactly-once: one answer per issued query, in aggregate.
+    assert sorted(answered) == sorted(tuple(q) for q in queries)
+    assert stats.requests == len(queries)
+    for seeds, result in zip(queries, results):
+        serial = personalized_pagerank(
+            random_graph,
+            restart_teleport(random_graph.num_vertices, seeds),
+            tolerance=1e-8,
+        )
+        assert np.array_equal(result.scores, serial.scores)
+
+
+def test_exhausted_retries_fail_each_query_exactly_once(random_graph):
+    """A plan whose faults outlast the retry cap: every request gets the
+    failure (an exception is an answer too) — never a hang, never a
+    double resolution."""
+    plan = FaultPlan(seed=3, rate=1.0, kinds=("crash",), max_per_cell=99)
+    config = ServeConfig(
+        policy=BatchPolicy(window_seconds=0.005, max_batch=4),
+        fault_plan=plan,
+        max_batch_retries=2,
+    )
+
+    async def scenario():
+        async with PPRServer(random_graph, config) as server:
+            return await asyncio.gather(
+                *(server.query([v]) for v in range(5)),
+                return_exceptions=True,
+            )
+
+    outcomes = asyncio.run(scenario())
+    assert len(outcomes) == 5
+    assert all(isinstance(o, RuntimeError) for o in outcomes)
+    assert all("attempts" in str(o) for o in outcomes)
+
+
+def test_faults_do_not_poison_the_cache(random_graph, tmp_path):
+    """Corrupt-result injection must never let a poisoned score vector
+    reach the cache: warm hits after a fault storm equal clean solves."""
+    from repro.serve import ServeCache
+
+    plan = FaultPlan(seed=5, rate=1.0, kinds=("corrupt",), max_per_cell=2)
+    cache = ServeCache(str(tmp_path / "cache"))
+
+    async def scenario():
+        async with PPRServer(
+            random_graph, chaos_config(plan), cache=cache
+        ) as server:
+            first = await server.query([3, 9])
+            warm = await server.query([3, 9])
+            return first, warm
+
+    first, warm = asyncio.run(scenario())
+    assert warm.from_cache
+    serial = personalized_pagerank(
+        random_graph,
+        restart_teleport(random_graph.num_vertices, [3, 9]),
+        tolerance=1e-8,
+    )
+    assert np.array_equal(first.scores, serial.scores)
+    assert np.array_equal(warm.scores, serial.scores)
+
+
+def test_chaos_coexists_with_updates(random_graph):
+    """Fault retries and incremental graph updates interleave safely:
+    answers always match the graph the server holds when solving."""
+    from repro.serve import EdgeUpdate
+
+    plan = FaultPlan(seed=11, rate=0.5, kinds=("crash", "corrupt"), max_per_cell=2)
+
+    async def scenario():
+        async with PPRServer(random_graph, chaos_config(plan)) as server:
+            before = await asyncio.gather(
+                *(server.query([v]) for v in range(4))
+            )
+            await server.apply_updates([EdgeUpdate(0, 1), EdgeUpdate(2, 3)])
+            after = await asyncio.gather(
+                *(server.query([v]) for v in range(4))
+            )
+            return before, after, server.graph
+
+    before, after, new_graph = asyncio.run(scenario())
+    for vertex, result in enumerate(after):
+        serial = personalized_pagerank(
+            new_graph,
+            restart_teleport(new_graph.num_vertices, [vertex]),
+            tolerance=1e-8,
+        )
+        assert np.array_equal(result.scores, serial.scores)
+    assert len(before) == len(after) == 4

@@ -122,3 +122,70 @@ def test_describe_flags_low_locality(capsys):
     assert code == 0
     assert "low locality?" in out
     assert "yes" in out
+
+
+def test_serve_command_answers_queries(capsys, tmp_path):
+    cache = str(tmp_path / "serve-cache")
+    report = str(tmp_path / "serve.json")
+    code, out = run_cli(
+        capsys, "serve", "--graph", "urand", "--scale", "0.03",
+        "--seeds", "0,5", "--seeds", "17", "--seeds", "0,5",
+        "--cache-dir", cache, "--json", report,
+    )
+    assert code == 0
+    assert "seeds [0,5]" in out
+    assert "3 request(s)" in out
+    # The duplicate query either coalesced in-batch or hit the cache.
+    assert "coalesced" in out
+    from repro.obs import load_reports
+
+    (loaded,) = load_reports(report)
+    assert loaded.kind == "serve"
+    assert loaded.serve["requests"] == 3
+    assert loaded.serve["batches"] >= 1
+
+
+def test_serve_command_warm_cache_hits(capsys, tmp_path):
+    cache = str(tmp_path / "serve-cache")
+    run_cli(capsys, "serve", "--scale", "0.03", "--seeds", "4", "--cache-dir", cache)
+    code, out = run_cli(
+        capsys, "serve", "--scale", "0.03", "--seeds", "4", "--cache-dir", cache
+    )
+    assert code == 0
+    assert "via cache" in out
+    assert "cache hit rate 1.00" in out
+
+
+def test_serve_rejects_bad_seeds(capsys):
+    code = main(["serve", "--scale", "0.03", "--seeds", "not-a-vertex"])
+    assert code == 2
+
+
+def test_serve_rejects_out_of_range_seeds(capsys):
+    code = main(["serve", "--scale", "0.03", "--seeds", "99999999"])
+    assert code == 2
+
+
+def test_loadgen_command_reports_latency(capsys, tmp_path):
+    out_path = str(tmp_path / "load.json")
+    code, out = run_cli(
+        capsys, "loadgen", "--graph", "urand", "--scale", "0.03",
+        "--queries", "12", "--max-batch", "4", "--json", out_path,
+        "--p99-bound", "60",
+    )
+    assert code == 0
+    assert "p99 latency" in out
+    assert "cache hit rate" in out
+    import json
+
+    with open(out_path) as handle:
+        data = json.load(handle)
+    assert data["num_queries"] == 12
+    assert data["queries_per_sec"] > 0
+
+
+def test_loadgen_p99_gate_fails_on_impossible_bound(capsys):
+    code = main(
+        ["loadgen", "--scale", "0.03", "--queries", "4", "--p99-bound", "1e-12"]
+    )
+    assert code == 1
