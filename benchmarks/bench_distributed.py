@@ -1,0 +1,146 @@
+"""Distributed-executor benchmark — what the fleet costs and buys.
+
+The paper's discipline for propagation blocking applies to the harness
+itself: binning (here, leasing cells to workers) only pays when its
+overhead is amortized, so the overhead must be *measured*, never hidden.
+This bench runs a sleep-dominated sweep (cells whose cost is known
+exactly, so every measured delta is pure harness) four ways — serially
+in-process, then on fleets of 1, 2, and 4 spawned workers — and splits
+each fleet run into its three phases:
+
+* **setup**: executor start to first granted lease — process spawn,
+  TCP join, handshake;
+* **steady state**: first lease granted to last lease completed — where
+  scaling must show up;
+* **teardown**: last completion to return — shutdown handshakes and
+  process joins.
+
+The headline number is **per-cell coordinator overhead**: the 1-worker
+fleet against the serial baseline, divided by the cell count — every
+microsecond of lease round-trips, cache writes, and event framing,
+with zero parallelism to hide behind.
+
+Everything here is wall clock on a shared host, so every metric lands
+in the ungated ``wall_seconds/*`` namespace (``docs/metrics_schema.md``)
+— the sentinel tracks the trajectory but does not gate on it.  Emits
+``BENCH_distributed.json``.
+"""
+
+import time
+
+from repro.harness.cache import MeasurementCache
+from repro.obs import events as _events
+from repro.parallel import SweepCell, SweepStats, run_cells
+from repro.plan.executors import ExecutionRequest
+
+from benchmarks.emit_bench import emit_bench
+
+#: Per-cell busy time: long enough to dwarf scheduling noise, short
+#: enough that 4 runs x 32 cells stay under a minute of sleep total.
+CELL_SECONDS = 0.05
+N_CELLS = 32
+FLEETS = [1, 2, 4]
+
+
+def sleep_cell(key, seconds=CELL_SECONDS):
+    """A cell of exactly known cost (module-level: workers unpickle it)."""
+    time.sleep(seconds)
+    return key
+
+
+def _cells():
+    return [
+        SweepCell(key=i, fn=sleep_cell, args=(i,)) for i in range(N_CELLS)
+    ]
+
+
+def _fleet_run(workers, tmp_path):
+    from repro.cluster import DistributedExecutor
+
+    executor = DistributedExecutor(spawn_workers=workers, lease_seconds=30.0)
+    cache = MeasurementCache(str(tmp_path / f"cache{workers}"))
+    stats = SweepStats()
+    with _events.collecting() as bus:
+        start = time.perf_counter()
+        result = executor.run(
+            ExecutionRequest(
+                cells=_cells(),
+                label=f"fleet{workers}",
+                stats=stats,
+                cache=cache,
+            )
+        )
+        total = time.perf_counter() - start
+    assert result == {i: i for i in range(N_CELLS)}
+    assert stats.completed == N_CELLS and not stats.serial_fallback
+    bus.pump()
+    granted = [e.ts for e in bus.events() if e.kind == "lease_granted"]
+    completed = [e.ts for e in bus.events() if e.kind == "lease_completed"]
+    bus.close()
+    setup = min(granted) - start
+    steady = max(completed) - min(granted)
+    teardown = total - (max(completed) - start)
+    return {"total": total, "setup": setup, "steady": steady, "teardown": teardown}
+
+
+def test_distributed(benchmark, report, tmp_path):
+    def measure():
+        serial_start = time.perf_counter()
+        serial_result = run_cells(_cells(), workers=1, label="fleet_serial")
+        serial = time.perf_counter() - serial_start
+        assert serial_result == {i: i for i in range(N_CELLS)}
+        return serial, {n: _fleet_run(n, tmp_path) for n in FLEETS}
+
+    serial, fleets = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    overhead_per_cell = (fleets[1]["total"] - serial) / N_CELLS
+    ideal = {n: N_CELLS * CELL_SECONDS / n for n in FLEETS}
+    efficiency = {n: ideal[n] / fleets[n]["steady"] for n in FLEETS}
+
+    lines = [
+        f"cells:             {N_CELLS} x {CELL_SECONDS * 1000:.0f}ms sleep",
+        f"serial baseline:   {serial:.3f}s",
+    ]
+    for n in FLEETS:
+        phases = fleets[n]
+        lines.append(
+            f"fleet of {n}:        {phases['total']:.3f}s total "
+            f"(setup {phases['setup']:.3f}s, steady {phases['steady']:.3f}s, "
+            f"teardown {phases['teardown']:.3f}s, "
+            f"{efficiency[n] * 100:.0f}% of ideal)"
+        )
+    lines.append(
+        f"coordinator cost:  {overhead_per_cell * 1000:.2f}ms per cell "
+        f"(1-worker fleet vs serial)"
+    )
+    report("distributed", "distributed executor cost\n" + "\n".join(lines))
+
+    metrics = {
+        "cells": N_CELLS,
+        "wall_seconds/serial": serial,
+        "wall_seconds/overhead_per_cell": overhead_per_cell,
+    }
+    for n in FLEETS:
+        phases = fleets[n]
+        metrics[f"wall_seconds/fleet{n}/total"] = phases["total"]
+        metrics[f"wall_seconds/fleet{n}/setup"] = phases["setup"]
+        metrics[f"wall_seconds/fleet{n}/steady"] = phases["steady"]
+        metrics[f"wall_seconds/fleet{n}/teardown"] = phases["teardown"]
+        metrics[f"wall_seconds/fleet{n}/efficiency"] = efficiency[n]
+    emit_bench(
+        "distributed",
+        metrics,
+        meta={
+            "source": "bench_distributed",
+            "cell_seconds": CELL_SECONDS,
+            "fleets": FLEETS,
+            "units": "seconds",
+        },
+    )
+
+    # Sanity bars, loose enough for a loaded 1-CPU host: the fleet must
+    # finish everything and the 1-worker overhead must stay sub-second
+    # in total (it is tens of milliseconds in practice).
+    assert overhead_per_cell * N_CELLS < max(5.0, serial)
+    for n in FLEETS:
+        assert fleets[n]["setup"] < 30.0

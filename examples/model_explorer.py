@@ -10,6 +10,8 @@ grid points against the cache simulator.
 Run:  python examples/model_explorer.py
 """
 
+import os
+
 from repro.graphs import build_csr, choose_block_width, num_blocks_for_width, uniform_random_graph
 from repro.harness import run_experiment
 from repro.models import (
@@ -65,7 +67,9 @@ def main() -> None:
 
     # Validate two grid points against the simulator.
     print("validating against the cache simulator:")
-    for n, k in ((8_192, 16), (131_072, 16)):
+    scale = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+    sizes = (max(2_048, int(8_192 * scale)), max(4_096, int(131_072 * scale)))
+    for n, k in ((sizes[0], 16), (sizes[1], 16)):
         graph = build_csr(uniform_random_graph(n, k, seed=1))
         measured = {
             m: run_experiment(graph, m).gail().requests_per_edge

@@ -9,14 +9,20 @@ heart of the paper, in five lines of API.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import load_graph, make_kernel, pagerank, select_method
 from repro.utils import format_table
+
+# Workload multiplier — tests/test_examples.py sets REPRO_EXAMPLE_SCALE
+# small so every example smoke-runs in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 
 
 def main() -> None:
     # A scaled stand-in for the paper's 134 M-vertex uniform random graph
     # (scale=0.25 keeps this example under a minute on a laptop).
-    graph = load_graph("urand", scale=0.25)
+    graph = load_graph("urand", scale=0.25 * SCALE)
     print(f"graph: {graph}")
 
     # 1. Just compute PageRank.  "auto" applies the paper's runtime

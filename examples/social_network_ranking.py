@@ -11,6 +11,8 @@ happens if you try to fix the problem by relabelling instead of blocking.
 Run:  python examples/social_network_ranking.py
 """
 
+import os
+
 import numpy as np
 
 from repro import make_kernel, pagerank
@@ -18,10 +20,16 @@ from repro.graphs import build_csr, degree_sort_permutation, social_network_grap
 from repro.harness import run_experiment
 from repro.utils import format_table
 
+# Workload multiplier — tests/test_examples.py sets REPRO_EXAMPLE_SCALE
+# small so every example smoke-runs in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     # ~60 k accounts, 24 follows each on average, celebrity-skewed.
-    graph = build_csr(social_network_graph(60_000, 24.0, seed=7))
+    graph = build_csr(
+        social_network_graph(max(4_000, int(60_000 * SCALE)), 24.0, seed=7)
+    )
     print(f"follow graph: {graph}")
 
     # Rank with the baseline and with DPB: identical output.

@@ -11,6 +11,8 @@ measures the communication difference.
 Run:  python examples/spmv_blocking.py
 """
 
+import os
+
 import numpy as np
 
 from repro.kernels import SparseMatrix, spmv, spmv_trace
@@ -18,10 +20,16 @@ from repro.memsim import FullyAssociativeLRU, simulate
 from repro.models import SIMULATED_MACHINE
 from repro.utils import format_table
 
+# Workload multiplier — tests/test_examples.py sets REPRO_EXAMPLE_SCALE
+# small so every example smoke-runs in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     rng = np.random.default_rng(42)
-    num_docs, num_terms, nnz = 100_000, 40_000, 1_500_000
+    num_docs = max(5_000, int(100_000 * SCALE))
+    num_terms = max(2_000, int(40_000 * SCALE))
+    nnz = max(75_000, int(1_500_000 * SCALE))
     matrix = SparseMatrix.from_coo(
         num_docs,
         num_terms,

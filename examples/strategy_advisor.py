@@ -12,19 +12,27 @@ telemetry that motivates the partial-activity machinery.
 Run:  python examples/strategy_advisor.py
 """
 
+import os
+
 from repro.graphs import build_csr, load_graph, uniform_random_graph
 from repro.graphs.analysis import describe
 from repro.harness import run_experiment
 from repro.kernels.delta import pagerank_delta
 from repro.utils import format_table
 
+# Workload multiplier — tests/test_examples.py sets REPRO_EXAMPLE_SCALE
+# small so every example smoke-runs in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
     candidates = {
-        "urand (large, sparse)": load_graph("urand", scale=0.5),
-        "web (crawl-ordered)": load_graph("web", scale=0.5),
+        "urand (large, sparse)": load_graph("urand", scale=0.5 * SCALE),
+        "web (crawl-ordered)": load_graph("web", scale=0.5 * SCALE),
         "small (cache-resident)": build_csr(uniform_random_graph(2048, 16, seed=3)),
-        "dense random": build_csr(uniform_random_graph(16384, 44, seed=4)),
+        "dense random": build_csr(
+            uniform_random_graph(max(2048, int(16384 * SCALE)), 44, seed=4)
+        ),
     }
 
     rows = []

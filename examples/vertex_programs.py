@@ -11,6 +11,8 @@ as the BFS frontier grows and shrinks.
 Run:  python examples/vertex_programs.py
 """
 
+import os
+
 import numpy as np
 
 from repro.gbsp import (
@@ -24,9 +26,15 @@ from repro.graphs import build_csr, uniform_random_graph
 from repro.kernels import make_kernel
 from repro.utils import format_table
 
+# Workload multiplier — tests/test_examples.py sets REPRO_EXAMPLE_SCALE
+# small so every example smoke-runs in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
-    graph = build_csr(uniform_random_graph(65_536, 8, seed=13))
+    graph = build_csr(
+        uniform_random_graph(max(4_096, int(65_536 * SCALE)), 8, seed=13)
+    )
     print(f"graph: {graph}\n")
 
     # --- PageRank as a vertex program: identical to the kernels ---

@@ -12,15 +12,21 @@ is already communication-optimal, and the paper's runtime heuristic
 Run:  python examples/web_ranking_locality.py
 """
 
+import os
+
 from repro import load_graph, make_kernel
 from repro.graphs import average_neighbor_distance, bandwidth_profile
 from repro.harness import run_experiment
 from repro.utils import format_table
 
+# Workload multiplier — tests/test_examples.py sets REPRO_EXAMPLE_SCALE
+# small so every example smoke-runs in seconds.
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+
 
 def main() -> None:
-    web = load_graph("web", scale=0.5)
-    webrnd = load_graph("webrnd", scale=0.5)
+    web = load_graph("web", scale=0.5 * SCALE)
+    webrnd = load_graph("webrnd", scale=0.5 * SCALE)
     print(f"web:    {web}")
     print(f"webrnd: {webrnd}  (same topology, labels shuffled)\n")
 

@@ -31,7 +31,11 @@ A thin front end over the library for the common workflows:
   throughput, and the warm-cache hit rate;
 * ``repro-pb reproduce --resume ckpt/`` — regenerate every table and
   figure as one deduplicated plan with fault-tolerant, checkpointed,
-  cacheable sweeps (forwards to :mod:`repro.harness.reproduce`).
+  cacheable sweeps (forwards to :mod:`repro.harness.reproduce`);
+* ``repro-pb worker --connect HOST:PORT`` — join a ``--distribute``
+  run (``plan --execute`` or ``reproduce``) as a fleet worker: lease
+  cells from the coordinator, write results into the shared
+  measurement cache (:mod:`repro.cluster`, ``docs/distributed.md``).
 
 Every subcommand prints an aligned text table to stdout; ``measure``,
 ``pagerank`` and ``compare`` additionally emit machine-readable
@@ -87,6 +91,31 @@ from repro.utils import format_table
 __all__ = ["main", "build_parser"]
 
 ENGINE_NAMES = tuple(ENGINES)
+
+
+def _package_version() -> str:
+    """Version string for ``--version``: installed distribution metadata,
+    falling back to the source tree's ``pyproject.toml`` (the usual case
+    when running uninstalled via ``PYTHONPATH=src``)."""
+    import importlib.metadata
+
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        pass
+    import re
+
+    pyproject = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "pyproject.toml",
+    )
+    try:
+        with open(pyproject, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return "unknown"
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    return f"{match.group(1)}+src" if match else "unknown"
 
 
 def _logging_parent() -> argparse.ArgumentParser:
@@ -212,6 +241,39 @@ def _serve_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _fleet_parent() -> argparse.ArgumentParser:
+    """``--distribute``/``--bind``/``--lease-timeout`` — the worker fleet."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--distribute",
+        type=int,
+        default=None,
+        metavar="N",
+        help="lease cells to a socket worker fleet instead of the "
+        "in-process pool: spawn N local worker processes (0 = spawn "
+        "none; attach external ones with `repro-pb worker --connect`)",
+    )
+    p.add_argument(
+        "--bind",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="with --distribute: coordinator listen address (default "
+        "127.0.0.1:0 — loopback, ephemeral port; bind wider only on a "
+        "network that shares the cache filesystem, see "
+        "docs/distributed.md)",
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="with --distribute: how long a silent worker may hold a "
+        "cell before the lease expires and the cell is re-leased "
+        "(default 30)",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -220,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Propagation-blocking PageRank reproduction "
             "(Beamer, Asanović, Patterson — IPDPS 2017)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     # Option groups shared across subcommands are argparse *parents*:
     # declared once, inherited by every subcommand that needs them
@@ -231,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = _report_parent()
     metrics = _metrics_parent()
     serve = _serve_parent()
+    fleet = _fleet_parent()
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -302,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan = add_parser(
         "plan",
         engine,
+        fleet,
         help="compile the reproduction's cell DAG and print it "
         "(no simulation runs)",
     )
@@ -359,6 +428,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="with --execute: progress rendering (auto = live on a TTY, "
         "plain lines otherwise; -q implies off)",
+    )
+
+    p_worker = add_parser(
+        "worker",
+        help="join a distributed plan run as a fleet worker (dial the "
+        "coordinator a --distribute run is listening on)",
+    )
+    p_worker.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="coordinator address, as printed by the --distribute run "
+        "(or fixed with its --bind)",
+    )
+    p_worker.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="override the coordinator's advertised shared cache "
+        "directory (needed when the shared filesystem mounts at a "
+        "different path on this host)",
+    )
+    p_worker.add_argument(
+        "--name",
+        default=None,
+        help="worker name in fleet telemetry (default: pid<PID>)",
+    )
+    p_worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="leave when the coordinator has had no work for this long "
+        "(default: stay until the coordinator says shutdown)",
     )
 
     p_serve = add_parser(
@@ -973,6 +1076,49 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return _execute_plan_cli(args, plan, cache)
 
 
+def _make_distributed_executor(args: argparse.Namespace, program: str):
+    """Build a :class:`DistributedExecutor` from ``--distribute``/``--bind``/
+    ``--lease-timeout``, or ``None`` when the flags are absent."""
+    if getattr(args, "distribute", None) is None:
+        return None
+    from repro.cluster import DistributedExecutor, parse_endpoint
+
+    if args.distribute < 0:
+        print(f"{program}: error: --distribute must be >= 0", file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        bind = parse_endpoint(args.bind)
+    except ValueError as exc:
+        print(f"{program}: error: --bind: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return DistributedExecutor(
+        spawn_workers=args.distribute,
+        bind=bind,
+        lease_seconds=args.lease_timeout,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro-pb worker``: serve one coordinator until it shuts us down."""
+    from repro.cluster import parse_endpoint, run_worker
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(f"repro-pb worker: error: --connect: {exc}", file=sys.stderr)
+        return 2
+    # A standing worker should say what it is doing; default to INFO
+    # like the reproduce driver rather than the CLI's warnings-only.
+    configure_logging(args.verbose - args.quiet + 1)
+    return run_worker(
+        host,
+        port,
+        cache_dir=args.cache_dir,
+        name=args.name,
+        max_idle_seconds=args.max_idle,
+    )
+
+
 def _execute_plan_cli(args: argparse.Namespace, plan, cache) -> int:
     """``repro-pb plan --execute``: run the DAG with fleet telemetry."""
     import contextlib
@@ -984,6 +1130,7 @@ def _execute_plan_cli(args: argparse.Namespace, plan, cache) -> int:
     from repro.parallel.resilience import CellFailedError
     from repro.plan import execute_plan
 
+    executor = _make_distributed_executor(args, "repro-pb plan")
     bus = EventBus()
     tracer = TraceRecorder() if args.trace else None
     renderer = attach_progress(bus, mode=args.progress, quiet=args.quiet > 0)
@@ -992,7 +1139,13 @@ def _execute_plan_cli(args: argparse.Namespace, plan, cache) -> int:
         scope = tracing(tracer) if tracer is not None else contextlib.nullcontext()
         with scope:
             try:
-                execute_plan(plan, workers=args.workers, cache=cache, shm=args.shm)
+                execute_plan(
+                    plan,
+                    workers=args.workers,
+                    cache=cache,
+                    shm=args.shm,
+                    executor=executor,
+                )
             except CellFailedError as exc:
                 print(f"repro-pb plan: error: {exc}", file=sys.stderr)
                 failed = True
@@ -1244,6 +1397,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "plan": _cmd_plan,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "loadgen": _cmd_loadgen,
     "reproduce": _cmd_reproduce,
     "bench": _cmd_bench,

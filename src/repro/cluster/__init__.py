@@ -1,0 +1,47 @@
+"""Distributed plan execution: the cell DAG as a cluster scheduler.
+
+The paper's blocking insight — batch work by destination so
+communication amortizes — applied to the harness itself.  A
+:class:`~repro.cluster.coordinator.Coordinator` leases a compiled
+plan's cells by content fingerprint to socket-connected workers
+(:mod:`repro.cluster.worker`, ``repro-pb worker``); cells sharing a
+graph are leased to the same worker (the pool's affinity lanes,
+cluster-sized) and each graph ships over the wire at most once per
+worker (:mod:`repro.cluster.shipping`).  Results travel through the
+shared, atomically-written :class:`repro.harness.cache.
+MeasurementCache`; worker death or hang is recovered through
+heartbeat-expiring leases feeding the PR-4 retry/backoff machinery.
+
+:class:`DistributedExecutor` plugs the whole subsystem into
+:func:`repro.plan.execute_plan` through the
+:class:`~repro.plan.executors.Executor` seam — ``repro-pb reproduce
+--distribute 4`` runs the exact plan a serial run would, byte-identical
+artifacts included.  Everything is stdlib: ``socket`` + ``struct``
+framing (:mod:`repro.cluster.wire`), pickled plain-data messages, no
+new dependencies.
+"""
+
+from repro.cluster.coordinator import Coordinator, RemoteCellError
+from repro.cluster.executor import DistributedExecutor
+from repro.cluster.shipping import GraphTicket, resolve_cell, strip_cell
+from repro.cluster.wire import (
+    PROTOCOL_VERSION,
+    Connection,
+    FrameError,
+    parse_endpoint,
+)
+from repro.cluster.worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "DistributedExecutor",
+    "RemoteCellError",
+    "GraphTicket",
+    "strip_cell",
+    "resolve_cell",
+    "Connection",
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "parse_endpoint",
+    "run_worker",
+]

@@ -1,0 +1,249 @@
+"""Fleet worker: dial a coordinator, lease cells, write results to the
+shared cache.
+
+One worker is one process (``repro-pb worker`` or a process spawned by
+:class:`repro.cluster.DistributedExecutor`) running a strict
+request/reply loop over one :class:`~repro.cluster.wire.Connection`:
+
+1. ``hello`` → ``welcome`` — protocol check; the welcome carries the
+   shared cache directory, the fault plan, and the heartbeat cadence;
+2. ``lease_request`` → ``lease`` / ``idle`` / ``shutdown``;
+3. execute the leased cell through the *same*
+   :func:`repro.parallel.resilience._attempt_cell` the pool workers
+   use — fault injection, spans, and the ``cell_started`` /
+   ``cell_finished`` events all behave identically;
+4. write the result into the shared
+   :class:`~repro.harness.cache.MeasurementCache` (atomic rename), then
+   ``complete`` → ``ack`` carrying only the fingerprint — the data
+   plane never rides the socket;
+5. on a cell exception: ``failed`` → ``ack`` with the classified error.
+
+Telemetry reuses the whole pool-worker machinery: :func:`repro.obs.
+events.worker_init` accepts anything with ``put(message)``, so
+:class:`_SocketChannel` adapts the connection and the worker's events,
+span buffers, and resource samples stream to the coordinator framed as
+``event`` messages.  A daemon heartbeat thread renews the worker's
+leases; killing the process (or its host) silences the heartbeat and
+the coordinator recovers the cell through lease expiry.
+"""
+
+from __future__ import annotations
+
+import os
+import socket as socket_module
+import threading
+import time
+import traceback
+from typing import Any
+
+from repro.cluster.shipping import resolve_cell
+from repro.cluster.wire import PROTOCOL_VERSION, Connection, FrameError
+from repro.obs import events as _events
+from repro.obs.log import get_logger
+from repro.parallel.faults import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedTimeout,
+    is_corrupt,
+)
+from repro.parallel.resilience import _attempt_cell
+
+__all__ = ["run_worker", "WorkerError"]
+
+log = get_logger("cluster.worker")
+
+
+class WorkerError(RuntimeError):
+    """The worker could not join or follow the protocol."""
+
+
+class _SocketChannel:
+    """Queue-shaped adapter: ``put(message)`` frames onto the socket."""
+
+    def __init__(self, conn: Connection) -> None:
+        self._conn = conn
+
+    def put(self, message: dict[str, Any]) -> None:
+        self._conn.send({"kind": "event", "message": message})
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, InjectedCrash):
+        return "injected_crash"
+    if isinstance(exc, InjectedTimeout):
+        return "injected_timeout"
+    return "error"
+
+
+def _heartbeat_loop(conn: Connection, interval: float, stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            conn.send({"kind": "heartbeat"})
+        except OSError:
+            return  # coordinator is gone; the main loop will notice
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    cache_dir: str | None = None,
+    name: str | None = None,
+    connect_timeout: float = 10.0,
+    max_idle_seconds: float | None = None,
+) -> int:
+    """Serve one coordinator until it says ``shutdown``; return an exit
+    code.
+
+    ``cache_dir`` overrides the welcome's advertised cache directory —
+    needed when the shared filesystem mounts at a different path on
+    this host.  ``max_idle_seconds`` makes a standing worker give up
+    when the coordinator has had no work for that long (``None`` waits
+    forever).
+    """
+    try:
+        conn = Connection.connect(host, port, timeout=connect_timeout)
+    except OSError as exc:
+        log.error("cannot reach coordinator %s:%d: %s", host, port, exc)
+        return 1
+    stop_heartbeat = threading.Event()
+    try:
+        conn.send(
+            {
+                "kind": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "worker": name or f"pid{os.getpid()}",
+                "pid": os.getpid(),
+                "host": socket_module.gethostname(),
+            }
+        )
+        welcome = conn.recv()
+        if not isinstance(welcome, dict) or welcome.get("kind") != "welcome":
+            reason = (
+                welcome.get("reason", "no reason")
+                if isinstance(welcome, dict)
+                else "connection closed"
+            )
+            log.error("coordinator rejected us: %s", reason)
+            return 1
+
+        directory = cache_dir or welcome.get("cache_dir")
+        if not directory:
+            log.error("no shared cache directory (welcome advertised none)")
+            return 1
+        from repro.harness.cache import MeasurementCache
+
+        cache = MeasurementCache(directory)
+        plan_text = welcome.get("fault_plan")
+        fault_plan = FaultPlan.from_string(plan_text) if plan_text else None
+
+        # The full pool-worker telemetry stack, over the socket instead
+        # of a manager queue; also announces worker_spawned.
+        _events.worker_init(_SocketChannel(conn))
+        heartbeat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, float(welcome.get("heartbeat_seconds", 1.0)), stop_heartbeat),
+            name="repro-cluster-heartbeat",
+            daemon=True,
+        )
+        heartbeat.start()
+        log.info(
+            "joined %s:%d as %s (cache %s)",
+            host,
+            port,
+            welcome.get("worker"),
+            directory,
+        )
+
+        resident: dict[Any, Any] = {}
+        idle_since: float | None = None
+        while True:
+            conn.send({"kind": "lease_request"})
+            reply = conn.recv()
+            if reply is None or not isinstance(reply, dict):
+                log.warning("coordinator hung up")
+                return 1
+            kind = reply.get("kind")
+            if kind == "shutdown":
+                break
+            if kind == "idle":
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if (
+                    max_idle_seconds is not None
+                    and now - idle_since >= max_idle_seconds
+                ):
+                    log.info("idle for %.1fs; leaving", now - idle_since)
+                    break
+                time.sleep(float(reply.get("retry_after", 0.05)))
+                continue
+            if kind != "lease":
+                continue
+            idle_since = None
+            fingerprint = str(reply["fingerprint"])
+            cache_fingerprint = reply.get("cache_fingerprint") or fingerprint
+            attempt = int(reply.get("attempt", 0))
+            resident.update(reply.get("graphs") or {})
+            cell = resolve_cell(reply["cell"], resident)
+            try:
+                result, seconds = _attempt_cell(cell, attempt, fault_plan, fingerprint)
+                if is_corrupt(result):
+                    conn.send(
+                        {
+                            "kind": "failed",
+                            "fingerprint": fingerprint,
+                            "error_kind": "corrupt",
+                            "error": "CorruptResultError",
+                            "message": f"cell [{cell.key!r}] returned a corrupt result",
+                            "seconds": seconds,
+                        }
+                    )
+                else:
+                    cache.put(cache_fingerprint, result, seconds)
+                    conn.send(
+                        {
+                            "kind": "complete",
+                            "fingerprint": fingerprint,
+                            "seconds": seconds,
+                        }
+                    )
+            except Exception as exc:  # noqa: BLE001 — every cell error reports
+                conn.send(
+                    {
+                        "kind": "failed",
+                        "fingerprint": fingerprint,
+                        "error_kind": _classify(exc),
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                        "seconds": 0.0,
+                    }
+                )
+            ack = conn.recv()
+            if ack is None:
+                log.warning("coordinator hung up before acking")
+                return 1
+        try:
+            conn.send({"kind": "goodbye"})
+        except OSError:
+            pass
+        return 0
+    except (FrameError, OSError) as exc:
+        log.error("connection to coordinator failed: %s", exc)
+        return 1
+    finally:
+        stop_heartbeat.set()
+        # Leave worker mode: a thread-hosted worker (tests) must hand
+        # event routing back to the process, not a closed socket.
+        _events.worker_deinit()
+        conn.close()
+
+
+def spawned_main(host: str, port: int, cache_dir: str | None) -> None:
+    """Entry point for executor-spawned worker processes."""
+    import sys
+
+    from repro.obs.log import configure
+
+    configure(0)  # warnings only; the parent owns the console
+    sys.exit(run_worker(host, port, cache_dir=cache_dir))

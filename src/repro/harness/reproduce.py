@@ -28,6 +28,14 @@ Options::
     --cell-timeout S    per-cell wall-clock deadline, pool mode only
     --inject-faults P   deterministic fault plan (test hook), e.g.
                         "seed=7,rate=0.3,kinds=crash|timeout|corrupt"
+    --distribute N      lease cells to a socket worker fleet instead of
+                        the in-process pool: spawn N local workers
+                        (0 = external only: repro-pb worker --connect)
+    --bind HOST:PORT    with --distribute: coordinator listen address
+                        (default 127.0.0.1:0)
+    --lease-timeout S   with --distribute: silent-worker lease expiry
+                        (expired cells are charged a timeout and
+                        re-leased; default 30)
     --report PATH       write a schema-versioned RunReport of the run
                         (wall spans + plan dedup/cache + retry counters
                         + the fleet section's cross-process accounting)
@@ -196,6 +204,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(also honoured from the REPRO_FAULT_PLAN environment variable)",
     )
     parser.add_argument(
+        "--distribute",
+        type=int,
+        default=None,
+        metavar="N",
+        help="lease the plan's cells to a socket worker fleet instead "
+        "of the in-process pool: spawn N local worker processes (0 = "
+        "spawn none; attach external ones with `repro-pb worker "
+        "--connect`); outputs are byte-identical to a serial run",
+    )
+    parser.add_argument(
+        "--bind",
+        metavar="HOST:PORT",
+        default="127.0.0.1:0",
+        help="with --distribute: coordinator listen address (default "
+        "127.0.0.1:0 — loopback, ephemeral port; see docs/distributed.md "
+        "before binding wider)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="with --distribute: how long a silent worker may hold a "
+        "cell before its lease expires and the cell is re-leased "
+        "(default 30)",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         default=None,
@@ -337,6 +372,7 @@ def _write_run_report(
                 "max_retries": args.max_retries,
                 "cell_timeout": args.cell_timeout,
                 "fault_plan": args.inject_faults,
+                "distribute": args.distribute,
                 "completed": completed,
             },
         ),
@@ -430,8 +466,24 @@ def _generate(
         plan.dedup_ratio,
     )
     cache = MeasurementCache(args.cache) if args.cache else None
+    executor = None
+    if args.distribute is not None:
+        from repro.cluster import DistributedExecutor, parse_endpoint
+
+        if args.distribute < 0:
+            raise SystemExit("--distribute must be >= 0")
+        try:
+            bind = parse_endpoint(args.bind)
+        except ValueError as exc:
+            raise SystemExit(f"--bind: {exc}") from None
+        executor = DistributedExecutor(
+            spawn_workers=args.distribute,
+            bind=bind,
+            lease_seconds=args.lease_timeout,
+        )
     results = execute_plan(
-        plan, workers=args.workers, options=options, cache=cache
+        plan, workers=args.workers, options=options, cache=cache,
+        executor=executor,
     )
     if cache is not None:
         log.info(

@@ -56,6 +56,7 @@ __all__ = [
     "in_worker",
     "install",
     "uninstall",
+    "worker_deinit",
     "worker_init",
     "worker_span_sink",
     "drain_worker_buffers",
@@ -70,7 +71,10 @@ __all__ = [
 #: section and per-worker ``resident_graphs``.
 #: 1.2: serve_* events from the query layer (:mod:`repro.serve`) —
 #: per-request, per-batch, cache-hit, and graph-update telemetry.
-EVENTS_SCHEMA_VERSION = "1.2"
+#: 1.3: cluster lifecycle events (:mod:`repro.cluster`) — worker
+#: join/loss and the lease lifecycle — plus the fleet ``cluster``
+#: section.
+EVENTS_SCHEMA_VERSION = "1.3"
 
 #: Every recognised event kind.
 EVENT_KINDS = (
@@ -93,6 +97,11 @@ EVENT_KINDS = (
     "serve_batch",         # server: one coalesced batch solved (occupancy)
     "serve_cache_hit",     # server: a query answered from the result cache
     "serve_graph_updated", # server: an edge-update batch was applied
+    "worker_joined",       # coordinator: a fleet worker connected
+    "worker_lost",         # coordinator: a fleet worker disconnected/expired
+    "lease_granted",       # coordinator: a cell was leased to a worker
+    "lease_expired",       # coordinator: a lease outlived its heartbeats
+    "lease_completed",     # coordinator: a leased cell's result landed
 )
 
 #: Worker name used for events emitted by the parent process.
@@ -314,6 +323,17 @@ class EventBus:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
+    def ingest(self, message: dict[str, Any]) -> None:
+        """Ingest one wire-form message from an out-of-band transport.
+
+        The pool path delivers worker messages through the manager
+        queue (:meth:`pump`); the cluster coordinator receives them
+        framed over its sockets and forwards them here, so a fleet
+        worker's telemetry lands in the same stream with the same
+        schema/versioning rules.
+        """
+        self._ingest(message)
+
     def _ingest(self, message: dict[str, Any]) -> None:
         version = str(message.get("v", ""))
         if version.split(".", 1)[0] != EVENTS_SCHEMA_VERSION.split(".", 1)[0]:
@@ -413,6 +433,12 @@ class EventBus:
         shm_published_bytes = 0.0
         shm_attaches = 0
         shm_evicted = 0
+        workers_joined = 0
+        workers_lost = 0
+        leases_granted = 0
+        leases_expired = 0
+        leases_completed = 0
+        graphs_shipped = 0
 
         def worker_record(name: str) -> dict[str, float]:
             return per_worker.setdefault(
@@ -460,6 +486,18 @@ class EventBus:
                 )
             elif event.kind == "shm_evicted":
                 shm_evicted += 1
+            elif event.kind == "worker_joined":
+                workers_joined += 1
+            elif event.kind == "worker_lost":
+                workers_lost += 1
+            elif event.kind == "lease_granted":
+                leases_granted += 1
+                if event.payload.get("graph_shipped"):
+                    graphs_shipped += 1
+            elif event.kind == "lease_expired":
+                leases_expired += 1
+            elif event.kind == "lease_completed":
+                leases_completed += 1
             if event.kind in ("cell_finished", "cache_hit", "checkpoint_resumed"):
                 decomposition = event.payload.get("gail")
                 if decomposition and event.cell:
@@ -522,6 +560,16 @@ class EventBus:
                     (int(w["resident_graphs"]) for w in per_worker.values()),
                     default=0,
                 ),
+            },
+            "cluster": {
+                "workers_joined": workers_joined,
+                "workers_lost": workers_lost,
+                "leases": {
+                    "granted": leases_granted,
+                    "expired": leases_expired,
+                    "completed": leases_completed,
+                },
+                "graphs_shipped": graphs_shipped,
             },
             "per_worker": {name: dict(rec) for name, rec in sorted(per_worker.items())},
             "gail": {label: dict(ratios) for label, ratios in sorted(gail.items())},
@@ -798,3 +846,23 @@ def worker_init(channel_queue, sample_interval: float = 0.5) -> None:
             thread.start()
     except Exception:  # noqa: BLE001 — see docstring
         _worker_channel = None
+
+
+def worker_deinit() -> None:
+    """Undo :func:`worker_init`: detach this process from worker mode.
+
+    A pool worker never needs this (the process exits), but a fleet
+    worker hosted on a thread — tests do this — must restore the
+    process to parent-side routing when its connection ends, or every
+    later :func:`emit` in the process writes into a dead channel.
+    """
+    global _worker_channel
+    channel = _worker_channel
+    _worker_channel = None
+    if channel is None:
+        return
+    from repro.obs import spans
+
+    sink = spans.current_event_sink()
+    if isinstance(sink, _WorkerSpanSink) and sink._channel is channel:
+        spans.set_event_sink(None)

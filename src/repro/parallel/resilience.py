@@ -75,6 +75,8 @@ __all__ = [
     "CellTimeoutError",
     "execute_cells",
     "default_workers",
+    "resolve_policy",
+    "record_attempt_failure",
 ]
 
 log = get_logger("parallel.resilience")
@@ -157,6 +159,21 @@ class RetryPolicy:
         if plan is not None:
             overrides.setdefault("max_retries", max(2, plan.max_per_cell))
         return cls(**overrides)
+
+
+def resolve_policy(
+    policy: "RetryPolicy | None", fault_plan: FaultPlan | None
+) -> "RetryPolicy":
+    """The engine's default-policy selection, shared with the cluster.
+
+    With faults flying, a no-retry default would be self-defeating:
+    cover the plan's per-cell budget unless the caller chose a policy.
+    """
+    if policy is not None:
+        return policy
+    if fault_plan is not None:
+        return RetryPolicy.covering(fault_plan)
+    return RetryPolicy(max_retries=0)
 
 
 @dataclass
@@ -257,6 +274,85 @@ def _attempt_cell(cell, attempt: int, plan: FaultPlan | None, fingerprint: str):
         **payload,
     )
     return result, seconds
+
+
+def record_attempt_failure(
+    run,
+    exc: BaseException,
+    elapsed: float,
+    *,
+    policy: RetryPolicy,
+    stats: SweepStats,
+    note: Callable[[str, float], None],
+    failures: list,
+    label: str,
+) -> bool:
+    """Count one failed attempt of ``run``; return True if it will retry.
+
+    The single source of truth for failure accounting, shared by the
+    in-process engine (:class:`_Engine`) and the cluster coordinator
+    (:mod:`repro.cluster.coordinator`): emits the ``cell_faulted`` /
+    ``cell_timeout`` / ``cell_retried`` events, bumps the
+    :class:`SweepStats` counters, records the deterministic backoff in
+    ``run.not_before`` (never slept here — callers keep dispatching),
+    and appends permanent failures to ``failures`` as ``(run, exc)``.
+    ``run`` is duck-typed: ``cell.key``, ``fingerprint``, ``attempt``,
+    ``not_before``.
+    """
+    if isinstance(exc, FaultInjected):
+        stats.injected_faults += 1
+    if isinstance(exc, (InjectedTimeout, CellTimeoutError)):
+        stats.timeouts += 1
+    will_retry = run.attempt < policy.max_retries
+    _events.emit(
+        "cell_timeout"
+        if isinstance(exc, (InjectedTimeout, CellTimeoutError))
+        else "cell_faulted",
+        cell=run.cell.key,
+        fingerprint=run.fingerprint,
+        attempt=run.attempt,
+        error=type(exc).__name__,
+        message=str(exc),
+        injected=isinstance(exc, FaultInjected),
+        permanent=not will_retry,
+        seconds=elapsed,
+    )
+    if will_retry:
+        stats.retries += 1
+        note(f"retry[{run.cell.key}]", elapsed)
+        _events.emit(
+            "cell_retried",
+            cell=run.cell.key,
+            fingerprint=run.fingerprint,
+            attempt=run.attempt,
+            next_attempt=run.attempt + 1,
+            backoff=policy.delay(run.attempt),
+        )
+        log.warning(
+            "%s: cell [%r] attempt %d failed (%s: %s); retrying",
+            label,
+            run.cell.key,
+            run.attempt,
+            type(exc).__name__,
+            exc,
+        )
+        # Backoff is recorded, never slept here: in pool mode this runs
+        # on the dispatcher thread, which must keep servicing the other
+        # cells' completions and deadlines while one cell backs off.
+        run.not_before = monotonic() + policy.delay(run.attempt)
+        run.attempt += 1
+        return True
+    failures.append((run, exc))
+    stats.failed.append(repr(run.cell.key))
+    log.error(
+        "%s: cell [%r] failed permanently after %d attempt(s): %s: %s",
+        label,
+        run.cell.key,
+        run.attempt + 1,
+        type(exc).__name__,
+        exc,
+    )
+    return False
 
 
 class _CellRun:
@@ -399,14 +495,7 @@ class _Engine:
         self.label = label
         self.affinity = affinity
         self.plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
-        # With faults flying, a no-retry default would be self-defeating:
-        # cover the plan's per-cell budget unless the caller chose a policy.
-        if policy is not None:
-            self.policy = policy
-        elif self.plan is not None:
-            self.policy = RetryPolicy.covering(self.plan)
-        else:
-            self.policy = RetryPolicy(max_retries=0)
+        self.policy = resolve_policy(policy, self.plan)
         self.checkpoint = checkpoint
         self.stats = stats if stats is not None else SweepStats()
         self.note = note
@@ -496,60 +585,16 @@ class _Engine:
 
     def _record_failure(self, run: _CellRun, exc: BaseException, elapsed: float) -> bool:
         """Count one failed attempt; return True if the cell will retry."""
-        if isinstance(exc, FaultInjected):
-            self.stats.injected_faults += 1
-        if isinstance(exc, (InjectedTimeout, CellTimeoutError)):
-            self.stats.timeouts += 1
-        will_retry = run.attempt < self.policy.max_retries
-        _events.emit(
-            "cell_timeout"
-            if isinstance(exc, (InjectedTimeout, CellTimeoutError))
-            else "cell_faulted",
-            cell=run.cell.key,
-            fingerprint=run.fingerprint,
-            attempt=run.attempt,
-            error=type(exc).__name__,
-            message=str(exc),
-            injected=isinstance(exc, FaultInjected),
-            permanent=not will_retry,
-            seconds=elapsed,
-        )
-        if will_retry:
-            self.stats.retries += 1
-            self.note(f"retry[{run.cell.key}]", elapsed)
-            _events.emit(
-                "cell_retried",
-                cell=run.cell.key,
-                fingerprint=run.fingerprint,
-                attempt=run.attempt,
-                next_attempt=run.attempt + 1,
-                backoff=self.policy.delay(run.attempt),
-            )
-            log.warning(
-                "%s: cell [%r] attempt %d failed (%s: %s); retrying",
-                self.label,
-                run.cell.key,
-                run.attempt,
-                type(exc).__name__,
-                exc,
-            )
-            # Backoff is recorded, never slept here: in pool mode this runs
-            # on the dispatcher thread, which must keep servicing the other
-            # cells' completions and deadlines while one cell backs off.
-            run.not_before = monotonic() + self.policy.delay(run.attempt)
-            run.attempt += 1
-            return True
-        self.failures.append((run, exc))
-        self.stats.failed.append(repr(run.cell.key))
-        log.error(
-            "%s: cell [%r] failed permanently after %d attempt(s): %s: %s",
-            self.label,
-            run.cell.key,
-            run.attempt + 1,
-            type(exc).__name__,
+        return record_attempt_failure(
+            run,
             exc,
+            elapsed,
+            policy=self.policy,
+            stats=self.stats,
+            note=self.note,
+            failures=self.failures,
+            label=self.label,
         )
-        return False
 
     # ------------------------------------------------------------------
     def _run_serial(self, runs: list[_CellRun]) -> None:

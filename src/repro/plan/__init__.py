@@ -27,6 +27,12 @@ that sharing structural instead of ad hoc:
 
 from repro.plan.compiler import CompiledPlan, PlanStats, compile_plan
 from repro.plan.executor import PlanResults, execute_plan
+from repro.plan.executors import (
+    ExecutionRequest,
+    Executor,
+    LocalExecutor,
+    make_executor,
+)
 from repro.plan.spec import Cell, ExperimentSpec
 
 __all__ = [
@@ -37,4 +43,8 @@ __all__ = [
     "compile_plan",
     "PlanResults",
     "execute_plan",
+    "ExecutionRequest",
+    "Executor",
+    "LocalExecutor",
+    "make_executor",
 ]

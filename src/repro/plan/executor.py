@@ -8,11 +8,15 @@ figure, table, bench, and ``reproduce`` run now performs measurement:
    practice :class:`repro.harness.cache.MeasurementCache`).  Hits skip
    execution entirely — a warm rerun of the whole suite executes zero
    cells.
-2. **one resilient sweep** — the misses run through
-   :func:`repro.parallel.sweep.run_cells` in a single call, inheriting
-   the whole PR-3/PR-4 stack: process pools, retry with backoff,
-   per-cell timeouts, checkpoint/resume, fault injection.  Each unique
-   cell executes exactly once per plan, keyed by its readable
+2. **one executor dispatch** — the misses run through a pluggable
+   :class:`~repro.plan.executors.Executor` (default
+   :class:`~repro.plan.executors.LocalExecutor`: a single
+   :func:`repro.parallel.sweep.run_cells` sweep inheriting the whole
+   PR-3/PR-4 stack — process pools, retry with backoff, per-cell
+   timeouts, checkpoint/resume, fault injection; alternatively
+   :class:`repro.cluster.DistributedExecutor`, which leases the same
+   cells to a socket-connected worker fleet).  Each unique cell
+   executes exactly once per plan, keyed by its readable
    first-requester label.
 3. **cache write-back** — completed (and checkpoint-resumed) cells are
    written into the cache as they finish, so even an interrupted run
@@ -33,27 +37,15 @@ from typing import Any
 from repro.obs import events as _events
 from repro.obs.log import get_logger
 from repro.obs.spans import current_recorder, span
-from repro.parallel.resilience import SweepOptions, default_workers
-from repro.parallel.shm import GraphStore
-from repro.parallel.sweep import SweepCell, run_cells
+from repro.parallel.resilience import SweepOptions
+from repro.parallel.sweep import SweepCell
 from repro.plan.compiler import CompiledPlan, PlanStats
+from repro.plan.executors import ExecutionRequest, Executor, LocalExecutor
 from repro.utils.fingerprint import cell_fingerprint
 
 __all__ = ["PlanResults", "execute_plan"]
 
 log = get_logger("plan.executor")
-
-
-def _pool_mode(workers: int | None, cells: int) -> bool:
-    """Whether this sweep will actually run on a process pool.
-
-    Mirrors the resilient engine's own resolution (``0`` = auto, ``None``
-    / ``1`` = serial, capped by the cell count) so the executor can
-    decide *before* dispatch whether the shared-memory graph plane will
-    pay for itself — the serial path must never touch shm.
-    """
-    resolved = default_workers() if workers == 0 else (workers or 1)
-    return min(resolved, cells) > 1
 
 
 class PlanResults:
@@ -120,6 +112,7 @@ def execute_plan(
     cache=None,
     label: str = "plan",
     shm: bool | None = None,
+    executor: Executor | None = None,
 ) -> PlanResults:
     """Execute every unique cell of ``plan`` once and return the results.
 
@@ -140,6 +133,13 @@ def execute_plan(
     exactly when a pool will run; the serial path never touches shm.
     Pool dispatch also groups cells by graph into affinity lanes so each
     graph is materialized on as few workers as possible.
+
+    ``executor`` selects *how* the cache-miss cells run: ``None`` (the
+    default) uses :class:`~repro.plan.executors.LocalExecutor`, the
+    historical in-process pool path; a
+    :class:`repro.cluster.DistributedExecutor` leases the same cells to
+    a socket-connected worker fleet instead.  Fingerprints, checkpoint
+    lines, cache entries, and artifacts are identical across executors.
 
     A failing cell propagates :class:`repro.parallel.resilience.
     CellFailedError` after the other cells finish; everything completed
@@ -201,23 +201,6 @@ def execute_plan(
                 options.workers if options.workers is not None else workers
             )
             use_shm = options.shm if options.shm is not None else shm
-            store = None
-            if use_shm is not False and _pool_mode(effective_workers, len(sweep_cells)):
-                try:
-                    store = GraphStore(label=label)
-                except Exception as exc:  # noqa: BLE001 — no shm on this platform
-                    log.warning(
-                        "%s: shared-memory graph plane unavailable (%s); "
-                        "shipping graphs by value",
-                        label,
-                        exc,
-                    )
-                    store = None
-            if store is not None:
-                # Publish each distinct graph once; the sweep fingerprints
-                # are unchanged (a ref hashes as its graph), so checkpoint
-                # resume and fault plans line up with by-value runs.
-                sweep_cells = [store.publish_cell(cell) for cell in sweep_cells]
 
             checkpoint = None
             if options.checkpoint_dir:
@@ -232,27 +215,28 @@ def execute_plan(
             completed_before = sweep_stats.completed
             resumed_before = sweep_stats.resumed
 
+            request = ExecutionRequest(
+                cells=sweep_cells,
+                label=label,
+                workers=effective_workers,
+                policy=options.policy,
+                fault_plan=options.fault_plan,
+                checkpoint=_CacheRecorder(checkpoint, cache, plan_fp_for)
+                if (checkpoint is not None or cache is not None)
+                else None,
+                stats=sweep_stats,
+                shm=use_shm,
+                cache=cache,
+                result_fingerprints=plan_fp_for,
+            )
             try:
-                outcomes = run_cells(
-                    sweep_cells,
-                    workers=effective_workers,
-                    label=label,
-                    policy=options.policy,
-                    fault_plan=options.fault_plan,
-                    checkpoint=_CacheRecorder(checkpoint, cache, plan_fp_for)
-                    if (checkpoint is not None or cache is not None)
-                    else None,
-                    stats=sweep_stats,
-                    affinity=True,
-                )
+                outcomes = (executor or LocalExecutor()).run(request)
             finally:
                 # Count execution even when a cell failed permanently: the
                 # run report's plan section must reflect the work that DID
                 # happen (and was checkpointed/cached) before the abort.
                 stats.executed += sweep_stats.completed - completed_before
                 stats.resumed += sweep_stats.resumed - resumed_before
-                if store is not None:
-                    store.close()
             for fingerprint in misses:
                 results[fingerprint] = outcomes[plan.labels[fingerprint]]
 

@@ -1,0 +1,34 @@
+"""Module-level cell functions for the cluster tests.
+
+Fleet workers unpickle cell functions by module reference, so anything a
+spawned worker process executes must live in an importable module — not
+in a test function body.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x):
+    time.sleep(0.05)
+    return x * x
+
+
+def graph_edges(graph, width):
+    """A cell with a graph argument, for shipping-dedup tests."""
+    return int(graph.num_edges) + int(width)
+
+
+def die_in_worker(x):
+    """Kill the hosting process — only when it is a worker, so the
+    serial-fallback path can run it in the parent and survive."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(3)
+    return x * x

@@ -1,0 +1,78 @@
+"""Graph-shipping tests: each graph crosses the wire once per worker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.shipping import GraphTicket, resolve_cell, strip_cell
+from repro.graphs import build_csr, uniform_random_graph
+from repro.parallel import SweepCell
+
+from tests.cluster.cellfns import graph_edges, square
+
+
+@pytest.fixture
+def graph():
+    return build_csr(uniform_random_graph(256, 4, seed=1))
+
+
+def test_first_strip_ships_then_dedups(graph):
+    shipped = set()
+    cell_a = SweepCell(key="a", fn=graph_edges, args=(graph, 32))
+    cell_b = SweepCell(key="b", fn=graph_edges, args=(graph, 64))
+
+    stripped_a, blobs_a = strip_cell(cell_a, shipped)
+    assert list(blobs_a.values()) == [graph]  # first time: ship it
+    assert isinstance(stripped_a.args[0], GraphTicket)
+    assert stripped_a.args[1] == 32
+
+    stripped_b, blobs_b = strip_cell(cell_b, shipped)
+    assert blobs_b == {}  # resident already: ticket only
+    assert stripped_b.args[0] == stripped_a.args[0]
+
+
+def test_resolve_restores_identical_graph(graph):
+    shipped = set()
+    cell = SweepCell(key="a", fn=graph_edges, args=(graph, 32))
+    stripped, blobs = strip_cell(cell, shipped)
+    resident = dict(blobs)
+    restored = resolve_cell(stripped, resident)
+    assert restored.args[0] is graph
+    assert restored.args[1] == 32
+    assert restored.key == cell.key
+    assert restored.fn is cell.fn
+
+
+def test_kwargs_are_stripped_and_resolved(graph):
+    shipped = set()
+    cell = SweepCell(key="k", fn=graph_edges, args=(), kwargs={"graph": graph, "width": 8})
+    stripped, blobs = strip_cell(cell, shipped)
+    assert isinstance(stripped.kwargs["graph"], GraphTicket)
+    assert stripped.kwargs["width"] == 8
+    restored = resolve_cell(stripped, dict(blobs))
+    assert restored.kwargs["graph"] is graph
+
+
+def test_graphless_cell_passes_through_unchanged():
+    cell = SweepCell(key=3, fn=square, args=(3,))
+    stripped, blobs = strip_cell(cell, set())
+    assert stripped is cell
+    assert blobs == {}
+    assert resolve_cell(stripped, {}) is stripped
+
+
+def test_unshipped_ticket_raises():
+    cell = SweepCell(key="x", fn=square, args=(GraphTicket(("mem", 123)),))
+    with pytest.raises(RuntimeError, match="unshipped graph"):
+        resolve_cell(cell, {})
+
+
+def test_two_workers_each_get_one_shipment(graph):
+    cells = [SweepCell(key=i, fn=graph_edges, args=(graph, i)) for i in range(4)]
+    shipments = 0
+    for _worker in range(2):
+        shipped = set()
+        for cell in cells:
+            _, blobs = strip_cell(cell, shipped)
+            shipments += len(blobs)
+    assert shipments == 2  # once per worker, never per cell

@@ -1,0 +1,133 @@
+"""Frame protocol tests: framing survives what sockets do to bytes."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster.wire import (
+    MAX_FRAME,
+    Connection,
+    FrameError,
+    parse_endpoint,
+)
+
+
+def _pair():
+    a, b = socket.socketpair()
+    return Connection(a), Connection(b)
+
+
+def test_round_trip_messages():
+    left, right = _pair()
+    try:
+        for message in [
+            {"kind": "hello", "n": 1},
+            {"kind": "lease", "cell": ("fig9", 42), "graphs": {}},
+            ["a", "list"],
+            "plain string",
+            {"nested": {"deep": [1, 2, {"three": 3.0}]}},
+        ]:
+            left.send(message)
+            assert right.recv() == message
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_eof_returns_none():
+    left, right = _pair()
+    left.close()
+    assert right.recv() is None
+    right.close()
+
+
+def test_mid_frame_eof_raises():
+    a, b = socket.socketpair()
+    conn = Connection(b)
+    # A header promising 100 bytes, then EOF.
+    a.sendall(struct.pack("!Q", 100) + b"short")
+    a.close()
+    with pytest.raises(FrameError):
+        conn.recv()
+    conn.close()
+
+
+def test_oversized_frame_rejected_without_allocation():
+    a, b = socket.socketpair()
+    conn = Connection(b)
+    a.sendall(struct.pack("!Q", MAX_FRAME + 1))
+    with pytest.raises(FrameError):
+        conn.recv()
+    a.close()
+    conn.close()
+
+
+def test_undecodable_payload_raises_frame_error():
+    a, b = socket.socketpair()
+    conn = Connection(b)
+    payload = b"\x00not pickle at all"
+    a.sendall(struct.pack("!Q", len(payload)) + payload)
+    with pytest.raises(FrameError):
+        conn.recv()
+    a.close()
+    conn.close()
+
+
+def test_concurrent_senders_never_interleave():
+    """Many threads sending through one connection: every frame decodes.
+
+    The worker's heartbeat and telemetry threads share its socket, so
+    the send path must serialize whole frames."""
+    left, right = _pair()
+    per_thread, threads = 50, 8
+
+    def blast(tag):
+        for i in range(per_thread):
+            left.send({"tag": tag, "i": i, "pad": "x" * 512})
+
+    workers = [threading.Thread(target=blast, args=(t,)) for t in range(threads)]
+    for w in workers:
+        w.start()
+    received = [right.recv() for _ in range(per_thread * threads)]
+    for w in workers:
+        w.join()
+    assert all(isinstance(m, dict) and m["pad"] == "x" * 512 for m in received)
+    counts = {t: 0 for t in range(threads)}
+    for m in received:
+        counts[m["tag"]] += 1
+    assert all(count == per_thread for count in counts.values())
+    left.close()
+    right.close()
+
+
+def test_byte_counters_track_traffic():
+    left, right = _pair()
+    sent = left.send({"kind": "x"})
+    assert sent > 8
+    assert left.sent_bytes == sent
+    right.recv()
+    assert right.received_bytes == sent
+    left.close()
+    right.close()
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("127.0.0.1:8000", ("127.0.0.1", 8000)),
+        ("example.com:0", ("example.com", 0)),
+        ("[::1]:9999", ("::1", 9999)),
+    ],
+)
+def test_parse_endpoint_valid(text, expected):
+    assert parse_endpoint(text) == expected
+
+
+@pytest.mark.parametrize("text", ["8000", ":8000", "host:", "host:port", "h:70000"])
+def test_parse_endpoint_invalid(text):
+    with pytest.raises(ValueError):
+        parse_endpoint(text)

@@ -1,0 +1,96 @@
+"""Cache write races: the fleet's data plane must never serve torn reads.
+
+Distributed workers on different hosts (or chaos-killed processes mid
+``put``) race on the same fingerprint.  The atomic-rename protocol must
+guarantee a reader sees either nothing or one complete, valid entry —
+never a partial file — and that the last writer's payload wins intact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.harness.cache import MeasurementCache
+
+FINGERPRINT = "deadbeef" * 8
+
+
+def _hammer_put(directory, fingerprint, worker, rounds, barrier):
+    cache = MeasurementCache(directory)
+    barrier.wait()
+    for round_index in range(rounds):
+        cache.put(fingerprint, {"worker": worker, "round": round_index}, 0.01)
+
+
+def _hammer_get(directory, fingerprint, rounds, barrier, failures):
+    cache = MeasurementCache(directory)
+    barrier.wait()
+    for _ in range(rounds):
+        entry = cache.get(fingerprint)
+        if entry is None:
+            continue  # nothing yet — fine
+        result = entry.result
+        if (
+            not isinstance(result, dict)
+            or set(result) != {"worker", "round"}
+            or entry.fingerprint != fingerprint
+        ):
+            failures.put(repr(result))
+            return
+
+
+@pytest.mark.parametrize("writers", [2, 4])
+def test_racing_writers_never_tear_an_entry(tmp_path, writers):
+    directory = str(tmp_path / "cache")
+    context = multiprocessing.get_context("spawn")
+    rounds = 40
+    barrier = context.Barrier(writers + 1)
+    failures = context.Queue()
+    processes = [
+        context.Process(
+            target=_hammer_put,
+            args=(directory, FINGERPRINT, w, rounds, barrier),
+        )
+        for w in range(writers)
+    ]
+    reader = context.Process(
+        target=_hammer_get,
+        args=(directory, FINGERPRINT, rounds * writers, barrier, failures),
+    )
+    for process in [*processes, reader]:
+        process.start()
+    for process in [*processes, reader]:
+        process.join(timeout=60.0)
+        assert process.exitcode == 0
+
+    assert failures.empty(), f"reader saw a torn entry: {failures.get()}"
+    # After the dust settles the entry is whole and one writer's final
+    # round survived.
+    final = MeasurementCache(directory).get(FINGERPRINT)
+    assert final is not None
+    assert final.result["round"] == rounds - 1
+    assert final.result["worker"] in range(writers)
+
+
+def test_no_temp_file_litter_after_race(tmp_path):
+    directory = str(tmp_path / "cache")
+    context = multiprocessing.get_context("spawn")
+    barrier = context.Barrier(3)
+    processes = [
+        context.Process(
+            target=_hammer_put, args=(directory, FINGERPRINT, w, 25, barrier)
+        )
+        for w in range(2)
+    ]
+    for process in processes:
+        process.start()
+    barrier.wait()
+    for process in processes:
+        process.join(timeout=60.0)
+        assert process.exitcode == 0
+    bucket = os.path.join(directory, "objects", FINGERPRINT[:2])
+    leftovers = [n for n in os.listdir(bucket) if n.startswith(".tmp_")]
+    assert leftovers == []

@@ -1,0 +1,76 @@
+"""Behavior-preservation pin for the executor-protocol refactor.
+
+``tests/plan/data/golden_local_executor.json`` was captured from the
+tree *before* ``execute_plan`` delegated to :class:`~repro.plan.
+executors.LocalExecutor`.  This test replays the same scale-0.25
+reproduce and asserts every plan cell fingerprint, every artifact byte,
+and every checkpoint line (timings excluded) is still identical — the
+seam must be invisible.  Regenerate the golden only for a deliberate
+fingerprint- or artifact-affecting change, never to quiet this test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.reproduce import ARTIFACTS, plan_specs
+from repro.plan import compile_plan
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_local_executor.json"
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_plan_cell_fingerprints_unchanged(golden):
+    specs = plan_specs(set(ARTIFACTS), scale=golden["scale"], seed=golden["seed"])
+    plan = compile_plan(specs)
+    fingerprints = {plan.labels[fp]: fp for fp in plan.cells}
+    assert fingerprints == golden["cell_fingerprints"]
+
+
+def test_reproduce_artifacts_and_checkpoint_unchanged(golden, tmp_path):
+    out = tmp_path / "out"
+    checkpoints = tmp_path / "ck"
+    out.mkdir()
+    checkpoints.mkdir()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness.reproduce",
+            "--scale", str(golden["scale"]), "--seed", str(golden["seed"]),
+            "--output", str(out), "--resume", str(checkpoints), "-q", "-q",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+
+    artifacts = {
+        name: hashlib.sha256((out / name).read_bytes()).hexdigest()
+        for name in sorted(os.listdir(out))
+    }
+    assert artifacts == golden["artifact_sha256"]
+
+    lines = []
+    with open(checkpoints / "sweep_plan.jsonl") as handle:
+        for line in handle:
+            record = json.loads(line)
+            record.pop("seconds", None)  # timings vary run to run
+            lines.append(json.dumps(record, sort_keys=True))
+    assert len(lines) == golden["checkpoint_cells"]
+    digest = hashlib.sha256("\n".join(sorted(lines)).encode()).hexdigest()
+    assert digest == golden["checkpoint_sha256"]

@@ -1,0 +1,48 @@
+"""Smoke-run every ``examples/`` script at tiny scale.
+
+The examples double as executable documentation; this module keeps them
+executable.  Each script honours ``REPRO_EXAMPLE_SCALE`` (a workload
+multiplier) so the whole directory runs in seconds, and each runs in a
+subprocess — exactly how a reader would run it — so import-time
+regressions and interpreter-level crashes are caught too.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    # A new example lands in the parametrized run automatically; this
+    # guards against the directory going empty or moving.
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_EXAMPLE_SCALE"] = "0.05"
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=240,
+    )
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{name} printed nothing"
